@@ -1,0 +1,288 @@
+package tributarydelta
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// sub-benchmark runs a small simulation and reports the quality metric the
+// choice trades against (as ReportMetric units), so `go test -bench
+// Ablation` doubles as a sensitivity study:
+//
+//   - radio range: rings density vs multi-path communication error
+//   - adaptation threshold: contributing floor vs TD RMS error
+//   - contributing-sketch size: piggyback bytes vs adaptation signal noise
+//   - adaptation period: reaction speed vs control overhead
+//   - per-item sketch size: frequent items message size vs error rates
+//   - Count/Sum sketch size: message size vs approximation error
+
+import (
+	"math"
+	"testing"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/stats"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/workload"
+)
+
+// BenchmarkAblationRadioRange measures the multi-path survival fraction at
+// Global(0.3) across radio ranges: the one simulation parameter the paper
+// leaves unstated (EXPERIMENTS.md calibration note).
+func BenchmarkAblationRadioRange(b *testing.B) {
+	for _, radio := range []float64{2.5, 3.0, 3.5, 4.0} {
+		b.Run(formatF("range", radio), func(b *testing.B) {
+			var survival float64
+			for i := 0; i < b.N; i++ {
+				g := topo.NewRandomField(uint64(i+1), 400, 20, 20, topo.Point{X: 10, Y: 10}, radio)
+				r := topo.BuildRings(g)
+				tr := topo.BuildRestrictedTree(g, r, uint64(i+1))
+				run, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+					Graph: g, Rings: r, Tree: tr,
+					Net:   network.New(g, network.Global{P: 0.3}, uint64(i+1)),
+					Agg:   aggregate.NewCount(uint64(i + 1)),
+					Value: func(int, int) struct{} { return struct{}{} },
+					Mode:  runner.ModeMultipath, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var contrib int
+				const epochs = 10
+				for e := 0; e < epochs; e++ {
+					contrib += run.RunEpoch(e).TrueContrib
+				}
+				survival += float64(contrib) / float64(epochs*run.Sensors())
+			}
+			b.ReportMetric(survival/float64(b.N), "survival")
+		})
+	}
+}
+
+// BenchmarkAblationThreshold measures TD RMS error at Global(0.15) across
+// contributing thresholds — the knob behind EXPERIMENTS.md deviation 1.
+func BenchmarkAblationThreshold(b *testing.B) {
+	sc := workload.NewSynthetic(1, 300)
+	for _, threshold := range []float64{0.85, 0.90, 0.95} {
+		b.Run(formatF("thr", threshold), func(b *testing.B) {
+			var rms float64
+			for i := 0; i < b.N; i++ {
+				run, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+					Graph: sc.Graph, Rings: sc.Rings, Tree: sc.Tree,
+					Net:       network.New(sc.Graph, network.Global{P: 0.15}, uint64(i+1)),
+					Agg:       aggregate.NewCount(uint64(i + 1)),
+					Value:     func(int, int) struct{} { return struct{}{} },
+					Mode:      runner.ModeTD,
+					Threshold: threshold,
+					Seed:      uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for e := 0; e < 100; e++ {
+					run.RunEpoch(e) // warm-up
+				}
+				answers := make([]float64, 30)
+				truth := make([]float64, 30)
+				for e := 0; e < 30; e++ {
+					answers[e] = run.RunEpoch(100 + e).Answer
+					truth[e] = run.ExactAnswer(100 + e)
+				}
+				rms += stats.RelativeRMS(answers, truth)
+			}
+			b.ReportMetric(rms/float64(b.N), "rms")
+		})
+	}
+}
+
+// BenchmarkAblationContribK measures the adaptation signal's accuracy (mean
+// relative error of the contributing estimate) across piggyback sketch
+// sizes — why the default is the 40-bitmap bit vector of Figure 3.
+func BenchmarkAblationContribK(b *testing.B) {
+	sc := workload.NewSynthetic(2, 300)
+	for _, k := range []int{8, 16, 40} {
+		b.Run(formatI("k", k), func(b *testing.B) {
+			var errSum float64
+			var words int
+			for i := 0; i < b.N; i++ {
+				run, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+					Graph: sc.Graph, Rings: sc.Rings, Tree: sc.Tree,
+					Net:      network.New(sc.Graph, network.Global{P: 0.2}, uint64(i+1)),
+					Agg:      aggregate.NewCount(uint64(i + 1)),
+					Value:    func(int, int) struct{} { return struct{}{} },
+					Mode:     runner.ModeTD,
+					ContribK: k,
+					Seed:     uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				const epochs = 30
+				for e := 0; e < epochs; e++ {
+					res := run.RunEpoch(e)
+					if res.TrueContrib > 0 {
+						errSum += math.Abs(res.EstContrib-float64(res.TrueContrib)) /
+							float64(res.TrueContrib) / epochs
+					}
+				}
+				words = sketch.EncodedWords(k)
+			}
+			b.ReportMetric(errSum/float64(b.N), "est-err")
+			b.ReportMetric(float64(words), "words")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptPeriod measures how fast TD recovers contribution
+// after a failure appears, across adaptation periods (§7.1 uses 10).
+func BenchmarkAblationAdaptPeriod(b *testing.B) {
+	sc := workload.NewSynthetic(3, 300)
+	for _, period := range []int{5, 10, 20} {
+		b.Run(formatI("every", period), func(b *testing.B) {
+			var recovered float64
+			for i := 0; i < b.N; i++ {
+				model := network.Timeline{Phases: []network.Phase{
+					{Until: 20, Model: network.Global{P: 0}},
+					{Until: 120, Model: network.Global{P: 0.3}},
+				}}
+				run, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+					Graph: sc.Graph, Rings: sc.Rings, Tree: sc.Tree,
+					Net:        network.New(sc.Graph, model, uint64(i+1)),
+					Agg:        aggregate.NewCount(uint64(i + 1)),
+					Value:      func(int, int) struct{} { return struct{}{} },
+					Mode:       runner.ModeTD,
+					AdaptEvery: period,
+					Seed:       uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for e := 0; e < 70; e++ {
+					run.RunEpoch(e)
+				}
+				// Contribution over epochs 70–120: higher = faster recovery.
+				var contrib int
+				for e := 70; e < 120; e++ {
+					contrib += run.RunEpoch(e).TrueContrib
+				}
+				recovered += float64(contrib) / float64(50*run.Sensors())
+			}
+			b.ReportMetric(recovered/float64(b.N), "contrib@50ep")
+		})
+	}
+}
+
+// BenchmarkAblationItemSketchK measures the frequent items guarantee-
+// violation and false-negative rates across per-item ⊕ sketch sizes (the
+// 1/εc² size/accuracy trade of §6.2).
+func BenchmarkAblationItemSketchK(b *testing.B) {
+	lab := workload.NewLab(4)
+	const perEpoch = 200
+	items := lab.ZipfItems(500, 1.1, perEpoch)
+	n := float64(lab.Graph.Sensors() * perEpoch)
+	for _, k := range []int{4, 8, 16} {
+		b.Run(formatI("kitem", k), func(b *testing.B) {
+			var fnSum float64
+			for i := 0; i < b.N; i++ {
+				params := freq.DefaultParams(uint64(i+1), 0.0005, math.Log2(n)+1)
+				params.KItem = k
+				agg := freq.NewAgg(lab.Tree,
+					freq.MinTotalLoad{Epsilon: 0.0005, D: 2.0}, 0.0005, params)
+				run, err := runner.New(runner.Config[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]{
+					Graph: lab.Graph, Rings: lab.Rings, Tree: lab.Tree,
+					Net:   network.New(lab.Graph, network.Global{P: 0.2}, uint64(i+1)),
+					Agg:   agg,
+					Value: items,
+					Mode:  runner.ModeMultipath, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				const epochs = 4
+				for e := 0; e < epochs; e++ {
+					res := run.RunEpoch(e)
+					var all [][]freq.Item
+					for v := 1; v < lab.Graph.N(); v++ {
+						if lab.Rings.Reachable(v) {
+							all = append(all, items(e, v))
+						}
+					}
+					truth := freq.TrueFrequent(all, 0.01)
+					fn, _ := freq.FalseRates(res.Answer.Frequent(0.01, 0.001), truth)
+					fnSum += fn / epochs
+				}
+			}
+			b.ReportMetric(fnSum/float64(b.N), "fn-rate")
+			b.ReportMetric(float64(sketch.EncodedWords(k)), "words/item")
+		})
+	}
+}
+
+// BenchmarkAblationSketchK measures Count approximation error versus
+// synopsis size — why the paper's 40-bitmap configuration is the default.
+func BenchmarkAblationSketchK(b *testing.B) {
+	sc := workload.NewSynthetic(5, 400)
+	for _, k := range []int{8, 16, 40, 64} {
+		b.Run(formatI("k", k), func(b *testing.B) {
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				agg := &aggregate.Count{Seed: uint64(i + 1), K: k}
+				run, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+					Graph: sc.Graph, Rings: sc.Rings, Tree: sc.Tree,
+					Net:   network.New(sc.Graph, network.Global{P: 0}, uint64(i+1)),
+					Agg:   agg,
+					Value: func(int, int) struct{} { return struct{}{} },
+					Mode:  runner.ModeMultipath, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				const epochs = 10
+				for e := 0; e < epochs; e++ {
+					res := run.RunEpoch(e)
+					errSum += math.Abs(res.Answer-float64(run.Sensors())) /
+						float64(run.Sensors()) / epochs
+				}
+			}
+			b.ReportMetric(errSum/float64(b.N), "approx-err")
+			b.ReportMetric(float64(sketch.EncodedWords(k)), "words")
+		})
+	}
+}
+
+func formatF(name string, v float64) string {
+	return name + "=" + trimF(v)
+}
+
+func formatI(name string, v int) string {
+	return name + "=" + itoa(v)
+}
+
+func trimF(v float64) string {
+	s := make([]byte, 0, 8)
+	whole := int(v)
+	s = append(s, []byte(itoa(whole))...)
+	frac := int(math.Round((v - float64(whole)) * 100))
+	if frac > 0 {
+		s = append(s, '.')
+		if frac < 10 {
+			s = append(s, '0')
+		}
+		s = append(s, []byte(itoa(frac))...)
+	}
+	return string(s)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,51 @@
+// Command tdbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tdbench -exp fig5a            # one experiment, full scale
+//	tdbench -exp all -quick       # everything, reduced scale
+//	tdbench -list                 # list experiment ids
+//
+// Each experiment prints a table whose rows mirror the series of the
+// corresponding paper artifact; EXPERIMENTS.md records the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tributarydelta/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,95 @@
+// Command tdtopo explores aggregation topologies: it builds a field, its
+// rings and both tree constructions, reports height histograms and
+// domination factors, and optionally renders the field as an ASCII map.
+//
+// Usage:
+//
+//	tdtopo -n 600 -width 20 -height 20 -range 3
+//	tdtopo -lab -map
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tributarydelta/internal/topo"
+)
+
+func main() {
+	n := flag.Int("n", 600, "number of sensors")
+	width := flag.Float64("width", 20, "field width")
+	height := flag.Float64("height", 20, "field height")
+	radio := flag.Float64("range", 3, "radio range")
+	seed := flag.Uint64("seed", 1, "seed")
+	lab := flag.Bool("lab", false, "use the LabData layout instead of a random field")
+	drawMap := flag.Bool("map", false, "render an ASCII ring map")
+	flag.Parse()
+
+	var g *topo.Graph
+	if *lab {
+		g = topo.NewLabField()
+		*width, *height = 40, 12
+	} else {
+		g = topo.NewRandomField(*seed, *n, *width, *height,
+			topo.Point{X: *width / 2, Y: *height / 2}, *radio)
+	}
+	r := topo.BuildRings(g)
+	fmt.Printf("field: %d sensors, %d reachable, %d rings\n",
+		g.Sensors(), r.CountReachable()-1, r.Max)
+
+	ours := topo.BuildRestrictedTree(g, r, *seed)
+	topo.OpportunisticImprove(g, r, ours, *seed, 8)
+	tag := topo.BuildTAGTree(g, *seed)
+
+	report := func(name string, t *topo.Tree) {
+		hist := topo.HeightHist(t)
+		fmt.Printf("%-16s h(i)=%v\n", name, hist)
+		fmt.Printf("%-16s H(i)=", "")
+		for _, f := range topo.HFractions(hist) {
+			fmt.Printf("%.3f ", f)
+		}
+		fmt.Printf("\n%-16s domination factor %.2f (2-dominating: %v)\n",
+			"", topo.TreeDominationFactor(t, 0.05), topo.IsDominating(hist, 2))
+	}
+	report("our tree:", ours)
+	report("TAG tree:", tag)
+
+	if *drawMap {
+		fmt.Println("\nring map (digits = ring level mod 10, B = base):")
+		const cells = 40
+		grid := make([][]byte, cells/2)
+		for i := range grid {
+			grid[i] = make([]byte, cells)
+			for j := range grid[i] {
+				grid[i][j] = ' '
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if !r.Reachable(v) {
+				continue
+			}
+			x := int(g.Pos[v].X / *width * cells)
+			y := int(g.Pos[v].Y / *height * float64(cells/2))
+			x = clamp(x, 0, cells-1)
+			y = clamp(y, 0, cells/2-1)
+			if v == topo.Base {
+				grid[y][x] = 'B'
+			} else if grid[y][x] != 'B' {
+				grid[y][x] = byte('0' + r.Level[v]%10)
+			}
+		}
+		for i := len(grid) - 1; i >= 0; i-- {
+			fmt.Println(string(grid[i]))
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

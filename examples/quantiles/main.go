@@ -1,0 +1,63 @@
+// Quantiles: the §6.1.4 extension drives Greenwald–Khanna-style mergeable
+// quantile summaries with the paper's precision gradients, bounding total
+// in-tree communication while meeting a rank-error budget at the root.
+//
+//	go run ./examples/quantiles
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	td "tributarydelta"
+	"tributarydelta/internal/quantile"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+func main() {
+	const seed = 5
+	dep := td.NewSyntheticDeployment(seed, 400)
+	sc := dep.Scenario()
+	tree := sc.Tree
+	heights := tree.Heights()
+	h := heights[topo.Base]
+
+	// Each node holds a window of temperature-like readings.
+	perNode := make(map[int][]float64)
+	var all []float64
+	src := xrand.NewSource(seed, 0xE6)
+	for v := 1; v < sc.Graph.N(); v++ {
+		if !tree.InTree(v) {
+			continue
+		}
+		vals := make([]float64, 50)
+		for i := range vals {
+			vals[i] = 20 + 5*src.NormFloat64() + float64(v%7)
+		}
+		perNode[v] = vals
+		all = append(all, vals...)
+	}
+
+	const eps = 0.01
+	res := quantile.RunTree(tree, func(v int) []float64 { return perNode[v] },
+		quantile.Uniform(eps, h))
+
+	sort.Float64s(all)
+	fmt.Printf("population: %d readings across %d nodes; root summary: %d entries, ε=%.3f\n\n",
+		len(all), len(perNode), res.Root.Size(), res.Root.Eps)
+	fmt.Println("quantile   estimate   exact")
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		exact := all[int(q*float64(len(all)-1))]
+		fmt.Printf("  %5.2f    %7.2f   %7.2f\n", q, res.Root.Quantile(q), exact)
+	}
+
+	total := 0
+	for _, w := range res.LoadWords {
+		total += w
+	}
+	fmt.Printf("\ntotal communication: %d words (%.1f words per node)\n",
+		total, float64(total)/float64(len(perNode)))
+	fmt.Printf("every answer is within ε·N = %.0f ranks of the true rank\n",
+		eps*float64(len(all)))
+}

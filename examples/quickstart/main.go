@@ -1,0 +1,44 @@
+// Quickstart: count the sensors of a lossy 600-node field with all four
+// aggregation schemes and watch Tributary-Delta combine tree exactness with
+// multi-path robustness.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	td "tributarydelta"
+)
+
+func main() {
+	const seed = 42
+	dep := td.NewSyntheticDeployment(seed, 600)
+	dep.SetGlobalLoss(0.15) // 15% message loss on every link
+
+	fmt.Printf("deployment: %d sensors, domination factor %.2f\n\n",
+		dep.Sensors(), dep.DominationFactor())
+	fmt.Println("scheme      answer   contributing  delta size   (truth =", dep.Sensors(), "sensors)")
+
+	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD, td.SchemeTDCoarse, td.SchemeTD} {
+		s, err := td.NewCountSession(dep, scheme, seed)
+		if err != nil {
+			panic(err)
+		}
+		// Let adaptive schemes settle, then average a few rounds.
+		s.Run(0, 250)
+		var answer, contrib float64
+		const rounds = 20
+		for e := 0; e < rounds; e++ {
+			r := s.RunEpoch(250 + e)
+			answer += r.Answer
+			contrib += float64(r.TrueContrib)
+		}
+		fmt.Printf("%-10s  %7.1f  %8.1f      %5d\n",
+			scheme, answer/rounds, contrib/rounds, s.DeltaSize())
+	}
+
+	fmt.Println("\nTAG undercounts badly (every lost message drops a subtree);")
+	fmt.Println("SD accounts for nearly everything but carries ~12% sketch error;")
+	fmt.Println("the TD schemes adapt the delta region to sit at the best of both.")
+}

@@ -1,0 +1,54 @@
+// Topology explorer: build rings and trees over a random field, compare the
+// paper's tree construction (restricted links + opportunistic parent
+// switching, §6.1.3) against the standard TAG tree, and see how the
+// domination factor (§6.1.2) governs the Min Total-load guarantee.
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/topo"
+)
+
+func main() {
+	const seed = 3
+	for _, density := range []float64{0.4, 0.8, 1.2, 1.6} {
+		n := int(density * 400)
+		g := topo.NewRandomField(seed, n, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
+		r := topo.BuildRings(g)
+
+		ours := topo.BuildRestrictedTree(g, r, seed)
+		topo.OpportunisticImprove(g, r, ours, seed, 8)
+		tag := topo.BuildTAGTree(g, seed)
+
+		dOurs := topo.TreeDominationFactor(ours, 0.05)
+		dTag := topo.TreeDominationFactor(tag, 0.05)
+
+		// Lemma 3's total-communication bound improves with d.
+		const eps = 0.001
+		boundOurs := freq.MinTotalLoad{Epsilon: eps, D: dOurs}.TotalCommBound(n)
+		boundTag := freq.MinTotalLoad{Epsilon: eps, D: maxf(dTag, 1.05)}.TotalCommBound(n)
+
+		fmt.Printf("density %.1f (%3d nodes, %d rings): our tree d=%.2f (bound %.2gM words), TAG d=%.2f (bound %.2gM words)\n",
+			density, n, r.Max, dOurs, boundOurs/1e6, dTag, boundTag/1e6)
+	}
+
+	// The Table 2 example, straight from the paper.
+	fmt.Println("\nTable 2 reproduction:")
+	te := []int{37, 10, 6, 1}
+	fmt.Printf("  Te: h(i)=%v H(i)=%.3f 2-dominating=%v factor=%.2f\n",
+		te, topo.HFractions(te), topo.IsDominating(te, 2), topo.DominationFactor(te, 0.05))
+	t2 := topo.RegularHist(2, 4)
+	fmt.Printf("  T2: h(i)=%v H(i)=%.3f 2-dominating=%v factor=%.2f\n",
+		t2, topo.HFractions(t2), topo.IsDominating(t2, 2), topo.DominationFactor(t2, 0.05))
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

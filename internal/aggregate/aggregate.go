@@ -1,0 +1,59 @@
+// Package aggregate defines the per-aggregate plumbing the Tributary-Delta
+// framework needs (§5): a tree algorithm over exact partial results, a
+// multi-path algorithm over duplicate-insensitive synopses (the SG/SF/SE
+// decomposition of synopsis diffusion, §2), and the conversion function that
+// turns a tree partial result into a synopsis at the tributary/delta
+// boundary. It provides the simple aggregates of §5 — Count, Sum, Min, Max,
+// Average — whose conversion functions are straightforward; Frequent Items
+// (§6) lives in internal/freq and Uniform Sample in internal/sample.
+package aggregate
+
+// Aggregate is the contract between an aggregate and the collection-round
+// runner. V is the type of one sensor's local reading, P the tree partial
+// result, S the multi-path synopsis, and R the query answer produced at the
+// base station.
+//
+// Semantics required by the framework:
+//
+//   - MergeTree must be associative and commutative over partials, so that
+//     a node may fold its children's partials into its own in any order.
+//   - Fuse must be associative, commutative and duplicate-insensitive
+//     (idempotent over repeated copies of the same synopsis) — the synopsis
+//     fusion property that makes multi-path routing safe (§2).
+//   - Convert(epoch, owner, p) must produce a synopsis that the multi-path
+//     scheme "equates with" p (§5): fusing it is equivalent to having the
+//     owner's subtree contribute directly. The owner identifies the unique
+//     tree sender, keeping conversion deterministic and hence idempotent
+//     under multi-path replication.
+//   - Implementations must not modify `in` arguments; they may mutate and
+//     return `acc`.
+type Aggregate[V, P, S, R any] interface {
+	// Name identifies the aggregate in reports.
+	Name() string
+	// Local evaluates the query locally (§2's local result).
+	Local(epoch, node int, v V) P
+	// MergeTree folds a child's partial into an accumulator partial.
+	MergeTree(acc, in P) P
+	// FinalizeTree post-processes a node's folded partial before it is
+	// transmitted. Most aggregates return p unchanged; the frequent items
+	// tree algorithm applies its precision-gradient decrement here
+	// (Algorithm 1, step 3), which must run exactly once per node after
+	// all children are folded.
+	FinalizeTree(epoch, node int, p P) P
+	// TreeWords is the message size of a tree partial, in 32-bit words.
+	TreeWords(p P) int
+	// Convert is the tree→multi-path conversion function.
+	Convert(epoch, owner int, p P) S
+	// Fuse is the synopsis fusion (SF) function.
+	Fuse(acc, in S) S
+	// SynopsisWords is the message size of a synopsis, in 32-bit words.
+	SynopsisWords(s S) int
+	// EvalBase produces the answer at the base station from the tree
+	// partials received directly from T children (kept exact — the source
+	// of the zero approximation error at low loss) and the synopses
+	// received from the delta region.
+	EvalBase(treeParts []P, syns []S) R
+	// Exact computes the ground-truth answer over all readings, for error
+	// measurement by experiments.
+	Exact(vs []V) R
+}

@@ -1,0 +1,201 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tributarydelta/internal/sample"
+	"tributarydelta/internal/sketch"
+)
+
+func TestCountBasics(t *testing.T) {
+	a := NewCount(1)
+	if a.Name() != "Count" {
+		t.Fatal("name")
+	}
+	p := a.Local(0, 5, struct{}{})
+	if p != 1 {
+		t.Fatalf("local count = %d", p)
+	}
+	p = a.MergeTree(p, a.Local(0, 6, struct{}{}))
+	p = a.FinalizeTree(0, 5, p)
+	if p != 2 {
+		t.Fatalf("merged count = %d", p)
+	}
+	if a.TreeWords(p) != 1 {
+		t.Fatal("tree words")
+	}
+	if got := a.EvalBase([]int64{3, 4}, nil); got != 7 {
+		t.Fatalf("EvalBase tree-only = %v, want exact 7", got)
+	}
+	if got := a.Exact(make([]struct{}, 9)); got != 9 {
+		t.Fatalf("Exact = %v", got)
+	}
+}
+
+func TestCountConversionAccuracy(t *testing.T) {
+	// Convert(c) must produce a synopsis the multi-path side equates with
+	// c (§5): fusing conversions of partials summing to C estimates ~C.
+	a := NewCount(2)
+	var syns []*sketch.Sketch
+	var want float64
+	for owner := 1; owner <= 20; owner++ {
+		c := int64(50 + owner)
+		want += float64(c)
+		syns = append(syns, a.Convert(0, owner, c))
+	}
+	got := a.EvalBase(nil, syns)
+	if math.Abs(got-want)/want > 0.4 {
+		t.Fatalf("converted Count estimate %v, want ~%v", got, want)
+	}
+}
+
+func TestCountConversionIdempotent(t *testing.T) {
+	// The same conversion fused twice (multi-path duplication) counts once.
+	a := NewCount(3)
+	s1 := a.Convert(0, 7, 1000)
+	s2 := a.Convert(0, 7, 1000)
+	fused := a.Fuse(s1.Clone(), s2)
+	if fused.Estimate() != s1.Estimate() {
+		t.Fatal("duplicate conversion changed the estimate")
+	}
+}
+
+func TestSumExactTreeSide(t *testing.T) {
+	a := NewSum(4)
+	p := a.Local(0, 1, 10.5)
+	p = a.MergeTree(p, 20.25)
+	p = a.FinalizeTree(0, 1, p)
+	if p != 30.75 {
+		t.Fatalf("tree sum = %v", p)
+	}
+	if got := a.EvalBase([]float64{1.5, 2.5}, nil); got != 4 {
+		t.Fatalf("tree-only EvalBase = %v, want exact 4", got)
+	}
+	if got := a.Exact([]float64{1, 2, 3}); got != 6 {
+		t.Fatalf("Exact = %v", got)
+	}
+}
+
+func TestSumScale(t *testing.T) {
+	// With a scale, fractional sums survive conversion approximately.
+	a := &Sum{Seed: 5, K: 40, Scale: 100}
+	syn := a.Convert(0, 1, 123.45)
+	got := a.EvalBase(nil, []*sketch.Sketch{syn})
+	if math.Abs(got-123.45)/123.45 > 0.5 {
+		t.Fatalf("scaled conversion estimate %v, want ~123.45", got)
+	}
+}
+
+func TestMinMaxExactness(t *testing.T) {
+	vals := []float64{5, -2, 17, 3.5}
+	var minA Min
+	var maxA Max
+	pMin, pMax := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		pMin = minA.MergeTree(pMin, v)
+		pMax = maxA.MergeTree(pMax, v)
+	}
+	if pMin != -2 || pMax != 17 {
+		t.Fatalf("min/max = %v/%v", pMin, pMax)
+	}
+	// Conversion is the identity; fusion stays exact.
+	if minA.Convert(0, 0, pMin) != pMin {
+		t.Fatal("Min conversion must be identity")
+	}
+	if got := minA.EvalBase([]float64{3}, []float64{-1, 4}); got != -1 {
+		t.Fatalf("Min EvalBase = %v", got)
+	}
+	if got := maxA.EvalBase([]float64{3}, []float64{-1, 4}); got != 4 {
+		t.Fatalf("Max EvalBase = %v", got)
+	}
+	if minA.Exact(vals) != -2 || maxA.Exact(vals) != 17 {
+		t.Fatal("Exact wrong")
+	}
+}
+
+func TestMinMaxFuseProperties(t *testing.T) {
+	var m Min
+	err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return m.Fuse(a, b) == m.Fuse(b, a) && m.Fuse(a, a) == a
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := NewAverage(6)
+	p := a.Local(0, 1, 10)
+	p = a.MergeTree(p, a.Local(0, 2, 20))
+	p = a.FinalizeTree(0, 1, p)
+	if p.Sum != 30 || p.Count != 2 {
+		t.Fatalf("avg partial = %+v", p)
+	}
+	if got := a.EvalBase([]AvgPartial{p}, nil); got != 15 {
+		t.Fatalf("tree-only average = %v, want exact 15", got)
+	}
+	if a.TreeWords(p) != 2 {
+		t.Fatal("avg tree words")
+	}
+	if got := a.Exact([]float64{10, 20, 30}); got != 20 {
+		t.Fatalf("Exact = %v", got)
+	}
+	if got := a.Exact(nil); got != 0 {
+		t.Fatalf("empty Exact = %v", got)
+	}
+	// Mixed evaluation: tree part exact + converted part approximate.
+	syn := a.Convert(0, 3, AvgPartial{Sum: 1000, Count: 10})
+	got := a.EvalBase([]AvgPartial{{Sum: 1000, Count: 10}}, []AvgSynopsis{syn})
+	if math.Abs(got-100)/100 > 0.5 {
+		t.Fatalf("mixed average %v, want ~100", got)
+	}
+}
+
+func TestAverageEmptyEval(t *testing.T) {
+	a := NewAverage(7)
+	if got := a.EvalBase(nil, nil); got != 0 {
+		t.Fatalf("empty EvalBase = %v", got)
+	}
+}
+
+func TestUniformSampleAggregate(t *testing.T) {
+	a := NewUniformSample(8, 10)
+	p := a.Local(0, 1, 5.0)
+	for node := 2; node <= 50; node++ {
+		p = a.MergeTree(p, a.Local(0, node, float64(node)))
+	}
+	p = a.FinalizeTree(0, 1, p)
+	if p.Len() != 10 {
+		t.Fatalf("sample size %d, want 10", p.Len())
+	}
+	// Conversion must not alias the original.
+	s := a.Convert(0, 1, p)
+	s = a.Fuse(s, a.Local(0, 99, 999))
+	if p.Len() != 10 {
+		t.Fatal("conversion aliased the tree partial")
+	}
+	_ = s
+}
+
+func TestUniformSampleEvalBase(t *testing.T) {
+	a := NewUniformSample(9, 5)
+	p1 := a.Local(0, 1, 1)
+	p2 := a.Local(0, 2, 2)
+	s1 := a.Convert(0, 1, p1)
+	out := a.EvalBase(nil, nil)
+	if out.Len() != 0 {
+		t.Fatal("empty eval should be empty")
+	}
+	out = a.EvalBase([]*sample.Sample{p2}, []*sample.Sample{s1})
+	if out.Len() != 2 {
+		t.Fatalf("eval sample size %d, want 2", out.Len())
+	}
+	if a.Exact([]float64{1, 2, 3}).Len() != 3 {
+		t.Fatal("Exact should hold the population")
+	}
+}

@@ -1,0 +1,103 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"tributarydelta/internal/xrand"
+)
+
+func TestMomentsExact(t *testing.T) {
+	a := NewMoments(1)
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	got := a.Exact(vs)
+	if got.Count != 8 {
+		t.Fatalf("count = %v", got.Count)
+	}
+	if math.Abs(got.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", got.Mean)
+	}
+	if math.Abs(got.Variance-4) > 1e-12 {
+		t.Fatalf("variance = %v, want 4", got.Variance)
+	}
+}
+
+func TestMomentsTreeSideExact(t *testing.T) {
+	a := NewMoments(2)
+	p := a.Local(0, 1, 3)
+	p = a.MergeTree(p, a.Local(0, 2, 5))
+	p = a.MergeTree(p, a.Local(0, 3, 7))
+	p = a.FinalizeTree(0, 1, p)
+	got := a.EvalBase([]MomentsPartial{p}, nil)
+	want := a.Exact([]float64{3, 5, 7})
+	if math.Abs(got.Mean-want.Mean) > 1e-12 || math.Abs(got.Variance-want.Variance) > 1e-12 {
+		t.Fatalf("tree-only moments %+v, want %+v", got, want)
+	}
+}
+
+func TestMomentsConversionApproximation(t *testing.T) {
+	// Converted synopses should land near the exact moments; judge the
+	// mean over a few epochs (each with its own hash space).
+	a := NewMoments(3)
+	src := xrand.NewSource(17)
+	vs := make([]float64, 200)
+	for i := range vs {
+		vs[i] = 40 + 20*src.Float64()
+	}
+	want := a.Exact(vs)
+	const epochs = 6
+	var meanErr, countErr float64
+	for e := 0; e < epochs; e++ {
+		var syns []MomentsSynopsis
+		for i, v := range vs {
+			syns = append(syns, a.Convert(e, i+1, a.Local(e, i+1, v)))
+		}
+		got := a.EvalBase(nil, syns)
+		meanErr += got.Mean/want.Mean - 1
+		countErr += got.Count/want.Count - 1
+	}
+	if m := math.Abs(meanErr / epochs); m > 0.35 {
+		t.Fatalf("mean relative error %v too large", m)
+	}
+	if c := math.Abs(countErr / epochs); c > 0.35 {
+		t.Fatalf("count relative error %v too large", c)
+	}
+}
+
+func TestMomentsClamp(t *testing.T) {
+	a := NewMoments(4)
+	p := a.Local(0, 1, -5)
+	if p.S1 != 0 {
+		t.Fatal("negative readings must clamp to 0")
+	}
+	p = a.Local(0, 1, 1e9)
+	if p.S1 != a.MaxValue {
+		t.Fatal("huge readings must clamp to MaxValue")
+	}
+}
+
+func TestMomentsEmpty(t *testing.T) {
+	a := NewMoments(5)
+	got := a.EvalBase(nil, nil)
+	if got.Count != 0 || got.Mean != 0 {
+		t.Fatalf("empty eval = %+v", got)
+	}
+	if v := a.Exact(nil); v.Count != 0 {
+		t.Fatal("empty exact")
+	}
+}
+
+func TestMomentsSkewness(t *testing.T) {
+	a := NewMoments(6)
+	// A right-skewed sample: many small, few large.
+	var vs []float64
+	for i := 0; i < 90; i++ {
+		vs = append(vs, 10)
+	}
+	for i := 0; i < 10; i++ {
+		vs = append(vs, 100)
+	}
+	if got := a.Exact(vs); got.Skewness <= 0 {
+		t.Fatalf("right-skewed data must have positive skewness, got %v", got.Skewness)
+	}
+}

@@ -1,0 +1,85 @@
+package aggregate
+
+import (
+	"tributarydelta/internal/sample"
+)
+
+// UniformSample adapts the bottom-k duplicate-insensitive sample of
+// internal/sample to the Aggregate interface. Because min-wise samples are
+// idempotent under merge, the same structure is both tree partial and
+// synopsis and Convert is (a copy-safe) identity — the paper lists Uniform
+// Sample among the aggregates with simple conversion functions and notes it
+// extends the framework to Quantiles and Statistical Moments (§5).
+type UniformSample struct {
+	Seed uint64
+	// SampleK is the bottom-k capacity.
+	SampleK int
+}
+
+// NewUniformSample returns a sampler keeping k readings.
+func NewUniformSample(seed uint64, k int) *UniformSample {
+	return &UniformSample{Seed: seed, SampleK: k}
+}
+
+// Name implements Aggregate.
+func (a *UniformSample) Name() string { return "UniformSample" }
+
+// Local implements Aggregate.
+func (a *UniformSample) Local(epoch, node int, v float64) *sample.Sample {
+	s := sample.New(a.SampleK)
+	s.Add(a.Seed, epoch, node, v)
+	return s
+}
+
+// MergeTree implements Aggregate.
+func (a *UniformSample) MergeTree(acc, in *sample.Sample) *sample.Sample {
+	acc.Merge(in)
+	return acc
+}
+
+// FinalizeTree implements Aggregate (no-op).
+func (a *UniformSample) FinalizeTree(_, _ int, p *sample.Sample) *sample.Sample { return p }
+
+// TreeWords implements Aggregate.
+func (a *UniformSample) TreeWords(p *sample.Sample) int { return p.Words() }
+
+// Convert implements Aggregate: identity up to copying (the synopsis must
+// not alias the tree partial, which its producer may keep).
+func (a *UniformSample) Convert(_, _ int, p *sample.Sample) *sample.Sample {
+	return p.Clone()
+}
+
+// Fuse implements Aggregate.
+func (a *UniformSample) Fuse(acc, in *sample.Sample) *sample.Sample {
+	acc.Merge(in)
+	return acc
+}
+
+// SynopsisWords implements Aggregate.
+func (a *UniformSample) SynopsisWords(s *sample.Sample) int { return s.Words() }
+
+// EvalBase implements Aggregate.
+func (a *UniformSample) EvalBase(treeParts []*sample.Sample, syns []*sample.Sample) *sample.Sample {
+	out := sample.New(a.SampleK)
+	for _, p := range treeParts {
+		out.Merge(p)
+	}
+	for _, s := range syns {
+		out.Merge(s)
+	}
+	return out
+}
+
+// Exact implements Aggregate: the "exact sample" is the whole population,
+// which experiments compare against via order statistics.
+func (a *UniformSample) Exact(vs []float64) *sample.Sample {
+	k := len(vs)
+	if k == 0 {
+		k = 1
+	}
+	out := sample.New(k)
+	for i, v := range vs {
+		out.Add(a.Seed, 0, i, v)
+	}
+	return out
+}

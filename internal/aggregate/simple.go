@@ -1,0 +1,352 @@
+package aggregate
+
+import (
+	"math"
+
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/xrand"
+)
+
+// DefaultSketchK is the paper's multi-path Count/Sum configuration: 40
+// 32-bit FM bitmaps, RLE-packed into one 48-byte TinyDB message, giving the
+// ~12% approximation error visible in Figure 2.
+const DefaultSketchK = 40
+
+// Sum aggregates non-negative numeric readings: exact float64 partial sums
+// in the tree, FM count sketches in the delta. Readings are scaled by Scale
+// and rounded before sketch insertion, so the multi-path side carries
+// integers (the FM domain); the tree side stays exact.
+type Sum struct {
+	// Seed namespaces the sketch hash space; combine with the run seed.
+	Seed uint64
+	// K is the number of FM bitmaps per synopsis.
+	K int
+	// Scale converts readings to sketch units (units of 1/Scale).
+	Scale float64
+}
+
+// NewSum returns a Sum aggregate with the paper's defaults.
+func NewSum(seed uint64) *Sum { return &Sum{Seed: seed, K: DefaultSketchK, Scale: 1} }
+
+// Name implements Aggregate.
+func (a *Sum) Name() string { return "Sum" }
+
+// Local implements Aggregate.
+func (a *Sum) Local(_, _ int, v float64) float64 { return v }
+
+// MergeTree implements Aggregate.
+func (a *Sum) MergeTree(acc, in float64) float64 { return acc + in }
+
+// FinalizeTree implements Aggregate (no-op).
+func (a *Sum) FinalizeTree(_, _ int, p float64) float64 { return p }
+
+// TreeWords implements Aggregate.
+func (a *Sum) TreeWords(float64) int { return 1 }
+
+// Convert implements Aggregate: a subtree sum p becomes round(p·Scale)
+// distinct sketch insertions owned by the converting sender, which is
+// exactly the synopsis the multi-path scheme equates with p.
+func (a *Sum) Convert(epoch, owner int, p float64) *sketch.Sketch {
+	s := sketch.New(a.K)
+	units := int64(math.Round(p * a.Scale))
+	s.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), units)
+	return s
+}
+
+// Fuse implements Aggregate.
+func (a *Sum) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
+	acc.Union(in)
+	return acc
+}
+
+// SynopsisWords implements Aggregate.
+func (a *Sum) SynopsisWords(*sketch.Sketch) int { return sketch.EncodedWords(a.K) }
+
+// EvalBase implements Aggregate.
+func (a *Sum) EvalBase(treeParts []float64, syns []*sketch.Sketch) float64 {
+	total := 0.0
+	for _, p := range treeParts {
+		total += p
+	}
+	if len(syns) > 0 {
+		u := syns[0].Clone()
+		for _, s := range syns[1:] {
+			u.Union(s)
+		}
+		total += u.Estimate() / a.Scale
+	}
+	return total
+}
+
+// Exact implements Aggregate.
+func (a *Sum) Exact(vs []float64) float64 {
+	t := 0.0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// Count counts contributing sensor nodes: the paper's running example
+// (Figures 2 and 5). It is Sum over the constant reading 1, with integer
+// tree partials — each node inserts itself once into the bit-vector
+// synopsis, as in Figure 3.
+type Count struct {
+	Seed uint64
+	K    int
+}
+
+// NewCount returns a Count aggregate with the paper's defaults.
+func NewCount(seed uint64) *Count { return &Count{Seed: seed, K: DefaultSketchK} }
+
+// Name implements Aggregate.
+func (a *Count) Name() string { return "Count" }
+
+// Local implements Aggregate.
+func (a *Count) Local(_, _ int, _ struct{}) int64 { return 1 }
+
+// MergeTree implements Aggregate.
+func (a *Count) MergeTree(acc, in int64) int64 { return acc + in }
+
+// FinalizeTree implements Aggregate (no-op).
+func (a *Count) FinalizeTree(_, _ int, p int64) int64 { return p }
+
+// TreeWords implements Aggregate.
+func (a *Count) TreeWords(int64) int { return 1 }
+
+// Convert implements Aggregate.
+func (a *Count) Convert(epoch, owner int, p int64) *sketch.Sketch {
+	s := sketch.New(a.K)
+	s.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), p)
+	return s
+}
+
+// Fuse implements Aggregate.
+func (a *Count) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
+	acc.Union(in)
+	return acc
+}
+
+// SynopsisWords implements Aggregate.
+func (a *Count) SynopsisWords(*sketch.Sketch) int { return sketch.EncodedWords(a.K) }
+
+// EvalBase implements Aggregate.
+func (a *Count) EvalBase(treeParts []int64, syns []*sketch.Sketch) float64 {
+	var exact int64
+	for _, p := range treeParts {
+		exact += p
+	}
+	total := float64(exact)
+	if len(syns) > 0 {
+		u := syns[0].Clone()
+		for _, s := range syns[1:] {
+			u.Union(s)
+		}
+		total += u.Estimate()
+	}
+	return total
+}
+
+// Exact implements Aggregate.
+func (a *Count) Exact(vs []struct{}) float64 { return float64(len(vs)) }
+
+// Min tracks the minimum reading. Min is idempotent, so the very same
+// float64 serves as tree partial and as duplicate-insensitive synopsis; the
+// conversion function is the identity and multi-path introduces no
+// approximation error (§5).
+type Min struct{}
+
+// Name implements Aggregate.
+func (Min) Name() string { return "Min" }
+
+// Local implements Aggregate.
+func (Min) Local(_, _ int, v float64) float64 { return v }
+
+// MergeTree implements Aggregate.
+func (Min) MergeTree(acc, in float64) float64 { return math.Min(acc, in) }
+
+// FinalizeTree implements Aggregate (no-op).
+func (Min) FinalizeTree(_, _ int, p float64) float64 { return p }
+
+// TreeWords implements Aggregate.
+func (Min) TreeWords(float64) int { return 1 }
+
+// Convert implements Aggregate.
+func (Min) Convert(_, _ int, p float64) float64 { return p }
+
+// Fuse implements Aggregate.
+func (Min) Fuse(acc, in float64) float64 { return math.Min(acc, in) }
+
+// SynopsisWords implements Aggregate.
+func (Min) SynopsisWords(float64) int { return 1 }
+
+// EvalBase implements Aggregate.
+func (Min) EvalBase(treeParts []float64, syns []float64) float64 {
+	m := math.Inf(1)
+	for _, p := range treeParts {
+		m = math.Min(m, p)
+	}
+	for _, s := range syns {
+		m = math.Min(m, s)
+	}
+	return m
+}
+
+// Exact implements Aggregate.
+func (Min) Exact(vs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range vs {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+// Max tracks the maximum reading; see Min.
+type Max struct{}
+
+// Name implements Aggregate.
+func (Max) Name() string { return "Max" }
+
+// Local implements Aggregate.
+func (Max) Local(_, _ int, v float64) float64 { return v }
+
+// MergeTree implements Aggregate.
+func (Max) MergeTree(acc, in float64) float64 { return math.Max(acc, in) }
+
+// FinalizeTree implements Aggregate (no-op).
+func (Max) FinalizeTree(_, _ int, p float64) float64 { return p }
+
+// TreeWords implements Aggregate.
+func (Max) TreeWords(float64) int { return 1 }
+
+// Convert implements Aggregate.
+func (Max) Convert(_, _ int, p float64) float64 { return p }
+
+// Fuse implements Aggregate.
+func (Max) Fuse(acc, in float64) float64 { return math.Max(acc, in) }
+
+// SynopsisWords implements Aggregate.
+func (Max) SynopsisWords(float64) int { return 1 }
+
+// EvalBase implements Aggregate.
+func (Max) EvalBase(treeParts []float64, syns []float64) float64 {
+	m := math.Inf(-1)
+	for _, p := range treeParts {
+		m = math.Max(m, p)
+	}
+	for _, s := range syns {
+		m = math.Max(m, s)
+	}
+	return m
+}
+
+// Exact implements Aggregate.
+func (Max) Exact(vs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vs {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// AvgPartial is the tree partial of Average: an exact (sum, count) pair.
+type AvgPartial struct {
+	Sum   float64
+	Count int64
+}
+
+// AvgSynopsis is the multi-path synopsis of Average: a Sum sketch and a
+// Count sketch fused independently.
+type AvgSynopsis struct {
+	Sum   *sketch.Sketch
+	Count *sketch.Sketch
+}
+
+// Average computes the mean reading as Sum/Count, both carried in one
+// message (§5 lists Average among the aggregates with simple conversions).
+type Average struct {
+	Seed  uint64
+	K     int
+	Scale float64
+}
+
+// NewAverage returns an Average aggregate with the paper's defaults. The
+// two sketches halve the bitmap budget each so the synopsis still fits one
+// TinyDB packet.
+func NewAverage(seed uint64) *Average {
+	return &Average{Seed: seed, K: DefaultSketchK / 2, Scale: 1}
+}
+
+// Name implements Aggregate.
+func (a *Average) Name() string { return "Average" }
+
+// Local implements Aggregate.
+func (a *Average) Local(_, _ int, v float64) AvgPartial {
+	return AvgPartial{Sum: v, Count: 1}
+}
+
+// MergeTree implements Aggregate.
+func (a *Average) MergeTree(acc, in AvgPartial) AvgPartial {
+	return AvgPartial{Sum: acc.Sum + in.Sum, Count: acc.Count + in.Count}
+}
+
+// FinalizeTree implements Aggregate (no-op).
+func (a *Average) FinalizeTree(_, _ int, p AvgPartial) AvgPartial { return p }
+
+// TreeWords implements Aggregate.
+func (a *Average) TreeWords(AvgPartial) int { return 2 }
+
+// Convert implements Aggregate.
+func (a *Average) Convert(epoch, owner int, p AvgPartial) AvgSynopsis {
+	seed := xrand.Hash(a.Seed, uint64(epoch))
+	syn := AvgSynopsis{Sum: sketch.New(a.K), Count: sketch.New(a.K)}
+	syn.Sum.AddCount(seed, uint64(owner), int64(math.Round(p.Sum*a.Scale)))
+	syn.Count.AddCount(xrand.Combine(seed, 0xC07), uint64(owner), p.Count)
+	return syn
+}
+
+// Fuse implements Aggregate.
+func (a *Average) Fuse(acc, in AvgSynopsis) AvgSynopsis {
+	acc.Sum.Union(in.Sum)
+	acc.Count.Union(in.Count)
+	return acc
+}
+
+// SynopsisWords implements Aggregate.
+func (a *Average) SynopsisWords(AvgSynopsis) int { return 2 * sketch.EncodedWords(a.K) }
+
+// EvalBase implements Aggregate.
+func (a *Average) EvalBase(treeParts []AvgPartial, syns []AvgSynopsis) float64 {
+	var sum float64
+	var count float64
+	for _, p := range treeParts {
+		sum += p.Sum
+		count += float64(p.Count)
+	}
+	if len(syns) > 0 {
+		us := syns[0].Sum.Clone()
+		uc := syns[0].Count.Clone()
+		for _, s := range syns[1:] {
+			us.Union(s.Sum)
+			uc.Union(s.Count)
+		}
+		sum += us.Estimate() / a.Scale
+		count += uc.Estimate()
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / count
+}
+
+// Exact implements Aggregate.
+func (a *Average) Exact(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, v := range vs {
+		t += v
+	}
+	return t / float64(len(vs))
+}

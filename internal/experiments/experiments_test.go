@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete verifies every paper artifact has a runner.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig2", "fig4", "fig5a", "fig5b",
+		"fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "labdata"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.Add("1", "2")
+	tb.Addf(3.14159, 7)
+	tb.Note("note %d", 1)
+	out := tb.String()
+	for _, want := range []string{"== x — t ==", "a", "bb", "3.142", "# note 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// parseF reads a float cell.
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// TestFig2Shape runs the quick Figure 2 and asserts the paper's qualitative
+// claims: tree exact at zero loss, multi-path robust, TD no worse than ~1.5×
+// the best of both anywhere and strictly best at zero loss.
+func TestFig2Shape(t *testing.T) {
+	tb := Fig2(Options{Seed: 1, Quick: true})
+	for i, row := range tb.Rows {
+		loss := parseF(t, row[0])
+		tree, multi, td := parseF(t, row[1]), parseF(t, row[2]), parseF(t, row[3])
+		if loss == 0 {
+			if tree != 0 {
+				t.Fatalf("tree must be exact at zero loss, got %v", tree)
+			}
+			if td > 0.02 {
+				t.Fatalf("TD must be ~exact at zero loss, got %v", td)
+			}
+			if multi < 0.03 {
+				t.Fatalf("multi-path should show approximation error at zero loss, got %v", multi)
+			}
+		}
+		if loss >= 0.2 && tree < multi {
+			t.Fatalf("row %d: tree beat multi-path at loss %v", i, loss)
+		}
+		best := tree
+		if multi < best {
+			best = multi
+		}
+		if td > 2.2*best+0.02 {
+			t.Fatalf("row %d: TD %v far above best %v (quick mode tolerance)", i, td, best)
+		}
+	}
+}
+
+// TestTable2Content pins the Table 2 reproduction.
+func TestTable2Content(t *testing.T) {
+	tb := Table2(Options{})
+	if len(tb.Rows) != 2 {
+		t.Fatal("Table 2 needs two rows")
+	}
+	te := tb.Rows[0]
+	if te[1] != "37" || te[2] != "10" || te[3] != "6" || te[4] != "1" {
+		t.Fatalf("Te histogram wrong: %v", te)
+	}
+	if te[9] != "true" {
+		t.Fatal("Te must be 2-dominating")
+	}
+	t2 := tb.Rows[1]
+	if t2[1] != "8" || t2[2] != "4" || t2[3] != "2" || t2[4] != "1" {
+		t.Fatalf("T2 histogram wrong: %v", t2)
+	}
+}
+
+// TestFig7aShape asserts our construction dominates TAG trees.
+func TestFig7aShape(t *testing.T) {
+	tb := Fig7a(Options{Seed: 1, Quick: true})
+	for _, row := range tb.Rows {
+		ours, tag := parseF(t, row[1]), parseF(t, row[2])
+		if ours < tag {
+			t.Fatalf("our construction (%v) below TAG (%v) at density %s", ours, tag, row[0])
+		}
+	}
+}
+
+// TestFig8Shape asserts the load ordering of the frequent items algorithms.
+func TestFig8Shape(t *testing.T) {
+	tb := Fig8(Options{Seed: 1, Quick: true})
+	byAlgo := map[string]map[string]float64{}
+	for _, row := range tb.Rows {
+		ds, algo := row[0], row[1]
+		if byAlgo[ds] == nil {
+			byAlgo[ds] = map[string]float64{}
+		}
+		byAlgo[ds][algo] = parseF(t, row[2])
+	}
+	for ds, loads := range byAlgo {
+		if loads["Quantiles-based"] < 2*loads["Min Total-load"] {
+			t.Fatalf("%s: quantiles baseline (%v) should be far above Min Total-load (%v)",
+				ds, loads["Quantiles-based"], loads["Min Total-load"])
+		}
+		if loads["Hybrid"] > loads["Min Max-load"]+1 && loads["Hybrid"] > loads["Min Total-load"]+1 {
+			t.Fatalf("%s: hybrid (%v) above both constituents", ds, loads["Hybrid"])
+		}
+	}
+}
+
+// TestFig4DeltaLocalises asserts the TD delta concentrates in the failure
+// region.
+func TestFig4DeltaLocalises(t *testing.T) {
+	tb := Fig4(Options{Seed: 1, Quick: true})
+	for _, row := range tb.Rows {
+		in, out := parseF(t, row[2]), parseF(t, row[3])
+		// The failure quadrant is 1/4 of the field; the delta should be
+		// biased into it relative to a uniform spread.
+		if in == 0 {
+			t.Fatalf("no delta nodes in the failure region: %v", row)
+		}
+		if out > 6*in {
+			t.Fatalf("delta not localised: %v in region, %v outside", in, out)
+		}
+	}
+}
+
+// TestLabDataOrdering asserts the §7.3 scheme ordering on the lab scenario.
+func TestLabDataOrdering(t *testing.T) {
+	tb := LabData(Options{Seed: 1, Quick: true})
+	vals := map[string]float64{}
+	for _, row := range tb.Rows {
+		vals[row[0]] = parseF(t, row[1])
+	}
+	if vals["TAG"] < vals["SD"] {
+		t.Fatalf("TAG (%v) should be worse than SD (%v) on the lab scenario", vals["TAG"], vals["SD"])
+	}
+	if vals["TD"] > vals["TAG"] || vals["TD-Coarse"] > vals["TAG"] {
+		t.Fatal("TD schemes should beat TAG on the lab scenario")
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is an experiment entry point.
+type Runner func(Options) *Table
+
+// Registry maps experiment ids to their runners — one per table and figure
+// of the paper (see DESIGN.md §3).
+var Registry = map[string]Runner{
+	"table1":  Table1,
+	"table2":  Table2,
+	"fig2":    Fig2,
+	"fig4":    Fig4,
+	"fig5a":   Fig5a,
+	"fig5b":   Fig5b,
+	"fig6":    Fig6,
+	"fig7a":   Fig7a,
+	"fig7b":   Fig7b,
+	"fig8":    Fig8,
+	"fig9a":   Fig9a,
+	"fig9b":   Fig9b,
+	"labdata": LabData,
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes a registered experiment.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(o), nil
+}

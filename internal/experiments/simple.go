@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/stats"
+	"tributarydelta/internal/workload"
+)
+
+// allModes are the four schemes compared throughout §7.
+var allModes = []runner.Mode{runner.ModeTree, runner.ModeMultipath, runner.ModeTDCoarse, runner.ModeTD}
+
+// sumRun executes one Sum run and returns the per-epoch answers and truths
+// plus the finished runner (for energy stats).
+func sumRun(sc *workload.Scenario, mode runner.Mode, model network.Model, seed uint64, epochs, warmup int) ([]float64, []float64, *runner.Runner[float64, float64, *sketch.Sketch, float64]) {
+	res, truth, r := sumRunFull(sc, mode, model, seed, epochs, warmup)
+	answers := make([]float64, len(res))
+	for i, e := range res {
+		answers[i] = e.Answer
+	}
+	return answers, truth, r
+}
+
+// sumRunFull is sumRun returning the full epoch results.
+func sumRunFull(sc *workload.Scenario, mode runner.Mode, model network.Model, seed uint64, epochs, warmup int) ([]runner.EpochResult[float64], []float64, *runner.Runner[float64, float64, *sketch.Sketch, float64]) {
+	tree := sc.Tree
+	if mode == runner.ModeTree {
+		tree = sc.TAGTree
+	}
+	agg := aggregate.NewSum(seed)
+	value := sc.UniformReading(100)
+	r, err := runner.New(runner.Config[float64, float64, *sketch.Sketch, float64]{
+		Graph: sc.Graph, Rings: sc.Rings, Tree: tree,
+		Net:   network.New(sc.Graph, model, seed),
+		Agg:   agg,
+		Value: value,
+		Mode:  mode,
+		Seed:  seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	// The paper begins data collection only after the aggregation topology
+	// becomes stable (§7.1): run a warm-up before recording.
+	for e := 0; e < warmup; e++ {
+		r.RunEpoch(e)
+	}
+	r.ResetStats()
+	results := make([]runner.EpochResult[float64], epochs)
+	truth := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		results[e] = r.RunEpoch(warmup + e)
+		truth[e] = r.ExactAnswer(warmup + e)
+	}
+	return results, truth, r
+}
+
+// countRun executes one Count run.
+func countRun(sc *workload.Scenario, mode runner.Mode, model network.Model, seed uint64, epochs, warmup int) ([]float64, []float64, *runner.Runner[struct{}, int64, *sketch.Sketch, float64]) {
+	res, truth, r := countRunFull(sc, mode, model, seed, epochs, warmup)
+	answers := make([]float64, len(res))
+	for i, e := range res {
+		answers[i] = e.Answer
+	}
+	return answers, truth, r
+}
+
+// countRunFull is countRun returning the full epoch results.
+func countRunFull(sc *workload.Scenario, mode runner.Mode, model network.Model, seed uint64, epochs, warmup int) ([]runner.EpochResult[float64], []float64, *runner.Runner[struct{}, int64, *sketch.Sketch, float64]) {
+	tree := sc.Tree
+	if mode == runner.ModeTree {
+		tree = sc.TAGTree
+	}
+	r, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+		Graph: sc.Graph, Rings: sc.Rings, Tree: tree,
+		Net:   network.New(sc.Graph, model, seed),
+		Agg:   aggregate.NewCount(seed),
+		Value: func(int, int) struct{} { return struct{}{} },
+		Mode:  mode,
+		Seed:  seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	for e := 0; e < warmup; e++ {
+		r.RunEpoch(e)
+	}
+	r.ResetStats()
+	results := make([]runner.EpochResult[float64], epochs)
+	truth := make([]float64, epochs)
+	for e := 0; e < epochs; e++ {
+		results[e] = r.RunEpoch(warmup + e)
+		truth[e] = r.ExactAnswer(warmup + e)
+	}
+	return results, truth, r
+}
+
+// Fig2 reproduces Figure 2: RMS error of a Count query at loss rates
+// 0–0.4 for Tree (TAG), Multi-path (SD) and Tributary-Delta (TD).
+func Fig2(o Options) *Table {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "RMS error of Count vs message loss rate (Figure 2)",
+		Header: []string{"loss", "Tree", "Multi-path", "Tributary-Delta"},
+	}
+	sc := workload.NewSynthetic(o.seed(), pick(o, 600, 200))
+	epochs := pick(o, 100, 20)
+	warmup := pick(o, 200, 60)
+	step := pick(o, 0.05, 0.1)
+	for p := 0.0; p <= 0.4+1e-9; p += step {
+		model := network.Global{P: p}
+		row := []string{fmt.Sprintf("%.2f", p)}
+		for _, mode := range []runner.Mode{runner.ModeTree, runner.ModeMultipath, runner.ModeTD} {
+			ans, truth, _ := countRun(sc, mode, model, o.seed(), epochs, warmup)
+			row = append(row, fmt.Sprintf("%.4f", stats.RelativeRMS(ans, truth)))
+		}
+		t.Add(row...)
+	}
+	t.Note("Synthetic %d nodes, Count, %d epochs; paper: tree best only below ~5%% loss, TD at or below the best of both everywhere", sc.Graph.Sensors(), epochs)
+	return t
+}
+
+// Fig5a reproduces Figure 5(a): RMS error under Global(p), p ∈ [0,1], for
+// TAG, SD, TD-Coarse and TD (Sum aggregate).
+func Fig5a(o Options) *Table {
+	t := &Table{
+		ID:     "fig5a",
+		Title:  "RMS error vs Global(p) loss (Figure 5a)",
+		Header: []string{"loss", "TAG", "SD", "TD-Coarse", "TD"},
+	}
+	sc := workload.NewSynthetic(o.seed(), pick(o, 600, 200))
+	epochs := pick(o, 100, 20)
+	warmup := pick(o, 200, 60)
+	step := pick(o, 0.1, 0.25)
+	for p := 0.0; p <= 1.0+1e-9; p += step {
+		model := network.Global{P: p}
+		row := []string{fmt.Sprintf("%.2f", p)}
+		for _, mode := range allModes {
+			ans, truth, _ := sumRun(sc, mode, model, o.seed(), epochs, warmup)
+			row = append(row, fmt.Sprintf("%.4f", stats.RelativeRMS(ans, truth)))
+		}
+		t.Add(row...)
+	}
+	t.Note("Synthetic %d nodes, Sum, %d epochs, adaptation threshold 90%%", sc.Graph.Sensors(), epochs)
+	return t
+}
+
+// Fig5b reproduces Figure 5(b): RMS error under Regional(p,0.05) — the
+// failure region is the {(0,0),(10,10)} quadrant.
+func Fig5b(o Options) *Table {
+	t := &Table{
+		ID:     "fig5b",
+		Title:  "RMS error vs Regional(p,0.05) loss (Figure 5b)",
+		Header: []string{"loss", "TAG", "SD", "TD-Coarse", "TD"},
+	}
+	sc := workload.NewSynthetic(o.seed(), pick(o, 600, 200))
+	epochs := pick(o, 100, 20)
+	warmup := pick(o, 200, 60)
+	step := pick(o, 0.1, 0.25)
+	for p := 0.0; p <= 1.0+1e-9; p += step {
+		model := network.Regional{
+			Region: network.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10},
+			P1:     p, P2: 0.05, Pos: sc.Graph.Pos,
+		}
+		row := []string{fmt.Sprintf("%.2f", p)}
+		for _, mode := range allModes {
+			ans, truth, _ := sumRun(sc, mode, model, o.seed(), epochs, warmup)
+			row = append(row, fmt.Sprintf("%.4f", stats.RelativeRMS(ans, truth)))
+		}
+		t.Add(row...)
+	}
+	t.Note("failure region {(0,0),(10,10)}; TD should beat TD-Coarse by localising the delta (cf. Figure 4)")
+	return t
+}
+
+// Fig6 reproduces Figure 6: relative error timelines through the dynamic
+// scenario Global(0) → Regional(0.3,0)@100 → Global(0.3)@200 → Global(0)@300.
+func Fig6(o Options) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Relative error timeline under changing failure models (Figure 6)",
+		Header: []string{"epoch", "TAG", "SD", "Best(TAG,SD)", "TD-Coarse", "TD"},
+	}
+	sc := workload.NewSynthetic(o.seed(), pick(o, 600, 200))
+	epochs := pick(o, 400, 80)
+	q := epochs / 4
+	model := network.Timeline{Phases: []network.Phase{
+		{Until: q, Model: network.Global{P: 0}},
+		{Until: 2 * q, Model: network.Regional{
+			Region: network.Rect{X0: 0, Y0: 0, X1: 10, Y1: 10},
+			P1:     0.3, P2: 0, Pos: sc.Graph.Pos}},
+		{Until: 3 * q, Model: network.Global{P: 0.3}},
+		{Until: epochs, Model: network.Global{P: 0}},
+	}}
+	series := make(map[runner.Mode][]float64)
+	for _, mode := range allModes {
+		ans, truth, _ := sumRun(sc, mode, model, o.seed(), epochs, 0)
+		series[mode] = stats.Smooth(stats.RelativeErrors(ans, truth), pick(o, 9, 3))
+	}
+	stride := pick(o, 20, 10)
+	for e := 0; e < epochs; e += stride {
+		tag, sd := series[runner.ModeTree][e], series[runner.ModeMultipath][e]
+		t.Add(
+			fmt.Sprintf("%d", e),
+			fmt.Sprintf("%.4f", tag),
+			fmt.Sprintf("%.4f", sd),
+			fmt.Sprintf("%.4f", math.Min(tag, sd)),
+			fmt.Sprintf("%.4f", series[runner.ModeTDCoarse][e]),
+			fmt.Sprintf("%.4f", series[runner.ModeTD][e]),
+		)
+	}
+	t.Note("failure model switches at epochs %d (Regional 0.3), %d (Global 0.3), %d (back to lossless); errors smoothed over %d epochs", q, 2*q, 3*q, pick(o, 9, 3))
+	return t
+}
+
+// LabData reproduces the §7.3 real-scenario numbers: RMS error of Sum on the
+// lab deployment (paper: TAG 0.5, SD 0.12, TD-Coarse and TD 0.1).
+func LabData(o Options) *Table {
+	t := &Table{
+		ID:     "labdata",
+		Title:  "RMS error of Sum on the LabData scenario (§7.3)",
+		Header: []string{"scheme", "RMS error", "paper"},
+	}
+	sc := workload.NewLab(o.seed())
+	model := sc.LabLossModel()
+	epochs := pick(o, 100, 25)
+	paper := map[runner.Mode]string{
+		runner.ModeTree: "0.50", runner.ModeMultipath: "0.12",
+		runner.ModeTDCoarse: "0.10", runner.ModeTD: "0.10",
+	}
+	for _, mode := range allModes {
+		answers := make([]float64, epochs)
+		truth := make([]float64, epochs)
+		tree := sc.Tree
+		if mode == runner.ModeTree {
+			tree = sc.TAGTree
+		}
+		r, err := runner.New(runner.Config[float64, float64, *sketch.Sketch, float64]{
+			Graph: sc.Graph, Rings: sc.Rings, Tree: tree,
+			Net:   network.New(sc.Graph, model, o.seed()),
+			Agg:   aggregate.NewSum(o.seed()),
+			Value: sc.Light,
+			Mode:  mode,
+			Seed:  o.seed(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		warmup := pick(o, 150, 30)
+		for e := 0; e < warmup; e++ {
+			r.RunEpoch(e)
+		}
+		for e := 0; e < epochs; e++ {
+			answers[e] = r.RunEpoch(warmup + e).Answer
+			truth[e] = r.ExactAnswer(warmup + e)
+		}
+		t.Add(mode.String(), fmt.Sprintf("%.4f", stats.RelativeRMS(answers, truth)), paper[mode])
+	}
+	t.Note("54-sensor lab substitute, distance-derived link loss, diurnal light readings, %d epochs", epochs)
+	return t
+}

@@ -1,0 +1,189 @@
+package freq
+
+import (
+	"sort"
+
+	"tributarydelta/internal/topo"
+)
+
+// Result is the base station's frequent items answer: per-item frequency
+// estimates and the estimated total occurrence count.
+type Result struct {
+	Estimates map[Item]float64
+	NEst      float64
+}
+
+// Frequent reports items with estimate > (support−eps)·N̂, the paper's §6
+// reporting rule (§7.4.3 uses it with the estimated total to compensate for
+// undercounting in the tree part).
+func (r Result) Frequent(support, eps float64) []Item {
+	thresh := (support - eps) * r.NEst
+	var out []Item
+	for u, v := range r.Estimates {
+		if v > thresh {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Agg is the Tributary-Delta frequent items aggregate (§6.3): Algorithm 1
+// with a precision gradient in the tributaries (budget εa), the §6.2 multi-
+// path algorithm in the delta (budget εb), and ConvertSummary at the
+// boundary; the end-to-end error is at most εa + εb.
+type Agg struct {
+	// Gradient drives the tree side; its total tolerance is εa.
+	Gradient Gradient
+	// EpsTree is εa (the Gradient's total budget), used at the base station
+	// when finalizing directly received tree partials.
+	EpsTree float64
+	// MP configures the multi-path side (εb and the ⊕ operator).
+	MP Params
+	// heights indexes the precision gradient per node.
+	heights []int
+}
+
+// NewAgg assembles the Tributary-Delta frequent items aggregate over a
+// concrete tree (heights drive the gradient).
+func NewAgg(tree *topo.Tree, g Gradient, epsTree float64, mp Params) *Agg {
+	return &Agg{Gradient: g, EpsTree: epsTree, MP: mp, heights: tree.Heights()}
+}
+
+// Name implements aggregate.Aggregate.
+func (a *Agg) Name() string { return "FrequentItems" }
+
+// Local implements aggregate.Aggregate.
+func (a *Agg) Local(_, _ int, items []Item) *Summary {
+	return NewLocalSummary(items)
+}
+
+// MergeTree implements aggregate.Aggregate (steps 1–2 of Algorithm 1).
+func (a *Agg) MergeTree(acc, in *Summary) *Summary {
+	acc.Merge(in)
+	return acc
+}
+
+// FinalizeTree implements aggregate.Aggregate (step 3 of Algorithm 1 at the
+// node's height).
+func (a *Agg) FinalizeTree(_, node int, p *Summary) *Summary {
+	p.Finalize(a.Gradient.Eps(a.heights[node]))
+	return p
+}
+
+// TreeWords implements aggregate.Aggregate.
+func (a *Agg) TreeWords(p *Summary) int { return p.Words() }
+
+// Convert implements aggregate.Aggregate (the §6.3 conversion function).
+func (a *Agg) Convert(epoch, owner int, p *Summary) *Synopsis {
+	return ConvertSummary(p, epoch, owner, a.MP)
+}
+
+// Fuse implements aggregate.Aggregate (Algorithm 2 under the hood).
+func (a *Agg) Fuse(acc, in *Synopsis) *Synopsis {
+	acc.Fuse(in, a.MP)
+	return acc
+}
+
+// SynopsisWords implements aggregate.Aggregate.
+func (a *Agg) SynopsisWords(s *Synopsis) int { return s.Words(a.MP) }
+
+// EvalBase implements aggregate.Aggregate: directly received tree partials
+// are merged and finalized exactly (base station as Algorithm 1 root); the
+// delta's synopses are evaluated with SE; estimates add per item.
+func (a *Agg) EvalBase(treeParts []*Summary, syns []*Synopsis) Result {
+	res := Result{Estimates: make(map[Item]float64)}
+	if len(treeParts) > 0 {
+		root := treeParts[0].Clone()
+		for _, p := range treeParts[1:] {
+			root.Merge(p)
+		}
+		root.Finalize(a.EpsTree)
+		for u, v := range root.Counts {
+			res.Estimates[u] += v
+		}
+		res.NEst += float64(root.N)
+	}
+	if len(syns) > 0 {
+		all := NewSynopsis()
+		for _, s := range syns {
+			all.Fuse(s, a.MP)
+		}
+		est, n := all.Evaluate(a.MP)
+		for u, v := range est {
+			res.Estimates[u] += v
+		}
+		res.NEst += n
+	}
+	return res
+}
+
+// Exact implements aggregate.Aggregate: ground-truth counts.
+func (a *Agg) Exact(vs [][]Item) Result {
+	res := Result{Estimates: make(map[Item]float64)}
+	for _, items := range vs {
+		for _, u := range items {
+			res.Estimates[u]++
+			res.NEst++
+		}
+	}
+	return res
+}
+
+// TrueFrequent returns the items whose exact frequency is at least
+// support·N — the ground truth against which false negatives/positives are
+// measured (§7.4.3).
+func TrueFrequent(vs [][]Item, support float64) []Item {
+	counts := make(map[Item]int64)
+	var n int64
+	for _, items := range vs {
+		for _, u := range items {
+			counts[u]++
+			n++
+		}
+	}
+	thresh := support * float64(n)
+	var out []Item
+	for u, c := range counts {
+		if float64(c) >= thresh {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FalseRates compares reported frequent items against ground truth and
+// returns the false negative and false positive fractions. The false
+// negative rate is the fraction of truly frequent items missing from the
+// report; the false positive rate is the fraction of reported items that
+// are not truly frequent.
+func FalseRates(reported, truth []Item) (fn, fp float64) {
+	rep := make(map[Item]bool, len(reported))
+	for _, u := range reported {
+		rep[u] = true
+	}
+	tru := make(map[Item]bool, len(truth))
+	for _, u := range truth {
+		tru[u] = true
+	}
+	if len(truth) > 0 {
+		missing := 0
+		for _, u := range truth {
+			if !rep[u] {
+				missing++
+			}
+		}
+		fn = float64(missing) / float64(len(truth))
+	}
+	if len(reported) > 0 {
+		wrong := 0
+		for _, u := range reported {
+			if !tru[u] {
+				wrong++
+			}
+		}
+		fp = float64(wrong) / float64(len(reported))
+	}
+	return fn, fp
+}

@@ -1,0 +1,277 @@
+package freq
+
+import (
+	"math"
+	"sort"
+
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/xrand"
+)
+
+// Params configures the multi-path frequent items algorithm (§6.2).
+type Params struct {
+	// Seed namespaces all sketch hashing; combine with the run seed.
+	Seed uint64
+	// Epsilon is the multi-path error tolerance (εb in §6.3).
+	Epsilon float64
+	// Eta is the thresholding slack of Algorithm 2 (η > 1): larger η keeps
+	// more items, tolerating the ⊕ operator's inaccuracy.
+	Eta float64
+	// LogN is log₂ of (an upper bound on) the total number of item
+	// occurrences N, which nodes are assumed to know (as in §6.2).
+	LogN float64
+	// KItem is the number of FM bitmaps per item-count sketch; the relative
+	// error εc of ⊕ is about 0.78/√KItem (size ∝ 1/εc², §6.2).
+	KItem int
+	// KTotal is the number of FM bitmaps of the ñ (total count) sketch.
+	KTotal int
+}
+
+// DefaultParams returns the configuration used by the experiments: η = 1.5,
+// 8-bitmap item sketches (εc ≈ 0.28, the low-overhead best-effort operator
+// of [7], as the paper's evaluation uses) and a 16-bitmap total sketch.
+func DefaultParams(seed uint64, epsilon float64, logN float64) Params {
+	return Params{Seed: seed, Epsilon: epsilon, Eta: 1.5, LogN: logN, KItem: 8, KTotal: 16}
+}
+
+func (p Params) itemSeed(epoch int, u Item) uint64 {
+	return xrand.Hash(p.Seed, 0x17E6, uint64(epoch), uint64(u))
+}
+
+func (p Params) totalSeed(epoch int) uint64 {
+	return xrand.Hash(p.Seed, 0x707A1, uint64(epoch))
+}
+
+// ClassSynopsis is a class-i synopsis: i is (the floor of the logarithm of)
+// the approximate number of item occurrences it represents. Error tolerance
+// scales with the class, and only same-class synopses combine, so a synopsis
+// never grows far beyond 1/(class-threshold) items (§6.2).
+type ClassSynopsis struct {
+	Class int
+	// NTotal is the duplicate-insensitive count ñ of occurrences covered.
+	NTotal *sketch.Sketch
+	// ItemSketches maps each kept item to its ⊕-count sketch.
+	ItemSketches map[Item]*sketch.Sketch
+}
+
+func newClassSynopsis(class int, p Params) *ClassSynopsis {
+	return &ClassSynopsis{
+		Class:        class,
+		NTotal:       sketch.New(p.KTotal),
+		ItemSketches: make(map[Item]*sketch.Sketch),
+	}
+}
+
+func (cs *ClassSynopsis) clone() *ClassSynopsis {
+	c := &ClassSynopsis{
+		Class:        cs.Class,
+		NTotal:       cs.NTotal.Clone(),
+		ItemSketches: make(map[Item]*sketch.Sketch, len(cs.ItemSketches)),
+	}
+	for u, sk := range cs.ItemSketches {
+		c.ItemSketches[u] = sk.Clone()
+	}
+	return c
+}
+
+// words is the message size: one word of header plus the ñ sketch plus one
+// item id word and one count sketch per item.
+func (cs *ClassSynopsis) words(p Params) int {
+	return 1 + sketch.EncodedWords(p.KTotal) +
+		len(cs.ItemSketches)*(1+sketch.EncodedWords(p.KItem))
+}
+
+// Synopsis is a multi-path partial result: at most one class synopsis per
+// class (§6.2's synopsis fusion invariant).
+type Synopsis struct {
+	ByClass map[int]*ClassSynopsis
+}
+
+// NewSynopsis returns an empty synopsis.
+func NewSynopsis() *Synopsis { return &Synopsis{ByClass: make(map[int]*ClassSynopsis)} }
+
+// Generate is the synopsis generation (SG) function of §6.2: count local
+// item frequencies, discard items with frequency at most i·n′·ε/log N where
+// n′ is the node's total occurrences and i = ⌊log n′⌋, and build a class-i
+// synopsis of ⊕-count sketches. The epoch namespaces hashes so streams of
+// different rounds never collide; owner identifies the generating node for
+// duplicate-insensitive crediting.
+func Generate(items []Item, epoch, owner int, p Params) *Synopsis {
+	out := NewSynopsis()
+	n := int64(len(items))
+	if n == 0 {
+		return out
+	}
+	counts := make(map[Item]int64)
+	for _, u := range items {
+		counts[u]++
+	}
+	class := int(math.Floor(math.Log2(float64(n))))
+	thresh := float64(class) * float64(n) * p.Epsilon / p.LogN
+	cs := newClassSynopsis(class, p)
+	cs.NTotal.AddCount(p.totalSeed(epoch), uint64(owner), n)
+	for u, c := range counts {
+		if float64(c) <= thresh {
+			continue // pruned at generation (§6.2 SG)
+		}
+		sk := sketch.New(p.KItem)
+		sk.AddCount(p.itemSeed(epoch, u), uint64(owner), c)
+		cs.ItemSketches[u] = sk
+	}
+	out.ByClass[class] = cs
+	return out
+}
+
+// fuseSame implements Algorithm 2 on an owned accumulator and a read-only
+// input of the same class: ⊕ the totals and the per-item counts; when the
+// fused ñ exceeds 2^{i+1}, promote the class and drop items with
+// ε·ñ/log N ≥ η·c̃(u).
+func fuseSame(dst, src *ClassSynopsis, p Params) {
+	dst.NTotal.Union(src.NTotal)
+	for u, sk := range src.ItemSketches {
+		if own, ok := dst.ItemSketches[u]; ok {
+			own.Union(sk)
+		} else {
+			dst.ItemSketches[u] = sk.Clone()
+		}
+	}
+	nEst := dst.NTotal.Estimate()
+	if nEst > math.Pow(2, float64(dst.Class+1)) {
+		dst.Class++
+		cut := p.Epsilon * nEst / (p.Eta * p.LogN)
+		for u, sk := range dst.ItemSketches {
+			if sk.Estimate() <= cut {
+				delete(dst.ItemSketches, u)
+			}
+		}
+	}
+}
+
+// Fuse folds another synopsis into s (the SF function): class synopses are
+// combined pairwise smallest class first, cascading promotions until at most
+// one synopsis per class remains. The input is never modified; the order of
+// class processing is fixed (ascending) so results are deterministic.
+func (s *Synopsis) Fuse(in *Synopsis, p Params) {
+	classes := make([]int, 0, len(in.ByClass))
+	for c := range in.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		var pending *ClassSynopsis
+		existing, ok := s.ByClass[c]
+		if !ok {
+			s.ByClass[c] = in.ByClass[c].clone()
+			continue
+		}
+		delete(s.ByClass, c)
+		fuseSame(existing, in.ByClass[c], p)
+		pending = existing
+		// Cascade: a promotion may collide with a synopsis already at the
+		// next class.
+		for {
+			other, collides := s.ByClass[pending.Class]
+			if !collides {
+				s.ByClass[pending.Class] = pending
+				break
+			}
+			delete(s.ByClass, pending.Class)
+			before := pending.Class
+			fuseSame(pending, other, p)
+			if pending.Class == before {
+				s.ByClass[pending.Class] = pending
+				break
+			}
+		}
+	}
+}
+
+// Words returns the message size of the whole synopsis in 32-bit words.
+func (s *Synopsis) Words(p Params) int {
+	w := 0
+	for _, cs := range s.ByClass {
+		w += cs.words(p)
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Items returns all items present in any class, sorted.
+func (s *Synopsis) Items() []Item {
+	set := make(map[Item]bool)
+	for _, cs := range s.ByClass {
+		for u := range cs.ItemSketches {
+			set[u] = true
+		}
+	}
+	out := make([]Item, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluate is the synopsis evaluation (SE) function: per item, the frequency
+// estimates across all classes are added with ⊕ (sketch union); ñ likewise.
+// It returns the per-item estimates and the estimated total N̂.
+func (s *Synopsis) Evaluate(p Params) (map[Item]float64, float64) {
+	var total *sketch.Sketch
+	perItem := make(map[Item]*sketch.Sketch)
+	for _, cs := range s.ByClass {
+		if total == nil {
+			total = cs.NTotal.Clone()
+		} else {
+			total.Union(cs.NTotal)
+		}
+		for u, sk := range cs.ItemSketches {
+			if own, ok := perItem[u]; ok {
+				own.Union(sk)
+			} else {
+				perItem[u] = sk.Clone()
+			}
+		}
+	}
+	est := make(map[Item]float64, len(perItem))
+	for u, sk := range perItem {
+		est[u] = sk.Estimate()
+	}
+	if total == nil {
+		return est, 0
+	}
+	return est, total.Estimate()
+}
+
+// ConvertSummary is the §6.3 conversion function: the SG thresholding
+// applied to a tree summary's estimated frequencies, with the summary's n as
+// SG's n′. The resulting synopsis credits the converting owner, so
+// multi-path replication of the converted result stays duplicate-
+// insensitive. The total frequent items error becomes at most the sum of
+// the tree's εa and the multi-path's εb.
+func ConvertSummary(sum *Summary, epoch, owner int, p Params) *Synopsis {
+	out := NewSynopsis()
+	n := sum.N
+	if n <= 0 {
+		return out
+	}
+	class := int(math.Floor(math.Log2(float64(n))))
+	thresh := float64(class) * float64(n) * p.Epsilon / p.LogN
+	cs := newClassSynopsis(class, p)
+	cs.NTotal.AddCount(p.totalSeed(epoch), uint64(owner), n)
+	for u, est := range sum.Counts {
+		if est <= thresh {
+			continue
+		}
+		c := int64(math.Round(est))
+		if c <= 0 {
+			continue
+		}
+		sk := sketch.New(p.KItem)
+		sk.AddCount(p.itemSeed(epoch, u), uint64(owner), c)
+		cs.ItemSketches[u] = sk
+	}
+	out.ByClass[class] = cs
+	return out
+}

@@ -1,0 +1,125 @@
+package freq
+
+import (
+	"sort"
+
+	"tributarydelta/internal/topo"
+)
+
+// Summary is the ε-deficient summary of §6.1.1: S = ⟨N, ε, {(u, c̃(u))}⟩.
+// Every estimate satisfies max{0, c(u) − ε·N} ≤ c̃(u) ≤ c(u) over the
+// multiset union the summary covers.
+type Summary struct {
+	// N is the total number of item occurrences covered.
+	N int64
+	// Eps is the summary's error tolerance (ε(k) after Finalize at height k).
+	Eps float64
+	// Counts holds the kept estimates c̃(u) > 0.
+	Counts map[Item]float64
+	// credit is Σ εj·nj over merged-in child summaries plus the node's own —
+	// the amount of decrement already applied upstream, needed by
+	// Algorithm 1's step 3 which subtracts ε(k)·n − Σ εj·nj.
+	credit float64
+}
+
+// NewLocalSummary counts a node's own items exactly (a 0-error summary —
+// leaves start the precision gradient from nothing).
+func NewLocalSummary(items []Item) *Summary {
+	s := &Summary{Counts: make(map[Item]float64, len(items))}
+	for _, u := range items {
+		s.Counts[u]++
+	}
+	s.N = int64(len(items))
+	return s
+}
+
+// Clone returns a deep copy.
+func (s *Summary) Clone() *Summary {
+	c := &Summary{N: s.N, Eps: s.Eps, credit: s.credit, Counts: make(map[Item]float64, len(s.Counts))}
+	for u, v := range s.Counts {
+		c.Counts[u] = v
+	}
+	return c
+}
+
+// Merge folds another summary into s — steps 1 and 2 of Algorithm 1. The
+// input is not modified.
+func (s *Summary) Merge(in *Summary) {
+	s.N += in.N
+	s.credit += in.Eps * float64(in.N)
+	for u, v := range in.Counts {
+		s.Counts[u] += v
+	}
+}
+
+// Finalize applies step 3 of Algorithm 1 for a node with tolerance epsK:
+// every estimate drops by ε(k)·n − Σ εj·nj and non-positive entries are
+// removed, bounding the number of kept items by 1/(ε(k)−ε(k−1)).
+func (s *Summary) Finalize(epsK float64) {
+	dec := epsK*float64(s.N) - s.credit
+	if dec > 0 {
+		for u, v := range s.Counts {
+			if v-dec <= 0 {
+				delete(s.Counts, u)
+			} else {
+				s.Counts[u] = v - dec
+			}
+		}
+	}
+	s.Eps = epsK
+	s.credit = epsK * float64(s.N)
+}
+
+// Words returns the message size in 32-bit words: two per (item, estimate)
+// pair plus one for N (ε is implied by the sender's height).
+func (s *Summary) Words() int { return 2*len(s.Counts) + 1 }
+
+// Frequent reports the items with c̃(u) > (s−ε)·N, the paper's reporting
+// rule that guarantees no false negatives for items with c(u) ≥ s·N.
+func (s *Summary) Frequent(support float64) []Item {
+	thresh := (support - s.Eps) * float64(s.N)
+	var out []Item
+	for u, v := range s.Counts {
+		if v > thresh {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TreeResult is the outcome of a lossless in-tree frequent items run.
+type TreeResult struct {
+	// Root is the summary produced at the base station (already finalized
+	// at the base's height).
+	Root *Summary
+	// LoadWords[v] is the number of 32-bit words node v transmitted.
+	LoadWords []int
+}
+
+// RunTree executes Algorithm 1 bottom-up over a tree without message loss,
+// recording per-node loads — the harness behind Figure 8. values supplies
+// each node's item collection; g supplies the precision gradient.
+func RunTree(t *topo.Tree, values func(node int) []Item, g Gradient) TreeResult {
+	n := len(t.Parent)
+	heights := t.Heights()
+	summaries := make([]*Summary, n)
+	loads := make([]int, n)
+	for _, v := range t.PostOrder() {
+		if !t.InTree(v) {
+			continue
+		}
+		s := NewLocalSummary(values(v))
+		for _, c := range t.Children[v] {
+			if summaries[c] != nil {
+				s.Merge(summaries[c])
+			}
+		}
+		s.Finalize(g.Eps(heights[v]))
+		if v != topo.Base {
+			loads[v] = s.Words()
+		}
+		summaries[v] = s
+	}
+	return TreeResult{Root: summaries[topo.Base], LoadWords: loads}
+}

@@ -1,0 +1,236 @@
+// Package network simulates the lossy wireless medium of the paper's
+// evaluation (§7.1): per-link Bernoulli message loss drawn from a failure
+// model — Global(p), Regional(p1,p2), a distance-driven model for the
+// LabData scenario, or a timeline that switches models mid-run — plus the
+// TinyDB message accounting (48-byte packets, 12 32-bit words) used for the
+// energy comparisons in Table 1 and Figure 8.
+//
+// Every loss decision is a pure function of (seed, epoch, attempt, sender,
+// receiver), so simulations are reproducible regardless of the order in
+// which transmissions are evaluated, and a broadcast is correctly modelled
+// as one transmission with independent per-receiver losses.
+package network
+
+import (
+	"math"
+
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// WordsPerPacket is the payload capacity of one TinyDB message: 48 bytes =
+// 12 32-bit words (§7.1).
+const WordsPerPacket = 12
+
+// Packets returns the number of 48-byte messages needed to carry the given
+// number of 32-bit words. Even an empty payload costs one packet (headers).
+func Packets(words int) int {
+	if words <= 0 {
+		return 1
+	}
+	return (words + WordsPerPacket - 1) / WordsPerPacket
+}
+
+// Model is a failure model: the probability that a message sent by node
+// `from` to node `to` during the given epoch is lost. Implementations must
+// be deterministic functions of their inputs.
+type Model interface {
+	LossRate(epoch, from, to int) float64
+}
+
+// Global is the paper's Global(p) failure model: every link loses messages
+// at rate P.
+type Global struct {
+	P float64
+}
+
+// LossRate implements Model.
+func (m Global) LossRate(int, int, int) float64 { return m.P }
+
+// Rect is an axis-aligned rectangle {(X0,Y0),(X1,Y1)}.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+}
+
+// Contains reports whether p lies in the rectangle (inclusive).
+func (r Rect) Contains(p topo.Point) bool {
+	return p.X >= r.X0 && p.X <= r.X1 && p.Y >= r.Y0 && p.Y <= r.Y1
+}
+
+// Regional is the paper's Regional(p1,p2) model: senders inside Region lose
+// messages at rate P1, everyone else at rate P2 (§7.1: the failure region is
+// {(0,0),(10,10)} of the 20×20 deployment).
+type Regional struct {
+	Region Rect
+	P1, P2 float64
+	Pos    []topo.Point
+}
+
+// LossRate implements Model.
+func (m Regional) LossRate(_, from, _ int) float64 {
+	if m.Region.Contains(m.Pos[from]) {
+		return m.P1
+	}
+	return m.P2
+}
+
+// DistanceModel derives per-link loss from link length, approximating the
+// measured link qualities of the LabData deployment: loss grows with
+// distance as Base + Scale·(d/Range)^Gamma, capped at Max.
+type DistanceModel struct {
+	Pos                     []topo.Point
+	Range                   float64
+	Base, Scale, Gamma, Max float64
+}
+
+// LossRate implements Model.
+func (m DistanceModel) LossRate(_, from, to int) float64 {
+	d := m.Pos[from].Dist(m.Pos[to])
+	frac := d / m.Range
+	if frac < 0 {
+		frac = 0
+	}
+	r := m.Base + m.Scale*math.Pow(frac, m.Gamma)
+	if r > m.Max {
+		r = m.Max
+	}
+	return r
+}
+
+// NodeFailure wraps a model with dead nodes: from epoch From onward, every
+// transmission by a node in Dead is lost (battery death, the failure mode
+// §1 motivates conserving energy against). Receivers are unaffected — a
+// dead node simply stops producing.
+type NodeFailure struct {
+	Base Model
+	Dead map[int]bool
+	From int
+}
+
+// LossRate implements Model.
+func (m NodeFailure) LossRate(epoch, from, to int) float64 {
+	if epoch >= m.From && m.Dead[from] {
+		return 1
+	}
+	if m.Base == nil {
+		return 0
+	}
+	return m.Base.LossRate(epoch, from, to)
+}
+
+// Phase is one segment of a Timeline: Model applies to epochs < Until.
+type Phase struct {
+	Until int // first epoch NOT covered by this phase
+	Model Model
+}
+
+// Timeline switches failure models over time — the §7.3 dynamic scenario
+// (Global(0) → Regional(0.3,0) → Global(0.3) → Global(0)). Epochs beyond the
+// last phase reuse the final model.
+type Timeline struct {
+	Phases []Phase
+}
+
+// LossRate implements Model.
+func (m Timeline) LossRate(epoch, from, to int) float64 {
+	for _, ph := range m.Phases {
+		if epoch < ph.Until {
+			return ph.Model.LossRate(epoch, from, to)
+		}
+	}
+	if len(m.Phases) == 0 {
+		return 0
+	}
+	return m.Phases[len(m.Phases)-1].Model.LossRate(epoch, from, to)
+}
+
+// Net couples a sensor field with a failure model and a seed, answering the
+// one question the aggregation engine asks: did this transmission reach that
+// receiver?
+type Net struct {
+	Graph *topo.Graph
+	Model Model
+	Seed  uint64
+}
+
+// New returns a network over the graph with the given model and seed.
+func New(g *topo.Graph, m Model, seed uint64) *Net {
+	return &Net{Graph: g, Model: m, Seed: seed}
+}
+
+// Delivered reports whether the attempt-th transmission of `from` during
+// `epoch` was received by `to`. Distinct receivers of the same broadcast see
+// independent losses (the paper's per-link loss semantics); distinct
+// attempts (retransmissions) are independent too.
+func (n *Net) Delivered(epoch, attempt, from, to int) bool {
+	p := n.Model.LossRate(epoch, from, to)
+	h := xrand.Hash(n.Seed, 0xDE11, uint64(epoch), uint64(attempt), uint64(from), uint64(to))
+	return !xrand.Bernoulli(h, p)
+}
+
+// Stats accumulates the energy-side metrics of Table 1: per-node
+// transmission, word and packet counts.
+type Stats struct {
+	Transmissions []int64 // radio sends (one per broadcast or unicast attempt)
+	Words         []int64 // 32-bit words of payload transmitted
+	PacketsSent   []int64 // 48-byte TinyDB packets transmitted
+}
+
+// NewStats returns zeroed stats for n nodes.
+func NewStats(n int) *Stats {
+	return &Stats{
+		Transmissions: make([]int64, n),
+		Words:         make([]int64, n),
+		PacketsSent:   make([]int64, n),
+	}
+}
+
+// AddTx records one transmission by node v carrying words payload words.
+func (s *Stats) AddTx(v, words int) {
+	s.Transmissions[v]++
+	s.Words[v] += int64(words)
+	s.PacketsSent[v] += int64(Packets(words))
+}
+
+// TotalWords returns the total words transmitted by all nodes.
+func (s *Stats) TotalWords() int64 {
+	var t int64
+	for _, w := range s.Words {
+		t += w
+	}
+	return t
+}
+
+// TotalPackets returns the total packets transmitted by all nodes.
+func (s *Stats) TotalPackets() int64 {
+	var t int64
+	for _, p := range s.PacketsSent {
+		t += p
+	}
+	return t
+}
+
+// MaxWords returns the largest per-node word count — the "maximum load" of
+// Figure 8.
+func (s *Stats) MaxWords() int64 {
+	var m int64
+	for _, w := range s.Words {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// AvgWords returns the mean per-node word count over nodes 1..n−1 (the
+// sensors; the base station transmits nothing).
+func (s *Stats) AvgWords() float64 {
+	if len(s.Words) <= 1 {
+		return 0
+	}
+	var t int64
+	for _, w := range s.Words[1:] {
+		t += w
+	}
+	return float64(t) / float64(len(s.Words)-1)
+}

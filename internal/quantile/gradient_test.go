@@ -1,0 +1,105 @@
+package quantile
+
+import (
+	"sort"
+	"testing"
+
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// TestFreqGradientsDriveQuantiles verifies the §6.1.4 claim directly: the
+// paper's precision gradients (defined for frequent items) plug into the
+// quantile tree unchanged, and the root still meets the ε budget — "they
+// are the first quantiles algorithms that achieve these bounds".
+func TestFreqGradientsDriveQuantiles(t *testing.T) {
+	g := topo.NewRandomField(8, 150, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
+	r := topo.BuildRings(g)
+	tr := topo.BuildRestrictedTree(g, r, 8)
+	topo.OpportunisticImprove(g, r, tr, 8, 6)
+	h := tr.Heights()[topo.Base]
+	d := topo.TreeDominationFactor(tr, 0.05)
+	if d < 1.2 {
+		d = 1.2
+	}
+
+	src := xrand.NewSource(21)
+	perNode := make(map[int][]float64)
+	var all []float64
+	for v := 1; v < g.N(); v++ {
+		if !tr.InTree(v) {
+			continue
+		}
+		vals := make([]float64, 40)
+		for i := range vals {
+			vals[i] = src.Float64() * 500
+		}
+		perNode[v] = vals
+		all = append(all, vals...)
+	}
+	sort.Float64s(all)
+
+	const eps = 0.02
+	// freq.Gradient implements quantile.Gradient structurally.
+	grads := []Gradient{
+		freq.MinTotalLoad{Epsilon: eps, D: d},
+		freq.MinMaxLoad{Epsilon: eps, H: h},
+		freq.Hybrid{Epsilon: eps, D: d, H: h},
+		Uniform(eps, h),
+	}
+	var totals []int
+	for _, grad := range grads {
+		res := RunTree(tr, func(v int) []float64 { return perNode[v] }, grad)
+		if res.Root.Eps > eps+1e-9 {
+			t.Fatalf("gradient %T: root error %v exceeds budget %v", grad, res.Root.Eps, eps)
+		}
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			got := res.Root.Quantile(q)
+			rank := int64(q*float64(len(all)-1)) + 1
+			lo := sort.SearchFloat64s(all, got)
+			hi := sort.Search(len(all), func(i int) bool { return all[i] > got })
+			slack := eps*float64(len(all)) + 2
+			if float64(rank) < float64(lo+1)-slack || float64(rank) > float64(hi)+slack {
+				t.Fatalf("gradient %T q=%v: rank out of budget", grad, q)
+			}
+		}
+		total := 0
+		for _, w := range res.LoadWords {
+			total += w
+		}
+		totals = append(totals, total)
+	}
+	// All gradients should need the same order of magnitude; none may be
+	// degenerate (zero load).
+	for i, tot := range totals {
+		if tot == 0 {
+			t.Fatalf("gradient %d transmitted nothing", i)
+		}
+	}
+}
+
+// TestQuantileDerivedFrequentItems exercises the Figure 8 baseline path:
+// frequent items from a quantile summary via CountEstimate.
+func TestQuantileDerivedFrequentItems(t *testing.T) {
+	// Stream where item 42 holds 20% and the rest is thin.
+	var vals []float64
+	for i := 0; i < 200; i++ {
+		vals = append(vals, 42)
+	}
+	for i := 0; i < 800; i++ {
+		vals = append(vals, float64(1000+i))
+	}
+	s := FromUnsorted(vals)
+	s.Prune(200)
+	n := float64(s.N)
+	// Report values whose estimated count clears (s−ε)·N.
+	const support, eps = 0.1, 0.01
+	thresh := (support - eps) * n
+	if got := s.CountEstimate(42); got <= thresh {
+		t.Fatalf("heavy item estimate %v below reporting threshold %v", got, thresh)
+	}
+	if got := s.CountEstimate(1500); got > thresh {
+		t.Fatalf("thin item estimate %v above threshold", got)
+	}
+}

@@ -1,0 +1,288 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+func TestFromSortedExact(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := FromSorted(vals)
+	if s.N != 10 || s.Eps != 0 {
+		t.Fatalf("N=%d Eps=%v", s.N, s.Eps)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(1); r <= 10; r++ {
+		if got := s.Query(r); got != float64(r) {
+			t.Fatalf("Query(%d) = %v, want %v", r, got, r)
+		}
+	}
+}
+
+func TestQueryClamps(t *testing.T) {
+	s := FromSorted([]float64{5, 6, 7})
+	if s.Query(-5) != 5 || s.Query(100) != 7 {
+		t.Fatal("Query must clamp out-of-range ranks")
+	}
+	empty := &Summary{}
+	if empty.Query(1) != 0 {
+		t.Fatal("empty summary should answer 0")
+	}
+}
+
+func TestMergeExactSummaries(t *testing.T) {
+	a := FromSorted([]float64{1, 3, 5, 7})
+	b := FromSorted([]float64{2, 4, 6, 8})
+	m := Merge(a, b)
+	if m.N != 8 {
+		t.Fatalf("merged N = %d", m.N)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact merge of exact summaries answers every rank exactly.
+	for r := int64(1); r <= 8; r++ {
+		if got := m.Query(r); got != float64(r) {
+			t.Fatalf("Query(%d) = %v, want %v", r, got, r)
+		}
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	a := FromSorted([]float64{1, 2})
+	empty := &Summary{}
+	if m := Merge(a, empty); m.N != 2 || m.Size() != 2 {
+		t.Fatal("merge with empty must clone the non-empty side")
+	}
+	if m := Merge(empty, a); m.N != 2 {
+		t.Fatal("merge with empty (reversed) failed")
+	}
+}
+
+func TestPruneAddsBoundedError(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := FromSorted(vals)
+	s.Prune(20)
+	if s.Size() > 21 {
+		t.Fatalf("pruned size %d > k+1", s.Size())
+	}
+	if math.Abs(s.Eps-1.0/40) > 1e-12 {
+		t.Fatalf("prune error %v, want 1/40", s.Eps)
+	}
+	// Every rank query must be within Eps*N + entry slack of truth.
+	for r := int64(1); r <= 1000; r += 37 {
+		got := s.Query(r)
+		trueRank := got + 1 // value i has rank i+1
+		if math.Abs(trueRank-float64(r)) > float64(s.N)*s.Eps+float64(s.N)/40+1 {
+			t.Fatalf("rank %d answered value with rank %v", r, trueRank)
+		}
+	}
+}
+
+func TestPrunePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSorted([]float64{1}).Prune(0)
+}
+
+// TestMergePruneEpsInvariant is the core property: after arbitrary
+// merge/prune sequences, every rank query is within Eps·N of truth.
+func TestMergePruneEpsInvariant(t *testing.T) {
+	src := xrand.NewSource(42)
+	for trial := 0; trial < 30; trial++ {
+		// Build 8 random chunks, summarize with random prunes, merge all.
+		var all []float64
+		parts := make([]*Summary, 0, 8)
+		for c := 0; c < 8; c++ {
+			n := 50 + src.Intn(200)
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = src.Float64() * 1000
+			}
+			all = append(all, vals...)
+			s := FromUnsorted(vals)
+			if src.Intn(2) == 0 {
+				s.Prune(10 + src.Intn(20))
+			}
+			parts = append(parts, s)
+		}
+		m := parts[0]
+		for _, p := range parts[1:] {
+			m = Merge(m, p)
+			if src.Intn(3) == 0 {
+				m.Prune(30 + src.Intn(30))
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sort.Float64s(all)
+		slack := m.Eps*float64(m.N) + 2
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			r := int64(q*float64(m.N-1)) + 1
+			got := m.Quantile(q)
+			// True rank range of got in all.
+			lo := sort.SearchFloat64s(all, got)
+			hi := sort.Search(len(all), func(i int) bool { return all[i] > got })
+			trueLo, trueHi := float64(lo+1), float64(hi)
+			if float64(r) < trueLo-slack || float64(r) > trueHi+slack {
+				t.Fatalf("trial %d q=%v: answer rank range [%v,%v], asked %d, slack %v (Eps=%v N=%d)",
+					trial, q, trueLo, trueHi, r, slack, m.Eps, m.N)
+			}
+		}
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	s := FromSorted([]float64{1, 2, 2, 2, 3, 4})
+	lo, hi := s.RankBounds(2)
+	if lo > 4 || hi < 4 {
+		t.Fatalf("RankBounds(2) = [%d,%d], must cover 4", lo, hi)
+	}
+	lo, hi = s.RankBounds(0.5)
+	if lo != 0 || hi > 1 {
+		t.Fatalf("RankBounds below min = [%d,%d]", lo, hi)
+	}
+	lo, hi = s.RankBounds(99)
+	if lo != 6 || hi != 6 {
+		t.Fatalf("RankBounds above max = [%d,%d], want [6,6]", lo, hi)
+	}
+}
+
+func TestCountEstimateExact(t *testing.T) {
+	// 30% of values are 7.
+	var vals []float64
+	for i := 0; i < 100; i++ {
+		if i < 30 {
+			vals = append(vals, 7)
+		} else {
+			vals = append(vals, float64(100+i))
+		}
+	}
+	s := FromUnsorted(vals)
+	if got := s.CountEstimate(7); math.Abs(got-30) > 0.5 {
+		t.Fatalf("CountEstimate(7) = %v, want 30", got)
+	}
+	if got := s.CountEstimate(55.5); got != 0 {
+		t.Fatalf("CountEstimate(absent) = %v, want 0", got)
+	}
+}
+
+func TestCountEstimateAfterPrune(t *testing.T) {
+	var vals []float64
+	for i := 0; i < 1000; i++ {
+		if i < 300 {
+			vals = append(vals, 7)
+		} else {
+			vals = append(vals, float64(1000+i))
+		}
+	}
+	s := FromUnsorted(vals)
+	s.Prune(50)
+	got := s.CountEstimate(7)
+	slack := s.Eps*float64(s.N) + float64(s.N)/50
+	if math.Abs(got-300) > slack+1 {
+		t.Fatalf("CountEstimate(7) = %v after prune, want 300±%v", got, slack)
+	}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	err := quick.Check(func(aRaw, bRaw []uint16) bool {
+		if len(aRaw) == 0 || len(bRaw) == 0 {
+			return true
+		}
+		av := make([]float64, len(aRaw))
+		for i, x := range aRaw {
+			av[i] = float64(x)
+		}
+		bv := make([]float64, len(bRaw))
+		for i, x := range bRaw {
+			bv[i] = float64(x)
+		}
+		ab := Merge(FromUnsorted(av), FromUnsorted(bv))
+		ba := Merge(FromUnsorted(bv), FromUnsorted(av))
+		if ab.N != ba.N || ab.Size() != ba.Size() {
+			return false
+		}
+		for _, q := range []float64{0, 0.5, 1} {
+			if ab.Quantile(q) != ba.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTreeAccuracy(t *testing.T) {
+	g := topo.NewRandomField(3, 100, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
+	r := topo.BuildRings(g)
+	tr := topo.BuildRestrictedTree(g, r, 3)
+	src := xrand.NewSource(7)
+	perNode := make(map[int][]float64)
+	var all []float64
+	for v := 1; v < g.N(); v++ {
+		if !tr.InTree(v) {
+			continue
+		}
+		n := 20 + src.Intn(30)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = src.Float64() * 100
+		}
+		perNode[v] = vals
+		all = append(all, vals...)
+	}
+	const eps = 0.05
+	heights := tr.Heights()
+	res := RunTree(tr, func(node int) []float64 { return perNode[node] }, Uniform(eps, heights[topo.Base]))
+	if res.Root.N != int64(len(all)) {
+		t.Fatalf("root covers %d, want %d", res.Root.N, len(all))
+	}
+	if res.Root.Eps > eps+1e-9 {
+		t.Fatalf("root error %v exceeds budget %v", res.Root.Eps, eps)
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		got := res.Root.Quantile(q)
+		r := int64(q*float64(len(all)-1)) + 1
+		lo := sort.SearchFloat64s(all, got)
+		hi := sort.Search(len(all), func(i int) bool { return all[i] > got })
+		slack := eps*float64(len(all)) + 2
+		if float64(r) < float64(lo+1)-slack || float64(r) > float64(hi)+slack {
+			t.Fatalf("q=%v: answer rank [%d,%d], asked %d (±%v)", q, lo+1, hi, r, slack)
+		}
+	}
+	// Loads: every non-base tree node transmitted something.
+	for v := 1; v < g.N(); v++ {
+		if tr.InTree(v) && res.LoadWords[v] == 0 {
+			t.Fatalf("node %d transmitted nothing", v)
+		}
+	}
+}
+
+func TestValidateCatchesBadEntries(t *testing.T) {
+	s := &Summary{N: 5, Entries: []Entry{{V: 1, RMin: 0, RMax: 2}}}
+	if s.Validate() == nil {
+		t.Fatal("RMin < 1 must fail validation")
+	}
+	s = &Summary{N: 5, Entries: []Entry{{V: 2, RMin: 1, RMax: 1}, {V: 1, RMin: 2, RMax: 2}}}
+	if s.Validate() == nil {
+		t.Fatal("out-of-order entries must fail validation")
+	}
+}

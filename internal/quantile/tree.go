@@ -1,0 +1,74 @@
+package quantile
+
+import (
+	"math"
+
+	"tributarydelta/internal/topo"
+)
+
+// Gradient supplies a per-height error tolerance ε(i); it mirrors
+// freq.Gradient so the §6.1.4 precision-gradient extension applies to
+// quantiles without an import cycle.
+type Gradient interface {
+	Eps(height int) float64
+}
+
+// uniformGradient is ε(i) = ε·i/h — the budget the Quantiles-based baseline
+// of Figure 8 spends evenly per level.
+type uniformGradient struct {
+	eps float64
+	h   int
+}
+
+func (g uniformGradient) Eps(i int) float64 {
+	if i > g.h {
+		i = g.h
+	}
+	return g.eps * float64(i) / float64(g.h)
+}
+
+// Uniform returns the even per-level gradient with total budget eps over a
+// tree of height h.
+func Uniform(eps float64, h int) Gradient { return uniformGradient{eps: eps, h: h} }
+
+// TreeResult is the outcome of a lossless in-tree quantile computation.
+type TreeResult struct {
+	// Root is the summary delivered to the base station.
+	Root *Summary
+	// LoadWords[v] is the number of 32-bit words node v transmitted.
+	LoadWords []int
+}
+
+// RunTree aggregates per-node value streams up the tree using merge&prune
+// with the given precision gradient: a node of height i prunes its merged
+// summary to k_i = ceil(1/(ε(i)−ε(i−1))) entries, so the total accumulated
+// rank error at the root is at most ε(h) — the §6.1.4 construction. The
+// returned loads feed the Figure 8 comparison.
+func RunTree(t *topo.Tree, values func(node int) []float64, g Gradient) TreeResult {
+	n := len(t.Parent)
+	heights := t.Heights()
+	summaries := make([]*Summary, n)
+	loads := make([]int, n)
+	for _, v := range t.PostOrder() {
+		if !t.InTree(v) {
+			continue
+		}
+		s := FromUnsorted(values(v))
+		for _, c := range t.Children[v] {
+			if summaries[c] != nil {
+				s = Merge(s, summaries[c])
+			}
+		}
+		if v != topo.Base {
+			h := heights[v]
+			delta := g.Eps(h) - g.Eps(h-1)
+			if delta > 0 {
+				k := int(math.Ceil(1 / delta))
+				s.Prune(k)
+			}
+			loads[v] = s.Words()
+		}
+		summaries[v] = s
+	}
+	return TreeResult{Root: summaries[topo.Base], LoadWords: loads}
+}

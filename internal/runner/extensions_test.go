@@ -1,0 +1,177 @@
+package runner
+
+import (
+	"testing"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
+)
+
+func TestMergeTopK(t *testing.T) {
+	got := mergeTopK(nil, []int{3, 1}, 4)
+	got = mergeTopK(got, []int{9, 2}, 4)
+	got = mergeTopK(got, []int{5}, 4)
+	want := []int{9, 5, 3, 2}
+	if len(got) != len(want) {
+		t.Fatalf("topK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("topK = %v, want %v", got, want)
+		}
+	}
+	// Capacity respected; below-threshold values ignored.
+	got = insertTopK(got, 1, 4)
+	if len(got) != 4 || got[3] != 2 {
+		t.Fatalf("capacity breached: %v", got)
+	}
+	got = insertTopK(got, 7, 4)
+	if got[1] != 7 || got[3] != 3 {
+		t.Fatalf("insertion order wrong: %v", got)
+	}
+}
+
+// TestTopKHeuristicConverges runs the §4.2 top-k expansion variant and
+// checks it adapts at least as effectively as the default max/2 rule.
+func TestTopKHeuristicConverges(t *testing.T) {
+	f := newFixture(51, 300)
+	mk := func(topK int) float64 {
+		r, err := New(Config[struct{}, int64, *sketch.Sketch, float64]{
+			Graph: f.g, Rings: f.r, Tree: f.tr,
+			Net:   network.New(f.g, network.Global{P: 0.3}, 51),
+			Agg:   aggregate.NewCount(51),
+			Value: func(int, int) struct{} { return struct{}{} },
+			Mode:  ModeTD,
+			TopK:  topK,
+			Seed:  51,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 80; e++ {
+			r.RunEpoch(e)
+		}
+		var contrib int
+		const measure = 20
+		for e := 80; e < 80+measure; e++ {
+			contrib += r.RunEpoch(e).TrueContrib
+		}
+		if err := r.State().Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(contrib) / float64(measure*r.Sensors())
+	}
+	defaultRule := mk(0)
+	topK := mk(8)
+	if topK < defaultRule-0.15 {
+		t.Fatalf("top-k heuristic much worse than default: %.3f vs %.3f", topK, defaultRule)
+	}
+	if topK < 0.5 {
+		t.Fatalf("top-k heuristic failed to adapt: contribution %.3f", topK)
+	}
+}
+
+// TestPipelinedConstantSignal: with epoch-invariant readings, pipelined and
+// synchronous collection give identical loss-free answers.
+func TestPipelinedConstantSignal(t *testing.T) {
+	f := newFixture(52, 200)
+	mk := func(pipelined bool) float64 {
+		r, err := New(Config[float64, float64, *sketch.Sketch, float64]{
+			Graph: f.g, Rings: f.r, Tree: f.tr,
+			Net:       network.New(f.g, network.Global{P: 0}, 52),
+			Agg:       aggregate.NewSum(52),
+			Value:     func(_, node int) float64 { return float64(node % 13) },
+			Mode:      ModeTree,
+			Pipelined: pipelined,
+			Seed:      52,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunEpoch(10).Answer
+	}
+	if sync, pipe := mk(false), mk(true); sync != pipe {
+		t.Fatalf("constant signal: pipelined %v != synchronous %v", pipe, sync)
+	}
+}
+
+// TestPipelinedMixesEpochs: with a step signal, the pipelined answer during
+// the transition window mixes old and new readings — deep nodes contribute
+// stale values — then converges to the new total.
+func TestPipelinedMixesEpochs(t *testing.T) {
+	f := newFixture(53, 200)
+	const stepAt = 20
+	value := func(epoch, _ int) float64 {
+		if epoch >= stepAt {
+			return 2
+		}
+		return 1
+	}
+	r, err := New(Config[float64, float64, *sketch.Sketch, float64]{
+		Graph: f.g, Rings: f.r, Tree: f.tr,
+		Net:       network.New(f.g, network.Global{P: 0}, 53),
+		Agg:       aggregate.NewSum(53),
+		Value:     value,
+		Mode:      ModeTree,
+		Pipelined: true,
+		Seed:      53,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(r.Sensors())
+	for e := 0; e < stepAt; e++ {
+		if got := r.RunEpoch(e).Answer; e > r.Levels() && got != n {
+			t.Fatalf("pre-step epoch %d: answer %v, want %v", e, got, n)
+		}
+	}
+	// During the fill window the answer must lie strictly between the two
+	// plateaus at least once.
+	sawMix := false
+	for e := stepAt; e < stepAt+r.Levels(); e++ {
+		got := r.RunEpoch(e).Answer
+		if got > n && got < 2*n {
+			sawMix = true
+		}
+	}
+	if !sawMix {
+		t.Fatal("pipelined transition never mixed old and new readings")
+	}
+	// After the pipeline drains, the new plateau is exact.
+	if got := r.RunEpoch(stepAt + r.Levels() + 2).Answer; got != 2*n {
+		t.Fatalf("post-step answer %v, want %v", got, 2*n)
+	}
+}
+
+// TestPipelinedLatencyAccounting: the pipelined runner still reports the
+// level count; results arrive every epoch either way, but the reading-to-
+// answer delay is what Pipelined trades.
+func TestPipelinedDeterminism(t *testing.T) {
+	f := newFixture(54, 150)
+	mk := func() []float64 {
+		r, err := New(Config[struct{}, int64, *sketch.Sketch, float64]{
+			Graph: f.g, Rings: f.r, Tree: f.tr,
+			Net:       network.New(f.g, network.Global{P: 0.2}, 54),
+			Agg:       aggregate.NewCount(54),
+			Value:     func(int, int) struct{} { return struct{}{} },
+			Mode:      ModeTD,
+			Pipelined: true,
+			Seed:      54,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 30)
+		for e := range out {
+			out[e] = r.RunEpoch(e).Answer
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pipelined runs are not deterministic")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"testing"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// TestMultipathMatchesPercolation verifies the multi-path delivery mechanics
+// against an independent ground truth: a reading survives to the base
+// station iff the rings DAG percolates for it (at least one all-successful
+// chain of up-links). The runner's measured per-ring survival must agree
+// with direct Monte-Carlo percolation on the same graph within sampling
+// noise. This pins down the exact semantics of broadcast, level scheduling
+// and synopsis incorporation.
+func TestMultipathMatchesPercolation(t *testing.T) {
+	f := newFixture(4, 600)
+	const p = 0.3
+	const trials = 40
+
+	// Direct percolation over independent link samples.
+	src := xrand.NewSource(999)
+	percLoss := make([]float64, f.r.Max+1)
+	ringSize := make([]int, f.r.Max+1)
+	for v := 1; v < f.g.N(); v++ {
+		if f.r.Reachable(v) {
+			ringSize[f.r.Level[v]]++
+		}
+	}
+	for tr := 0; tr < trials; tr++ {
+		alive := map[[2]int]bool{}
+		for v := 1; v < f.g.N(); v++ {
+			for _, u := range f.r.Up[v] {
+				alive[[2]int{v, u}] = src.Float64() >= p
+			}
+		}
+		reach := make([]bool, f.g.N())
+		reach[topo.Base] = true
+		for l := 1; l <= f.r.Max; l++ {
+			for v := 1; v < f.g.N(); v++ {
+				if f.r.Level[v] != l {
+					continue
+				}
+				for _, u := range f.r.Up[v] {
+					if alive[[2]int{v, u}] && reach[u] {
+						reach[v] = true
+						break
+					}
+				}
+			}
+		}
+		for v := 1; v < f.g.N(); v++ {
+			if f.r.Reachable(v) && !reach[v] {
+				percLoss[f.r.Level[v]]++
+			}
+		}
+	}
+
+	// Runner measurement over the same number of epochs.
+	run, err := New(Config[struct{}, int64, *sketch.Sketch, float64]{
+		Graph: f.g, Rings: f.r, Tree: f.tr,
+		Net:   network.New(f.g, network.Global{P: p}, 4),
+		Agg:   aggregate.NewCount(4),
+		Value: func(int, int) struct{} { return struct{}{} },
+		Mode:  ModeMultipath, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLoss := make([]float64, f.r.Max+1)
+	for e := 0; e < trials; e++ {
+		run.RunEpoch(e)
+		bits := run.lastContributors
+		for v := 1; v < f.g.N(); v++ {
+			if !f.r.Reachable(v) {
+				continue
+			}
+			if bits[v/64]&(1<<uint(v%64)) == 0 {
+				runLoss[f.r.Level[v]]++
+			}
+		}
+	}
+
+	for l := 1; l <= f.r.Max; l++ {
+		if ringSize[l] < 20 {
+			continue // too few nodes for a stable frequency
+		}
+		denom := float64(ringSize[l] * trials)
+		perc := percLoss[l] / denom
+		got := runLoss[l] / denom
+		if diff := got - perc; diff > 0.05 || diff < -0.05 {
+			t.Errorf("ring %d: runner loss %.3f vs percolation %.3f", l, got, perc)
+		}
+	}
+}

@@ -1,0 +1,632 @@
+// Package runner executes Tributary-Delta collection rounds: one aggregate
+// answer per epoch, computed level-by-level over the current labeled
+// topology exactly as §2 and §3 describe — tree vertices unicast exact
+// partial results to their parents, multi-path vertices broadcast synopses
+// to the ring above, and the tributary/delta boundary applies the conversion
+// function. Messages piggyback an approximate contributing Count (exact
+// integers in the tributaries, a small FM sketch in the delta), from which
+// the base station drives the §4.2 adaptation strategies.
+//
+// The runner also maintains ground truth: every envelope carries a bitset of
+// the sensors actually represented in it, so experiments can separate
+// communication error from approximation error (Table 1's error
+// decomposition).
+package runner
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"sync"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/tdgraph"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// Mode selects the aggregation scheme under test.
+type Mode uint8
+
+const (
+	// ModeTree is the TAG baseline: every sensor runs the tree scheme.
+	ModeTree Mode = iota
+	// ModeMultipath is the SD baseline: every sensor runs synopsis
+	// diffusion over rings.
+	ModeMultipath
+	// ModeTDCoarse adapts the delta region with the TD-Coarse strategy.
+	ModeTDCoarse
+	// ModeTD adapts the delta region with the fine-grained TD strategy.
+	ModeTD
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTree:
+		return "TAG"
+	case ModeMultipath:
+		return "SD"
+	case ModeTDCoarse:
+		return "TD-Coarse"
+	case ModeTD:
+		return "TD"
+	}
+	return "?"
+}
+
+// Config assembles a simulation: topology, network, aggregate and policy.
+type Config[V, P, S, R any] struct {
+	Graph *topo.Graph
+	Rings *topo.Rings
+	Tree  *topo.Tree
+	Net   *network.Net
+	Agg   aggregate.Aggregate[V, P, S, R]
+	// Value supplies node readings per epoch (the stream of §2).
+	Value func(epoch, node int) V
+	Mode  Mode
+	// Threshold is the user-specified minimum contributing fraction
+	// (default 0.90, as in §7.1).
+	Threshold float64
+	// ShrinkMargin is the slack above Threshold before shrinking ("well
+	// above the threshold", §4.2; default 0.08, so the equilibrium sits
+	// above the 90% floor rather than at it).
+	ShrinkMargin float64
+	// AdaptEvery is the adaptation period in epochs (default 10, §7.1).
+	AdaptEvery int
+	// InitialDeltaLevels seeds the delta region for the TD modes (default
+	// 1: the base station's radio neighbourhood).
+	InitialDeltaLevels int
+	// TreeRetransmits is the number of extra unicast attempts tree nodes
+	// make after a loss (0 = the paper's default no-retransmission setup;
+	// 2 = the Figure 9(b) configuration).
+	TreeRetransmits int
+	// ContribK is the bitmap count of the piggybacked contributing-Count
+	// sketch (default 40 — the standard Count bit vector of Figure 3, whose
+	// ~12% error is accurate enough to steer the 90% threshold).
+	ContribK int
+	// TopK enables the §4.2 top-k TD expansion heuristic: messages carry
+	// the k largest non-contributing subtree counts and expansion targets
+	// every subtree at or above the k-th. 0 (default) uses the "max/2"
+	// rule over the single largest value.
+	TopK int
+	// Pipelined runs the §2 pipelined collection: level i processes epoch
+	// e while level i+1 already processes e+1, so a node at depth l folds
+	// the reading it took maxLevel−l epochs ago. Latency per result drops
+	// to one level slot after the pipeline fills; answers mix readings
+	// across a window of maxLevel epochs (the documented TAG behaviour for
+	// slowly varying signals).
+	Pipelined bool
+	// Seed drives all the run's randomness.
+	Seed uint64
+	// Parallel processes each level's nodes on goroutines — one per sensor,
+	// as sensor nodes are naturally concurrent. Results are bit-identical
+	// to the sequential schedule because every stochastic decision is a
+	// pure function of (seed, epoch, ids) — see internal/xrand.
+	Parallel bool
+}
+
+// EpochResult is one collection round's outcome.
+type EpochResult[R any] struct {
+	Epoch int
+	// Answer is the base station's evaluated result.
+	Answer R
+	// EstContrib is the base station's (approximate) count of contributing
+	// sensors — what adaptation decisions are based on.
+	EstContrib float64
+	// TrueContrib is the exact number of sensors represented in the answer
+	// (ground truth from the simulator).
+	TrueContrib int
+	// DeltaSize is the delta region size after this round's adaptation.
+	DeltaSize int
+	// Action is the adaptation action taken after this round.
+	Action tdgraph.Action
+	// Switched is the number of vertices switched by Action.
+	Switched int
+}
+
+// Runner executes collection rounds. Construct with New.
+type Runner[V, P, S, R any] struct {
+	cfg   Config[V, P, S, R]
+	state *tdgraph.State
+	ctrl  *tdgraph.Controller
+	// Stats accumulates per-node energy metrics across all epochs run.
+	Stats *network.Stats
+	// lastNC is each switchable M vertex's most recent count of
+	// non-contributing subtree nodes (node-local memory in §4.2).
+	lastNC []int
+	// fracSum/fracN average the noisy contributing estimates between
+	// adaptation periods, so decisions see the period mean rather than one
+	// ±12% FM observation.
+	fracSum float64
+	fracN   int
+	// schedLevel orders transmissions: ring level in multi-path and TD
+	// modes, tree depth in pure-tree mode (TAG trees may use same-ring
+	// parents).
+	schedLevel []int
+	maxLevel   int
+	sensors    int // reachable sensors (the denominator of % contributing)
+	words      int // bitset words per envelope
+	// lastContributors is the ground-truth bitset of the most recent epoch,
+	// exposed for diagnostics and tests.
+	lastContributors []uint64
+}
+
+type envelope[P, S any] struct {
+	from   int
+	isTree bool
+	p      P
+	s      S
+	// contribTree is the exact count of sensors in a tree partial.
+	contribTree int64
+	// contribSk is the delta's duplicate-insensitive contributing count.
+	contribSk *sketch.Sketch
+	// topNC propagates the §4.2 TD statistics: the largest reported
+	// non-contributing subtree counts, descending (topNC[0] is the max);
+	// minNC the smallest. ncValid marks presence.
+	topNC   []int
+	minNC   int
+	ncValid bool
+	// contributors is the ground-truth bitset of represented sensors.
+	contributors []uint64
+}
+
+// New validates the configuration and prepares a runner.
+func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
+	if cfg.Graph == nil || cfg.Rings == nil || cfg.Tree == nil || cfg.Net == nil {
+		return nil, errors.New("runner: incomplete topology configuration")
+	}
+	if cfg.Agg == nil || cfg.Value == nil {
+		return nil, errors.New("runner: aggregate and value source required")
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.90
+	}
+	if cfg.ShrinkMargin == 0 {
+		cfg.ShrinkMargin = 0.08
+	}
+	if cfg.AdaptEvery == 0 {
+		cfg.AdaptEvery = 10
+	}
+	if cfg.ContribK == 0 {
+		cfg.ContribK = 40
+	}
+	if cfg.InitialDeltaLevels == 0 {
+		cfg.InitialDeltaLevels = 1
+	}
+
+	adaptive := cfg.Mode == ModeTD || cfg.Mode == ModeTDCoarse
+	if adaptive && !cfg.Tree.LinksSubsetOfRings(cfg.Graph, cfg.Rings) {
+		return nil, errors.New("runner: TD modes require tree links to be rings links (§4.1)")
+	}
+
+	var deltaLevels int
+	switch cfg.Mode {
+	case ModeTree:
+		deltaLevels = 0
+	case ModeMultipath:
+		deltaLevels = cfg.Rings.Max
+	default:
+		deltaLevels = cfg.InitialDeltaLevels
+	}
+	state := tdgraph.NewState(cfg.Graph, cfg.Rings, cfg.Tree, deltaLevels)
+
+	var strategy tdgraph.Strategy
+	switch cfg.Mode {
+	case ModeTD:
+		strategy = tdgraph.StrategyTD
+	case ModeTDCoarse:
+		strategy = tdgraph.StrategyCoarse
+	default:
+		strategy = tdgraph.StrategyNone
+	}
+	ctrl := tdgraph.NewController(strategy)
+	ctrl.Threshold = cfg.Threshold
+	ctrl.ShrinkMargin = cfg.ShrinkMargin
+	ctrl.TopK = cfg.TopK
+
+	n := cfg.Graph.N()
+	r := &Runner[V, P, S, R]{
+		cfg:        cfg,
+		state:      state,
+		ctrl:       ctrl,
+		Stats:      network.NewStats(n),
+		lastNC:     make([]int, n),
+		schedLevel: make([]int, n),
+		words:      (n + 63) / 64,
+	}
+	for i := range r.lastNC {
+		r.lastNC[i] = -2 // never reported
+	}
+	depths := cfg.Tree.Depths()
+	for v := 0; v < n; v++ {
+		if cfg.Mode == ModeTree {
+			r.schedLevel[v] = depths[v]
+		} else {
+			r.schedLevel[v] = cfg.Rings.Level[v]
+		}
+		if r.schedLevel[v] > r.maxLevel {
+			r.maxLevel = r.schedLevel[v]
+		}
+	}
+	for v := 1; v < n; v++ {
+		if r.participates(v) {
+			r.sensors++
+		}
+	}
+	if r.sensors == 0 {
+		return nil, errors.New("runner: no sensor can reach the base station")
+	}
+	return r, nil
+}
+
+// participates reports whether sensor v takes part in aggregation (reachable
+// and, in tree mode, attached to the tree).
+func (r *Runner[V, P, S, R]) participates(v int) bool {
+	if r.cfg.Mode == ModeTree {
+		return r.cfg.Tree.InTree(v) && v != topo.Base
+	}
+	return r.cfg.Rings.Reachable(v) && v != topo.Base
+}
+
+// ResetStats zeroes the energy accounting — used by experiments that
+// measure steady-state loads after a warm-up.
+func (r *Runner[V, P, S, R]) ResetStats() {
+	r.Stats = network.NewStats(r.cfg.Graph.N())
+}
+
+// Levels returns the number of level slots per epoch — the latency measure
+// of Table 1 (latency = epoch duration × levels).
+func (r *Runner[V, P, S, R]) Levels() int { return r.maxLevel }
+
+// Sensors returns the number of participating sensors.
+func (r *Runner[V, P, S, R]) Sensors() int { return r.sensors }
+
+// State exposes the labeled graph (read-mostly; tests also validate it).
+func (r *Runner[V, P, S, R]) State() *tdgraph.State { return r.state }
+
+// ExactAnswer computes the ground-truth answer for an epoch over all
+// participating sensors.
+func (r *Runner[V, P, S, R]) ExactAnswer(epoch int) R {
+	var vs []V
+	for v := 1; v < r.cfg.Graph.N(); v++ {
+		if r.participates(v) {
+			vs = append(vs, r.cfg.Value(epoch, v))
+		}
+	}
+	return r.cfg.Agg.Exact(vs)
+}
+
+// contribSeed namespaces the piggyback sketch per epoch.
+func (r *Runner[V, P, S, R]) contribSeed(epoch int) uint64 {
+	return xrand.Hash(r.cfg.Seed, 0xCB, uint64(epoch))
+}
+
+// topKCap is how many NC values envelopes carry: at least the controller's
+// k, minimum 4 so the max/2 rule sees ties.
+func (r *Runner[V, P, S, R]) topKCap() int {
+	if r.cfg.TopK > 4 {
+		return r.cfg.TopK
+	}
+	return 4
+}
+
+// valueEpoch maps a collection epoch to the epoch whose reading node v
+// folds in: identical under synchronous collection, shifted by the node's
+// pipeline stage when Pipelined.
+func (r *Runner[V, P, S, R]) valueEpoch(epoch, v int) int {
+	if !r.cfg.Pipelined {
+		return epoch
+	}
+	e := epoch - (r.maxLevel - r.schedLevel[v])
+	if e < 0 {
+		e = 0
+	}
+	return e
+}
+
+// mergeTopK folds src into dst keeping the cap largest values, descending.
+func mergeTopK(dst, src []int, cap int) []int {
+	for _, v := range src {
+		dst = insertTopK(dst, v, cap)
+	}
+	return dst
+}
+
+func insertTopK(dst []int, v, cap int) []int {
+	pos := len(dst)
+	for i, x := range dst {
+		if v > x {
+			pos = i
+			break
+		}
+	}
+	if pos >= cap {
+		return dst
+	}
+	dst = append(dst, 0)
+	copy(dst[pos+1:], dst[pos:])
+	dst[pos] = v
+	if len(dst) > cap {
+		dst = dst[:cap]
+	}
+	return dst
+}
+
+// RunEpoch executes one collection round and, on adaptation periods, one
+// adaptation decision.
+func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
+	n := r.cfg.Graph.N()
+	inbox := make([][]envelope[P, S], n)
+
+	// Nodes transmit level by level toward the base station, deepest first
+	// (§2). Envelope construction per node only reads the node's own inbox,
+	// so a level's nodes can be processed concurrently; deliveries are
+	// dispatched afterwards to keep inbox appends race-free.
+	byLevel := make([][]int, r.maxLevel+1)
+	for v := 1; v < n; v++ {
+		if r.participates(v) {
+			l := r.schedLevel[v]
+			if l >= 1 {
+				byLevel[l] = append(byLevel[l], v)
+			}
+		}
+	}
+	for level := r.maxLevel; level >= 1; level-- {
+		nodes := byLevel[level]
+		envs := make([]envelope[P, S], len(nodes))
+		if r.cfg.Parallel {
+			var wg sync.WaitGroup
+			for i, v := range nodes {
+				wg.Add(1)
+				go func(i, v int) {
+					defer wg.Done()
+					envs[i] = r.buildEnvelope(epoch, v, inbox[v])
+				}(i, v)
+			}
+			wg.Wait()
+		} else {
+			for i, v := range nodes {
+				envs[i] = r.buildEnvelope(epoch, v, inbox[v])
+			}
+		}
+		for i, v := range nodes {
+			r.dispatch(epoch, v, envs[i], inbox)
+		}
+	}
+
+	// Base station evaluation (§2's SE; exact combine for tree partials).
+	var treeParts []P
+	var syns []S
+	var exactContrib int64
+	cs := sketch.New(r.cfg.ContribK)
+	var topNC []int
+	minNC, ncValid := 0, false
+	contributors := make([]uint64, r.words)
+	baseChildContrib := make(map[int]int64)
+	for _, e := range inbox[topo.Base] {
+		if e.isTree {
+			treeParts = append(treeParts, e.p)
+			exactContrib += e.contribTree
+			baseChildContrib[e.from] = e.contribTree
+		} else {
+			syns = append(syns, e.s)
+			cs.Union(e.contribSk)
+			if e.ncValid {
+				topNC = mergeTopK(topNC, e.topNC, r.topKCap())
+				if !ncValid || e.minNC < minNC {
+					minNC = e.minNC
+				}
+				ncValid = true
+			}
+		}
+		orBits(contributors, e.contributors)
+	}
+	answer := r.cfg.Agg.EvalBase(treeParts, syns)
+	estContrib := float64(exactContrib) + cs.Estimate()
+	r.lastContributors = contributors
+
+	res := EpochResult[R]{
+		Epoch:       epoch,
+		Answer:      answer,
+		EstContrib:  estContrib,
+		TrueContrib: popcount(contributors),
+		DeltaSize:   r.state.DeltaSize(),
+	}
+
+	// The base station sees each direct T child's subtree contribution (or
+	// its absence) and records its non-contributing count for the TD
+	// strategy (see tdgraph.State.expandBaseChildren).
+	for _, c := range r.cfg.Tree.Children[topo.Base] {
+		if r.state.IsM(c) || !r.participates(c) {
+			continue
+		}
+		nc := r.state.SubtreeSize(c) - int(baseChildContrib[c])
+		if nc < 0 {
+			nc = 0
+		}
+		r.lastNC[c] = nc
+		topNC = insertTopK(topNC, nc, r.topKCap())
+		if !ncValid || nc < minNC {
+			minNC = nc
+		}
+		ncValid = true
+	}
+
+	// Adaptation period: the base station compares % contributing against
+	// the threshold and broadcasts a switch directive (§4.2).
+	// The raw fraction is deliberately not clamped at 1: the FM estimate is
+	// unbiased, and clamping before averaging would bias the period mean
+	// downward, preventing large deltas from ever looking "well above" the
+	// threshold.
+	r.fracSum += estContrib / float64(r.sensors)
+	r.fracN++
+	if (epoch+1)%r.cfg.AdaptEvery == 0 {
+		mean := r.fracSum / float64(r.fracN)
+		r.fracSum, r.fracN = 0, 0
+		action, switched := r.ctrl.Decide(r.state, mean, r.lastNC, topNC, minNC)
+		res.Action = action
+		res.Switched = switched
+		res.DeltaSize = r.state.DeltaSize()
+	}
+	return res
+}
+
+// Run executes epochs rounds starting at epoch 0.
+func (r *Runner[V, P, S, R]) Run(epochs int) []EpochResult[R] {
+	out := make([]EpochResult[R], 0, epochs)
+	for e := 0; e < epochs; e++ {
+		out = append(out, r.RunEpoch(e))
+	}
+	return out
+}
+
+// buildEnvelope assembles node v's outgoing partial result from its own
+// reading and its inbox.
+func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S]) envelope[P, S] {
+	agg := r.cfg.Agg
+	own := agg.Local(epoch, v, r.cfg.Value(r.valueEpoch(epoch, v), v))
+	contributors := make([]uint64, r.words)
+	setBit(contributors, v)
+
+	if !r.state.IsM(v) {
+		// Tree vertex: fold children's exact partials (only tree envelopes
+		// can arrive — multi-path broadcasts are never incorporated by T
+		// vertices, preserving Edge Correctness).
+		p := own
+		contrib := int64(1)
+		for i := range in {
+			e := &in[i]
+			if !e.isTree {
+				continue
+			}
+			p = agg.MergeTree(p, e.p)
+			contrib += e.contribTree
+			orBits(contributors, e.contributors)
+		}
+		p = agg.FinalizeTree(epoch, v, p)
+		return envelope[P, S]{
+			from: v, isTree: true, p: p,
+			contribTree: contrib, contributors: contributors,
+		}
+	}
+
+	// Multi-path vertex: start from the conversion of the node's own local
+	// result, fuse incoming synopses, and convert incoming tree partials at
+	// the tributary/delta boundary (§5, Figure 3).
+	s := agg.Convert(epoch, v, own)
+	cs := sketch.New(r.cfg.ContribK)
+	cs.AddCount(r.contribSeed(epoch), uint64(v), 1)
+	subtreeContrib := int64(1)
+	var topNC []int
+	minNC, ncValid := 0, false
+	for i := range in {
+		e := &in[i]
+		if e.isTree {
+			s = agg.Fuse(s, agg.Convert(epoch, e.from, e.p))
+			cs.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
+			subtreeContrib += e.contribTree
+		} else {
+			s = agg.Fuse(s, e.s)
+			cs.Union(e.contribSk)
+			if e.ncValid {
+				topNC = mergeTopK(topNC, e.topNC, r.topKCap())
+				if !ncValid || e.minNC < minNC {
+					minNC = e.minNC
+				}
+				ncValid = true
+			}
+		}
+		orBits(contributors, e.contributors)
+	}
+	// A frontier M vertex roots a unique all-T tree subtree (§4.2 footnote
+	// 3) and reports how many of its nodes did not contribute.
+	if r.state.IsFrontierM(v) {
+		nc := r.state.SubtreeSize(v) - int(subtreeContrib)
+		if nc < 0 {
+			nc = 0
+		}
+		r.lastNC[v] = nc
+		topNC = insertTopK(topNC, nc, r.topKCap())
+		if !ncValid || nc < minNC {
+			minNC = nc
+		}
+		ncValid = true
+	}
+	return envelope[P, S]{
+		from: v, isTree: false, s: s,
+		contribSk: cs, topNC: topNC, minNC: minNC, ncValid: ncValid,
+		contributors: contributors,
+	}
+}
+
+// dispatch transmits v's envelope: unicast with retransmissions toward the
+// tree parent for T vertices, a single broadcast up the rings for M
+// vertices. Energy accounting charges every radio transmission.
+func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env envelope[P, S], inbox [][]envelope[P, S]) {
+	if env.isTree {
+		parent := r.cfg.Tree.Parent[v]
+		if parent == -1 {
+			return
+		}
+		words := r.cfg.Agg.TreeWords(env.p) + 1 // +1 contributing count
+		for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
+			r.Stats.AddTx(v, words)
+			if r.cfg.Net.Delivered(epoch, attempt, v, parent) {
+				inbox[parent] = append(inbox[parent], env)
+				break
+			}
+		}
+		return
+	}
+	words := r.cfg.Agg.SynopsisWords(env.s) + sketch.EncodedWords(r.cfg.ContribK) + len(env.topNC) + 1
+	r.Stats.AddTx(v, words) // one broadcast, many potential receivers
+	for _, u := range r.cfg.Rings.Up[v] {
+		if !r.state.IsM(u) {
+			continue // T vertices ignore synopses (Edge Correctness)
+		}
+		if r.cfg.Net.Delivered(epoch, 0, v, u) {
+			inbox[u] = append(inbox[u], env)
+		}
+	}
+}
+
+func setBit(bits []uint64, i int) { bits[i/64] |= 1 << uint(i%64) }
+
+func orBits(dst, src []uint64) {
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+func popcount(b []uint64) int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// RMSError computes the paper's relative root-mean-square error over a set
+// of answers: (1/V)·sqrt(Σ(Vt−V)²/T) — §7.3 — for scalar answers. It lives
+// here for convenience of scalar runners; richer statistics are in
+// internal/stats.
+func RMSError(answers []float64, truth []float64) float64 {
+	if len(answers) == 0 || len(answers) != len(truth) {
+		return math.NaN()
+	}
+	sum := 0.0
+	meanV := 0.0
+	for i := range answers {
+		d := answers[i] - truth[i]
+		sum += d * d
+		meanV += truth[i]
+	}
+	meanV /= float64(len(truth))
+	if meanV == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum/float64(len(answers))) / meanV
+}

@@ -1,0 +1,125 @@
+// Package sample implements the duplicate-insensitive uniform sample of §5:
+// a bottom-k (min-wise) hash sample. Every reading is tagged with a uniform
+// hash of its identity; a sample keeps the k smallest-hash readings seen.
+// Because the hash is a pure function of the reading's identity, merging two
+// samples — in a tree or over multi-path routes — is idempotent, so the very
+// same structure serves as tree partial and as synopsis, with an identity
+// conversion function. The paper notes the Uniform Sample algorithm extends
+// the framework to Quantiles and Statistical Moments.
+package sample
+
+import (
+	"sort"
+
+	"tributarydelta/internal/xrand"
+)
+
+// Item is one sampled reading: its owner and value, ranked by Rank.
+type Item struct {
+	// Rank is the uniform hash that orders the bottom-k sample.
+	Rank uint64
+	// Node is the sensor that produced the reading.
+	Node int
+	// Value is the reading.
+	Value float64
+}
+
+// Sample is a bottom-k sample. The zero value is unusable; construct with
+// New.
+type Sample struct {
+	k     int
+	items []Item // sorted ascending by Rank, at most k entries, unique ranks
+}
+
+// New returns an empty sample of capacity k. It panics if k <= 0.
+func New(k int) *Sample {
+	if k <= 0 {
+		panic("sample: New with non-positive k")
+	}
+	return &Sample{k: k}
+}
+
+// K returns the sample capacity.
+func (s *Sample) K() int { return s.k }
+
+// Len returns the number of items currently held.
+func (s *Sample) Len() int { return len(s.items) }
+
+// Items returns the held items in rank order. The slice is shared; callers
+// must not modify it.
+func (s *Sample) Items() []Item { return s.items }
+
+// Add inserts the reading of node for the given epoch. The rank hash is
+// derived from (seed, epoch, node), so re-adding the same reading — or
+// merging a sample that already contains it — cannot inflate its weight.
+func (s *Sample) Add(seed uint64, epoch, node int, value float64) {
+	rank := xrand.Hash(seed, 0x5A11, uint64(epoch), uint64(node))
+	s.insert(Item{Rank: rank, Node: node, Value: value})
+}
+
+// insert places it into rank order, dropping duplicates and trimming to k.
+func (s *Sample) insert(it Item) {
+	i := sort.Search(len(s.items), func(j int) bool { return s.items[j].Rank >= it.Rank })
+	if i < len(s.items) && s.items[i].Rank == it.Rank {
+		return // duplicate identity
+	}
+	if i >= s.k {
+		return // ranks too large to matter
+	}
+	s.items = append(s.items, Item{})
+	copy(s.items[i+1:], s.items[i:])
+	s.items[i] = it
+	if len(s.items) > s.k {
+		s.items = s.items[:s.k]
+	}
+}
+
+// Merge folds other into s. Merge is commutative, associative and
+// idempotent. Both samples must have the same capacity.
+func (s *Sample) Merge(other *Sample) {
+	if s.k != other.k {
+		panic("sample: merging samples of different capacities")
+	}
+	for _, it := range other.items {
+		s.insert(it)
+	}
+}
+
+// Clone returns a deep copy.
+func (s *Sample) Clone() *Sample {
+	c := New(s.k)
+	c.items = append(c.items, s.items...)
+	return c
+}
+
+// Words returns the message size in 32-bit words: three words per item (two
+// for the rank, one for node+value packed — the paper's accounting counts
+// words, not exact encodings).
+func (s *Sample) Words() int { return 3 * len(s.items) }
+
+// Values returns just the sampled values, in rank order.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.items))
+	for i, it := range s.items {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the population from the
+// sample by order statistics over the sampled values.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.items) == 0 {
+		return 0
+	}
+	vals := s.Values()
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}

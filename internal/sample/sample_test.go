@@ -1,0 +1,163 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tributarydelta/internal/xrand"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAddAndCapacity(t *testing.T) {
+	s := New(5)
+	for node := 1; node <= 100; node++ {
+		s.Add(1, 0, node, float64(node))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d, want capacity 5", s.Len())
+	}
+	// Items must be in ascending rank order.
+	items := s.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Rank >= items[i].Rank {
+			t.Fatal("items out of rank order")
+		}
+	}
+}
+
+func TestDuplicateInsensitive(t *testing.T) {
+	a, b := New(10), New(10)
+	for node := 1; node <= 30; node++ {
+		a.Add(2, 0, node, float64(node))
+		b.Add(2, 0, node, float64(node))
+		b.Add(2, 0, node, float64(node)) // duplicate
+	}
+	b.Merge(a) // merging an equal sample is a no-op
+	if a.Len() != b.Len() {
+		t.Fatal("duplicate adds changed the sample size")
+	}
+	ia, ib := a.Items(), b.Items()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("duplicate adds changed the sample contents")
+		}
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	mk := func(lo, hi int) *Sample {
+		s := New(8)
+		for n := lo; n < hi; n++ {
+			s.Add(3, 0, n, float64(n))
+		}
+		return s
+	}
+	a, b := mk(0, 40), mk(20, 60)
+	ab := a.Clone()
+	ab.Merge(b)
+	ba := b.Clone()
+	ba.Merge(a)
+	if ab.Len() != ba.Len() {
+		t.Fatal("merge not commutative in size")
+	}
+	for i := range ab.Items() {
+		if ab.Items()[i] != ba.Items()[i] {
+			t.Fatal("merge not commutative in contents")
+		}
+	}
+	// Idempotence.
+	aa := a.Clone()
+	aa.Merge(a)
+	if aa.Len() != a.Len() {
+		t.Fatal("merge not idempotent")
+	}
+}
+
+func TestMergePanicsOnCapacityMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Merge(New(4))
+}
+
+func TestUniformity(t *testing.T) {
+	// Every node must have (roughly) equal probability of being sampled:
+	// run many epochs and count inclusion of each node.
+	const nodes = 50
+	const k = 10
+	const epochs = 4000
+	counts := make([]int, nodes)
+	for e := 0; e < epochs; e++ {
+		s := New(k)
+		for n := 0; n < nodes; n++ {
+			s.Add(7, e, n, 0)
+		}
+		for _, it := range s.Items() {
+			counts[it.Node]++
+		}
+	}
+	want := float64(epochs) * k / nodes
+	for n, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.25 {
+			t.Fatalf("node %d sampled %d times, want ~%v", n, c, want)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := New(100)
+	for n := 0; n < 100; n++ {
+		s.Add(9, 0, n, float64(n))
+	}
+	med := s.Quantile(0.5)
+	if med < 20 || med > 80 {
+		t.Fatalf("median of 0..99 sample = %v", med)
+	}
+	if (&Sample{k: 3}).Quantile(0.5) != 0 {
+		t.Fatal("empty sample quantile should be 0")
+	}
+}
+
+func TestWordsAndValues(t *testing.T) {
+	s := New(4)
+	s.Add(1, 0, 1, 10)
+	s.Add(1, 0, 2, 20)
+	if s.Words() != 6 {
+		t.Fatalf("words = %d, want 6", s.Words())
+	}
+	if len(s.Values()) != 2 {
+		t.Fatal("values length")
+	}
+}
+
+func TestInsertRankOrderProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nodesRaw uint8) bool {
+		nodes := int(nodesRaw)%60 + 1
+		s := New(7)
+		src := xrand.NewSource(seed)
+		for i := 0; i < nodes; i++ {
+			s.Add(seed, 0, src.Intn(1000), src.Float64())
+		}
+		items := s.Items()
+		for i := 1; i < len(items); i++ {
+			if items[i-1].Rank >= items[i].Rank {
+				return false
+			}
+		}
+		return len(items) <= 7
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

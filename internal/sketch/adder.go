@@ -1,0 +1,60 @@
+package sketch
+
+// Adder is the duplicate-insensitive sum operator ⊕ of Definition 1 in the
+// paper, realised as a PCSA sketch whose bitmap count is derived from the
+// caller's relative-error budget εc. Because the relative standard error of
+// a PCSA estimate depends only on K — not on how many values were folded in —
+// the operator is accuracy preserving: X(εc,δc) ⊕ Y(εc,δc) = (X+Y)(εc,δc).
+//
+// The paper's evaluation (§7.4.3) deliberately swaps this for the low-
+// overhead best-effort operator of [7]; both are available here. A
+// best-effort Adder is simply one constructed with a small K.
+type Adder struct {
+	sk   *Sketch
+	seed uint64
+}
+
+// NewAdder returns an Adder targeting relative error eps, drawing hash
+// randomness from seed. All Adders that will be combined must share a seed.
+func NewAdder(seed uint64, eps float64) *Adder {
+	return &Adder{sk: New(KForRelativeError(eps)), seed: seed}
+}
+
+// NewAdderK returns an Adder with an explicit bitmap count, for callers that
+// trade accuracy for message size (the best-effort configuration).
+func NewAdderK(seed uint64, k int) *Adder {
+	return &Adder{sk: New(k), seed: seed}
+}
+
+// Add credits count units owned by owner. Adding the same (owner, count)
+// twice is idempotent.
+func (a *Adder) Add(owner uint64, count int64) {
+	a.sk.AddCount(a.seed, owner, count)
+}
+
+// Combine folds another Adder into this one (the ⊕ application). Both must
+// have been built with the same seed and K.
+func (a *Adder) Combine(b *Adder) {
+	if a.seed != b.seed {
+		panic("sketch: combining adders with different seeds")
+	}
+	a.sk.Union(b.sk)
+}
+
+// Estimate returns the estimated sum.
+func (a *Adder) Estimate() float64 { return a.sk.Estimate() }
+
+// K returns the number of bitmaps backing the adder.
+func (a *Adder) K() int { return a.sk.K() }
+
+// Words returns the message size of the adder's compact encoding in 32-bit
+// words.
+func (a *Adder) Words() int { return EncodedWords(a.sk.K()) }
+
+// Clone returns a deep copy.
+func (a *Adder) Clone() *Adder {
+	return &Adder{sk: a.sk.Clone(), seed: a.seed}
+}
+
+// Sketch exposes the underlying sketch (shared, not copied).
+func (a *Adder) Sketch() *Sketch { return a.sk }

@@ -1,0 +1,433 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tributarydelta/internal/xrand"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyEstimateIsZero(t *testing.T) {
+	s := New(40)
+	if !s.Empty() {
+		t.Fatal("fresh sketch should be empty")
+	}
+	if got := s.Estimate(); got != 0 {
+		t.Fatalf("empty sketch estimate = %v, want 0", got)
+	}
+}
+
+func TestInsertMakesNonEmpty(t *testing.T) {
+	s := New(40)
+	s.Insert(1, 42)
+	if s.Empty() {
+		t.Fatal("sketch should be non-empty after insert")
+	}
+	// A single item can land above bit 0 and leave the R statistic at zero,
+	// so only a batch is guaranteed a positive estimate.
+	for i := uint64(0); i < 200; i++ {
+		s.Insert(1, i)
+	}
+	if s.Estimate() <= 0 {
+		t.Fatal("estimate should be positive after batch insert")
+	}
+}
+
+func TestDuplicateInsensitivity(t *testing.T) {
+	a := New(40)
+	b := New(40)
+	for i := uint64(0); i < 1000; i++ {
+		a.Insert(7, i)
+		b.Insert(7, i)
+		b.Insert(7, i) // duplicate
+	}
+	// Re-inserting everything must not change the sketch.
+	for i := uint64(0); i < 1000; i++ {
+		b.Insert(7, i)
+	}
+	if a.Estimate() != b.Estimate() {
+		t.Fatalf("duplicates changed the estimate: %v vs %v", a.Estimate(), b.Estimate())
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	// Union of sketches over overlapping sets == sketch of the set union.
+	a, b, both := New(32), New(32), New(32)
+	for i := uint64(0); i < 600; i++ {
+		a.Insert(3, i)
+		both.Insert(3, i)
+	}
+	for i := uint64(300); i < 900; i++ {
+		b.Insert(3, i)
+		both.Insert(3, i)
+	}
+	u := Union(a, b)
+	if u.Estimate() != both.Estimate() {
+		t.Fatalf("union estimate %v != direct estimate %v", u.Estimate(), both.Estimate())
+	}
+}
+
+func TestUnionCommutativeAssociativeIdempotent(t *testing.T) {
+	mk := func(lo, hi uint64) *Sketch {
+		s := New(16)
+		for i := lo; i < hi; i++ {
+			s.Insert(5, i)
+		}
+		return s
+	}
+	a, b, c := mk(0, 100), mk(50, 200), mk(150, 400)
+	ab := Union(a, b)
+	ba := Union(b, a)
+	if ab.Estimate() != ba.Estimate() {
+		t.Fatal("union not commutative")
+	}
+	abc1 := Union(Union(a, b), c)
+	abc2 := Union(a, Union(b, c))
+	if abc1.Estimate() != abc2.Estimate() {
+		t.Fatal("union not associative")
+	}
+	aa := Union(a, a)
+	if aa.Estimate() != a.Estimate() {
+		t.Fatal("union not idempotent")
+	}
+}
+
+func TestUnionPanicsOnMismatchedK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched K")
+		}
+	}()
+	New(8).Union(New(16))
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// Averaged over trials, the estimate should land within a few standard
+	// errors of the truth for a wide range of counts.
+	const k = 40
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		const trials = 8
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			s := New(k)
+			for i := 0; i < n; i++ {
+				s.Insert(uint64(trial+1), uint64(i))
+			}
+			sum += s.Estimate()
+		}
+		mean := sum / trials
+		relErr := math.Abs(mean-float64(n)) / float64(n)
+		// stderr of the mean ~ 0.78/sqrt(40*8) ~ 4.4%; allow 4 sigma.
+		if relErr > 0.18 {
+			t.Errorf("n=%d: mean estimate %.1f, rel err %.3f too large", n, mean, relErr)
+		}
+	}
+}
+
+func TestAddCountMatchesAccuracy(t *testing.T) {
+	// Large-count simulated insertion should estimate about as well as
+	// direct insertion.
+	const k = 40
+	for _, n := range []int64{1000, 50000, 1000000} {
+		const trials = 6
+		sum := 0.0
+		for trial := uint64(0); trial < trials; trial++ {
+			s := New(k)
+			s.AddCount(trial+1, 999, n)
+			sum += s.Estimate()
+		}
+		mean := sum / trials
+		relErr := math.Abs(mean-float64(n)) / float64(n)
+		if relErr > 0.25 {
+			t.Errorf("AddCount n=%d: mean %.1f rel err %.3f", n, mean, relErr)
+		}
+	}
+}
+
+func TestAddCountIdempotentUnderUnion(t *testing.T) {
+	// The core multi-path requirement: the same (owner, count) credit
+	// arriving via two paths must count once.
+	for _, n := range []int64{10, 500, 10000} {
+		a := New(40)
+		a.AddCount(1, 7, n)
+		b := New(40)
+		b.AddCount(1, 7, n)
+		u := Union(a, b)
+		if u.Estimate() != a.Estimate() {
+			t.Fatalf("n=%d: union of duplicate credits changed estimate", n)
+		}
+	}
+}
+
+func TestAddCountZeroAndNegative(t *testing.T) {
+	s := New(8)
+	s.AddCount(1, 2, 0)
+	s.AddCount(1, 2, -5)
+	if !s.Empty() {
+		t.Fatal("zero/negative counts must not modify the sketch")
+	}
+}
+
+func TestAddCountDifferentOwnersAccumulate(t *testing.T) {
+	s := New(40)
+	s.AddCount(1, 100, 5000)
+	s.AddCount(1, 200, 5000)
+	est := s.Estimate()
+	if est < 6000 || est > 14000 {
+		t.Fatalf("two disjoint credits of 5000: estimate %v, want ~10000", est)
+	}
+}
+
+func TestKForRelativeError(t *testing.T) {
+	if k := KForRelativeError(0.5); k < 2 || k > 4 {
+		t.Errorf("KForRelativeError(0.5) = %d, want ~3", k)
+	}
+	if k := KForRelativeError(0.1); k < 55 || k > 70 {
+		t.Errorf("KForRelativeError(0.1) = %d, want ~61", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for eps out of range")
+		}
+	}()
+	KForRelativeError(0)
+}
+
+func TestCompactEncodingRoundTrip(t *testing.T) {
+	s := New(40)
+	for i := uint64(0); i < 5000; i++ {
+		s.Insert(9, i)
+	}
+	enc := s.EncodeCompact()
+	dec, err := DecodeCompact(enc, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run (and hence the estimate's R statistic) must round-trip
+	// exactly; only far-fringe bits may be lost.
+	for m := 0; m < 40; m++ {
+		if s.lowestZero(m) != dec.lowestZero(m) {
+			t.Fatalf("bitmap %d: R %d -> %d after round trip", m, s.lowestZero(m), dec.lowestZero(m))
+		}
+	}
+	rel := math.Abs(dec.Estimate()-s.Estimate()) / (s.Estimate() + 1)
+	if rel > 0.05 {
+		t.Errorf("estimate drifted %.3f after compact round trip", rel)
+	}
+}
+
+func TestCompactEncodingFitsTinyDBMessage(t *testing.T) {
+	// The paper packs 40 32-bit synopses into a 48-byte message with RLE.
+	if got := len(New(40).EncodeCompact()); got > 48 {
+		t.Fatalf("40-bitmap compact encoding is %d bytes, must fit 48", got)
+	}
+	if w := EncodedWords(40); w > 12 {
+		t.Fatalf("EncodedWords(40) = %d words, must fit 12 (48 bytes)", w)
+	}
+}
+
+func TestDecodeCompactTruncated(t *testing.T) {
+	if _, err := DecodeCompact([]byte{1, 2}, 40); err == nil {
+		t.Fatal("expected error for truncated encoding")
+	}
+}
+
+func TestCompactRoundTripProperty(t *testing.T) {
+	// Property: for random item sets, R statistics survive the round trip.
+	cfg := &quick.Config{MaxCount: 50}
+	err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 1
+		s := New(16)
+		for i := 0; i < n; i++ {
+			s.Insert(seed, uint64(i))
+		}
+		dec, err := DecodeCompact(s.EncodeCompact(), 16)
+		if err != nil {
+			return false
+		}
+		for m := 0; m < 16; m++ {
+			if s.lowestZero(m) != dec.lowestZero(m) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertHashDeterministic(t *testing.T) {
+	err := quick.Check(func(h uint64) bool {
+		a, b := New(8), New(8)
+		a.InsertHash(h)
+		b.InsertHash(h)
+		b.InsertHash(h)
+		return a.Estimate() == b.Estimate()
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdderAccuracyPreservation(t *testing.T) {
+	// Definition 1: combining estimates must not degrade relative error.
+	// Split a total into many parts across many adders, combine, and check
+	// the final error is in line with a single adder's error.
+	const eps = 0.2
+	const total = 100000
+	const parts = 50
+	const trials = 6
+	sumErr := 0.0
+	for trial := uint64(1); trial <= trials; trial++ {
+		adders := make([]*Adder, parts)
+		for i := range adders {
+			adders[i] = NewAdder(trial, eps)
+			adders[i].Add(uint64(i), total/parts)
+		}
+		root := adders[0]
+		for _, a := range adders[1:] {
+			root.Combine(a)
+		}
+		sumErr += math.Abs(root.Estimate()-total) / total
+	}
+	if mean := sumErr / trials; mean > 2.5*eps {
+		t.Errorf("mean relative error %.3f after %d combines, budget %.3f", mean, parts, eps)
+	}
+}
+
+func TestAdderCombinePanicsOnSeedMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for seed mismatch")
+		}
+	}()
+	NewAdderK(1, 8).Combine(NewAdderK(2, 8))
+}
+
+func TestAdderIdempotentCombine(t *testing.T) {
+	a := NewAdderK(1, 32)
+	a.Add(5, 1000)
+	b := a.Clone()
+	a.Combine(b)
+	if a.Estimate() != b.Estimate() {
+		t.Fatal("combining a clone must be a no-op")
+	}
+}
+
+func TestAdderWords(t *testing.T) {
+	a := NewAdderK(1, 40)
+	if a.Words() != EncodedWords(40) {
+		t.Fatalf("Words() = %d, want %d", a.Words(), EncodedWords(40))
+	}
+}
+
+func TestSimulateGeometricExtremes(t *testing.T) {
+	// A gigantic count must saturate low bits without panicking and still
+	// produce a finite estimate.
+	s := New(8)
+	s.AddCount(1, 1, 1<<30)
+	est := s.Estimate()
+	if math.IsInf(est, 0) || math.IsNaN(est) || est <= 0 {
+		t.Fatalf("estimate for 2^30 insertions = %v", est)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(8)
+	a.Insert(1, 1)
+	b := a.Clone()
+	b.Insert(1, 999999)
+	bEst := b.Estimate()
+	if a.Estimate() == bEst {
+		// They could coincide if the new item hit an already-set bit; force
+		// difference by inserting many items.
+		for i := uint64(0); i < 1000; i++ {
+			b.Insert(2, i)
+		}
+		if a.Estimate() == b.Estimate() {
+			t.Fatal("clone shares state with original")
+		}
+	}
+}
+
+func TestBitReaderWriterRoundTrip(t *testing.T) {
+	w := newBitWriter(64)
+	vals := []struct {
+		v     uint32
+		width int
+	}{{5, 5}, {0, 4}, {15, 4}, {31, 5}, {1, 1}, {1023, 10}}
+	for _, x := range vals {
+		w.write(x.v, x.width)
+	}
+	r := newBitReader(w.bytes())
+	for i, x := range vals {
+		if got := r.read(x.width); got != x.v {
+			t.Fatalf("field %d: read %d, want %d", i, got, x.v)
+		}
+	}
+}
+
+func TestDistinctOwnersIndependence(t *testing.T) {
+	// AddCount draws for one owner must not correlate with another's; check
+	// total estimate of many owners is sane.
+	s := New(40)
+	for owner := uint64(0); owner < 200; owner++ {
+		s.AddCount(42, owner, 300)
+	}
+	est := s.Estimate()
+	want := 200.0 * 300
+	if math.Abs(est-want)/want > 0.35 {
+		t.Fatalf("estimate %v for %v inserted", est, want)
+	}
+}
+
+var sinkF float64
+
+func BenchmarkInsertHash(b *testing.B) {
+	s := New(40)
+	for i := 0; i < b.N; i++ {
+		s.InsertHash(xrand.Mix64(uint64(i)))
+	}
+}
+
+func BenchmarkAddCountLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(40)
+		s.AddCount(1, uint64(i), 1000000)
+		sinkF = s.Estimate()
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x, y := New(40), New(40)
+	for i := uint64(0); i < 1000; i++ {
+		x.Insert(1, i)
+		y.Insert(2, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Union(y)
+	}
+}
+
+func BenchmarkEncodeCompact(b *testing.B) {
+	s := New(40)
+	for i := uint64(0); i < 10000; i++ {
+		s.Insert(1, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.EncodeCompact()
+	}
+}

@@ -1,0 +1,120 @@
+// Package stats provides the error metrics of §7: the relative RMS error of
+// a series of answers ((1/V)·sqrt(Σ(Vt−V)²/T), §7.3), per-epoch relative
+// errors for the timeline plots (Figure 6), and small summary helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RelativeRMS computes the paper's error metric for a run: answers Vt
+// against per-epoch truths. The normaliser V is the mean truth, matching
+// the paper's single "actual value" when the truth is constant.
+func RelativeRMS(answers, truth []float64) float64 {
+	if len(answers) == 0 || len(answers) != len(truth) {
+		return math.NaN()
+	}
+	var sq, mean float64
+	for i := range answers {
+		d := answers[i] - truth[i]
+		sq += d * d
+		mean += truth[i]
+	}
+	mean /= float64(len(truth))
+	if mean == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(sq/float64(len(answers))) / mean
+}
+
+// RelativeErrors returns the per-epoch |Vt−V|/V series (Figure 6's metric).
+func RelativeErrors(answers, truth []float64) []float64 {
+	out := make([]float64, len(answers))
+	for i := range answers {
+		if truth[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = math.Abs(answers[i]-truth[i]) / truth[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum (NaN for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by nearest rank.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(q * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Smooth returns a centered moving average of width w (w forced odd), used
+// to render the Figure 6 timelines legibly in text.
+func Smooth(xs []float64, w int) []float64 {
+	if w < 1 {
+		w = 1
+	}
+	if w%2 == 0 {
+		w++
+	}
+	half := w / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		s, n := 0.0, 0
+		for j := lo; j <= hi; j++ {
+			if !math.IsNaN(xs[j]) {
+				s += xs[j]
+				n++
+			}
+		}
+		if n == 0 {
+			out[i] = math.NaN()
+		} else {
+			out[i] = s / float64(n)
+		}
+	}
+	return out
+}

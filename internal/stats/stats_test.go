@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelativeRMS(t *testing.T) {
+	got := RelativeRMS([]float64{90, 110}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RMS = %v, want 0.1", got)
+	}
+	if got := RelativeRMS([]float64{100}, []float64{100}); got != 0 {
+		t.Fatalf("exact answers should give 0, got %v", got)
+	}
+	if !math.IsNaN(RelativeRMS(nil, nil)) {
+		t.Fatal("empty should be NaN")
+	}
+	if !math.IsNaN(RelativeRMS([]float64{1}, []float64{1, 2})) {
+		t.Fatal("length mismatch should be NaN")
+	}
+	if !math.IsNaN(RelativeRMS([]float64{1, -1}, []float64{1, -1})) {
+		// mean truth zero
+		t.Fatal("zero mean truth should be NaN")
+	}
+}
+
+func TestRelativeErrors(t *testing.T) {
+	errs := RelativeErrors([]float64{90, 120, 5}, []float64{100, 100, 0})
+	if math.Abs(errs[0]-0.1) > 1e-12 || math.Abs(errs[1]-0.2) > 1e-12 {
+		t.Fatalf("errors = %v", errs)
+	}
+	if !math.IsNaN(errs[2]) {
+		t.Fatal("zero truth entry should be NaN")
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if Max([]float64{1, 5, 3}) != 5 {
+		t.Fatal("max")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty inputs should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 || Quantile(xs, 0.5) != 3 {
+		t.Fatal("quantiles wrong")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty should be NaN")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	xs := []float64{0, 10, 0, 10, 0}
+	sm := Smooth(xs, 3)
+	if len(sm) != len(xs) {
+		t.Fatal("length changed")
+	}
+	// Interior points average their neighbourhood.
+	if math.Abs(sm[2]-20.0/3) > 1e-12 {
+		t.Fatalf("sm[2] = %v", sm[2])
+	}
+	// NaNs are skipped, not propagated.
+	withNaN := Smooth([]float64{1, math.NaN(), 3}, 3)
+	if math.IsNaN(withNaN[1]) {
+		t.Fatal("NaN propagated through Smooth")
+	}
+	// Even widths are bumped to odd; width < 1 behaves as 1.
+	if got := Smooth(xs, 0); got[1] != 10 {
+		t.Fatalf("width-0 smooth changed values: %v", got)
+	}
+	all := Smooth([]float64{math.NaN()}, 3)
+	if !math.IsNaN(all[0]) {
+		t.Fatal("all-NaN window must stay NaN")
+	}
+}

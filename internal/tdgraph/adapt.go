@@ -1,0 +1,158 @@
+package tdgraph
+
+// Strategy selects between the two adaptation schemes of §4.2.
+type Strategy uint8
+
+const (
+	// StrategyNone disables adaptation (the TAG and SD baselines).
+	StrategyNone Strategy = iota
+	// StrategyCoarse is TD-Coarse: the delta grows or shrinks by a whole
+	// level of switchable vertices at a time.
+	StrategyCoarse
+	// StrategyTD is TD: expansion targets the subtrees with the most
+	// non-contributing nodes; contraction retires the subtrees with the
+	// fewest.
+	StrategyTD
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyCoarse:
+		return "TD-Coarse"
+	case StrategyTD:
+		return "TD"
+	default:
+		return "none"
+	}
+}
+
+// Action is the outcome of one adaptation decision.
+type Action uint8
+
+// Adaptation outcomes.
+const (
+	ActionNone Action = iota
+	ActionExpand
+	ActionShrink
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionExpand:
+		return "expand"
+	case ActionShrink:
+		return "shrink"
+	default:
+		return "none"
+	}
+}
+
+// Controller is the base station's adaptation logic: compare the fraction of
+// contributing nodes against the user threshold, expand or shrink the delta
+// region accordingly, and damp oscillation by exponentially backing off when
+// expansion and contraction alternate (§4.2's damping heuristic).
+type Controller struct {
+	// Threshold is the user-specified minimum fraction of nodes that should
+	// contribute to the answer (the paper's experiments use 0.90).
+	Threshold float64
+	// ShrinkMargin is how far above Threshold the contributing fraction must
+	// be before the delta shrinks ("well above the threshold", §4.2).
+	ShrinkMargin float64
+	// Strategy picks TD-Coarse or TD.
+	Strategy Strategy
+	// TopK selects the TD expansion heuristic: 0 uses the "max/2" rule,
+	// k > 0 uses the k-th largest reported non-contributing count as the
+	// threshold — the §4.2 "maintaining the top-k values instead of just
+	// the top-1" extension.
+	TopK int
+
+	lastAction Action
+	oscillated int // consecutive direction alternations
+	cooldown   int // adaptation periods to skip
+}
+
+// NewController returns a controller with the paper's defaults: a 90%
+// threshold and a 5% shrink margin.
+func NewController(strategy Strategy) *Controller {
+	return &Controller{Threshold: 0.90, ShrinkMargin: 0.05, Strategy: strategy}
+}
+
+// Decide applies one adaptation period: given the observed contributing
+// fraction, the per-vertex non-contributing counts reported by frontier M
+// vertices, the top reported counts (descending; topNC[0] is the §4.2 max)
+// and the observed minimum, it mutates the state and returns the action
+// taken together with the number of vertices switched.
+func (c *Controller) Decide(s *State, contribFrac float64, notContrib []int, topNC []int, minNC int) (Action, int) {
+	if c.Strategy == StrategyNone {
+		return ActionNone, 0
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return ActionNone, 0
+	}
+	var want Action
+	switch {
+	case contribFrac < c.Threshold:
+		want = ActionExpand
+	case contribFrac >= c.Threshold+c.ShrinkMargin:
+		want = ActionShrink
+	default:
+		c.oscillated = 0
+		c.lastAction = ActionNone
+		return ActionNone, 0
+	}
+
+	// Oscillation damping: alternating expand/shrink backs off
+	// exponentially (capped at 4 periods, so a regime change is never
+	// ignored for long); repeating the same direction resets the backoff.
+	if c.lastAction != ActionNone && want != c.lastAction {
+		c.oscillated++
+		c.cooldown = 1 << minInt(c.oscillated, 2)
+	} else {
+		c.oscillated = 0
+	}
+	c.lastAction = want
+
+	var switched int
+	switch {
+	case want == ActionExpand && c.Strategy == StrategyCoarse:
+		switched = s.ExpandCoarse()
+	case want == ActionExpand && c.Strategy == StrategyTD:
+		switched = s.ExpandTDAtLeast(notContrib, c.expandThreshold(topNC))
+	case want == ActionShrink && c.Strategy == StrategyCoarse:
+		switched = s.ShrinkCoarse()
+	case want == ActionShrink && c.Strategy == StrategyTD:
+		switched = s.ShrinkTD(notContrib, minNC)
+	}
+	if switched == 0 {
+		return ActionNone, 0
+	}
+	return want, switched
+}
+
+// expandThreshold derives the expansion threshold from the reported top
+// non-contributing counts: the k-th largest under TopK, or the paper's
+// "max/2" heuristic otherwise. Targeting every subtree within half of the
+// worst keeps the fine-grained locality while converging in a few periods.
+func (c *Controller) expandThreshold(topNC []int) int {
+	if len(topNC) == 0 {
+		return 0
+	}
+	if c.TopK > 0 {
+		idx := c.TopK - 1
+		if idx >= len(topNC) {
+			idx = len(topNC) - 1
+		}
+		return topNC[idx]
+	}
+	return (topNC[0] + 1) / 2
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

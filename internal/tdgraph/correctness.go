@@ -1,0 +1,53 @@
+package tdgraph
+
+// This file implements the paper's two correctness conditions over an
+// arbitrary labeled directed graph, independent of any particular topology,
+// so that their relationship (each implies the other on graphs where every
+// vertex routes onward; see §3) can be property-tested.
+
+// EdgeCorrect checks Property 1 on a labeled digraph: an M edge (an edge
+// whose source is labeled M) is never incident on a T vertex.
+func EdgeCorrect(n int, edges [][2]int, label []Label) bool {
+	for _, e := range edges {
+		if label[e[0]] == M && label[e[1]] == T {
+			return false
+		}
+	}
+	return true
+}
+
+// PathCorrect checks Property 2 on a labeled digraph: in no directed path
+// does a T edge appear after an M edge. Equivalently, no vertex reachable
+// via an M edge ever has an outgoing T edge on the continuation — i.e. there
+// is no pair (M edge into v, T edge out of w) with w reachable from v.
+func PathCorrect(n int, edges [][2]int, label []Label) bool {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	// afterM[v]: v is the head of some M edge, or reachable from one.
+	afterM := make([]bool, n)
+	var stack []int
+	for _, e := range edges {
+		if label[e[0]] == M && !afterM[e[1]] {
+			afterM[e[1]] = true
+			stack = append(stack, e[1])
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !afterM[w] {
+				afterM[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	for _, e := range edges {
+		if label[e[0]] == T && afterM[e[0]] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,351 @@
+// Package tdgraph implements the heart of the paper: the labeled aggregation
+// graph of §3 — every vertex runs either the tree scheme (T) or the
+// multi-path scheme (M) — together with the correctness properties (Edge
+// Correctness, Property 1; Path Correctness, Property 2), the switchable-
+// vertex machinery (Observation 1, Lemma 1), and the two adaptation
+// strategies of §4.2, TD-Coarse and TD, with the oscillation-damping
+// heuristic.
+//
+// The delta region (the M vertices) always contains the base station and is
+// upward closed along tree-parent pointers: an M vertex's tree parent is M.
+// This structural invariant, maintained by every switch operation, is what
+// makes Path Correctness hold — a partial result converted to a synopsis at
+// the tributary/delta boundary never meets a tree vertex again on its way to
+// the base station.
+package tdgraph
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/topo"
+)
+
+// Label says which aggregation scheme a vertex runs.
+type Label uint8
+
+const (
+	// T vertices run the tree scheme (tributaries).
+	T Label = iota
+	// M vertices run the multi-path scheme (the delta).
+	M
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l == M {
+		return "M"
+	}
+	return "T"
+}
+
+// State is the labeling of a fixed aggregation topology: the radio graph,
+// its rings, and a spanning tree whose links are rings links (§4.1). Labels
+// change over time through the switch operations; the topology does not.
+type State struct {
+	G     *topo.Graph
+	R     *topo.Rings
+	Tree  *topo.Tree
+	label []Label
+	// subtree[v] is the size of v's tree subtree including v — the paper's
+	// footnote 3 "unique subtree" used by the TD strategy.
+	subtree []int
+}
+
+// NewState labels every reachable vertex with rings level ≤ deltaLevels as M
+// and the rest as T. deltaLevels = 0 yields the pure-tree extreme (delta =
+// base station only); deltaLevels ≥ the max ring yields pure multi-path.
+func NewState(g *topo.Graph, r *topo.Rings, tree *topo.Tree, deltaLevels int) *State {
+	s := &State{
+		G:       g,
+		R:       r,
+		Tree:    tree,
+		label:   make([]Label, g.N()),
+		subtree: tree.SubtreeSizes(),
+	}
+	for v := 0; v < g.N(); v++ {
+		if r.Reachable(v) && r.Level[v] <= deltaLevels {
+			s.label[v] = M
+		}
+	}
+	s.label[topo.Base] = M
+	return s
+}
+
+// Label returns v's current label.
+func (s *State) Label(v int) Label { return s.label[v] }
+
+// IsM reports whether v runs the multi-path scheme.
+func (s *State) IsM(v int) bool { return s.label[v] == M }
+
+// SubtreeSize returns the size of v's tree subtree (v included).
+func (s *State) SubtreeSize(v int) int { return s.subtree[v] }
+
+// DeltaSize returns the number of M vertices, the base station included.
+func (s *State) DeltaSize() int {
+	n := 0
+	for _, l := range s.label {
+		if l == M {
+			n++
+		}
+	}
+	return n
+}
+
+// TributarySize returns the number of T vertices.
+func (s *State) TributarySize() int { return s.G.N() - s.DeltaSize() }
+
+// IsSwitchableM reports whether M vertex v may switch to T: all its incoming
+// edges are T edges or it has no incoming edges (§3). Incoming edges are
+// unicasts from tree children (always T-sourced while the invariant holds)
+// and broadcasts from down-ring M neighbours, so v is switchable exactly
+// when no down-ring radio neighbour is M. The base station never switches.
+func (s *State) IsSwitchableM(v int) bool {
+	if v == topo.Base || s.label[v] != M || !s.R.Reachable(v) {
+		return false
+	}
+	for _, w := range s.R.Down[v] {
+		if s.label[w] == M {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFrontierM reports whether M vertex v roots a unique all-T tree subtree
+// (every tree child is T). Frontier vertices are the ones that report the
+// §4.2 non-contributing subtree counts (footnote 3's "unique subtree") and
+// whose children the TD strategy recruits on expansion. Every switchable M
+// vertex is a frontier vertex, but not vice versa: a frontier vertex may
+// still receive synopses from down-ring M radio neighbours of other
+// subtrees, which blocks it from switching to T without blocking its
+// children from switching to M.
+func (s *State) IsFrontierM(v int) bool {
+	if s.label[v] != M || !s.R.Reachable(v) {
+		return false
+	}
+	for _, c := range s.Tree.Children[v] {
+		if s.label[c] == M {
+			return false
+		}
+	}
+	return true
+}
+
+// FrontierM returns all frontier M vertices (the base station included when
+// it qualifies).
+func (s *State) FrontierM() []int {
+	var out []int
+	for v := 0; v < s.G.N(); v++ {
+		if s.IsFrontierM(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsSwitchableT reports whether T vertex v may switch to M: its tree parent
+// is an M vertex (§3).
+func (s *State) IsSwitchableT(v int) bool {
+	if s.label[v] != T || !s.R.Reachable(v) || !s.Tree.InTree(v) {
+		return false
+	}
+	p := s.Tree.Parent[v]
+	return p != -1 && s.label[p] == M
+}
+
+// SwitchableM returns all switchable M vertices.
+func (s *State) SwitchableM() []int {
+	var out []int
+	for v := 0; v < s.G.N(); v++ {
+		if s.IsSwitchableM(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SwitchableT returns all switchable T vertices.
+func (s *State) SwitchableT() []int {
+	var out []int
+	for v := 0; v < s.G.N(); v++ {
+		if s.IsSwitchableT(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ExpandCoarse switches every switchable T vertex to M — the TD-Coarse
+// expansion, widening the delta region by one tree level. It returns the
+// number of vertices switched.
+func (s *State) ExpandCoarse() int {
+	switched := 0
+	for _, v := range s.SwitchableT() {
+		s.label[v] = M
+		switched++
+	}
+	return switched
+}
+
+// ShrinkCoarse switches every switchable M vertex to T — the TD-Coarse
+// contraction. It returns the number of vertices switched.
+func (s *State) ShrinkCoarse() int {
+	switched := 0
+	for _, v := range s.SwitchableM() {
+		s.label[v] = T
+		switched++
+	}
+	return switched
+}
+
+// ExpandTD implements the TD strategy's fine-grained expansion: every
+// frontier M vertex whose subtree reported notContrib[v] == maxNC switches
+// all its tree children (switchable T vertices, since their parent is M) to
+// M. The notContrib slice holds each frontier vertex's last reported count
+// of non-contributing subtree nodes; entries for other vertices are
+// ignored.
+func (s *State) ExpandTD(notContrib []int, maxNC int) int {
+	switched := 0
+	for _, v := range s.FrontierM() {
+		if v == topo.Base || notContrib[v] != maxNC {
+			continue
+		}
+		for _, c := range s.Tree.Children[v] {
+			if s.label[c] == T && s.R.Reachable(c) {
+				s.label[c] = M
+				switched++
+			}
+		}
+	}
+	switched += s.expandBaseChildren(notContrib, maxNC, true)
+	// Expanding from the degenerate delta {base}: the base station's own
+	// children are the frontier.
+	if switched == 0 && s.DeltaSize() == 1 {
+		for _, c := range s.Tree.Children[topo.Base] {
+			if s.R.Reachable(c) {
+				s.label[c] = M
+				switched++
+			}
+		}
+	}
+	return switched
+}
+
+// expandBaseChildren recruits lossy T children of the base station. The
+// base knows each direct child's subtree contribution from the child's own
+// partial result (or its absence), so it records notContrib for them and
+// may switch a child whose subtree misses enough nodes — without this, a
+// base station with mixed M and T children could never extend the delta
+// into its T branches under the TD strategy.
+func (s *State) expandBaseChildren(notContrib []int, threshold int, exact bool) int {
+	switched := 0
+	for _, c := range s.Tree.Children[topo.Base] {
+		if s.label[c] != T || !s.R.Reachable(c) || notContrib[c] < 0 {
+			continue
+		}
+		if exact && notContrib[c] != threshold {
+			continue
+		}
+		if !exact && notContrib[c] < threshold {
+			continue
+		}
+		s.label[c] = M
+		switched++
+	}
+	return switched
+}
+
+// ExpandTDAtLeast is the §4.2 adaptivity heuristic the paper names ("using
+// max/2 instead of max"): every switchable M vertex whose subtree reported
+// notContrib[v] ≥ threshold switches its tree children to M. It converges in
+// a few adaptation periods where the strict-max rule needs many.
+func (s *State) ExpandTDAtLeast(notContrib []int, threshold int) int {
+	switched := 0
+	for _, v := range s.FrontierM() {
+		if v == topo.Base || notContrib[v] < threshold {
+			continue
+		}
+		for _, c := range s.Tree.Children[v] {
+			if s.label[c] == T && s.R.Reachable(c) {
+				s.label[c] = M
+				switched++
+			}
+		}
+	}
+	switched += s.expandBaseChildren(notContrib, threshold, false)
+	if switched == 0 && s.DeltaSize() == 1 {
+		for _, c := range s.Tree.Children[topo.Base] {
+			if s.R.Reachable(c) {
+				s.label[c] = M
+				switched++
+			}
+		}
+	}
+	return switched
+}
+
+// ShrinkTD implements the TD strategy's fine-grained contraction: every
+// switchable M vertex whose subtree reported notContrib[v] == minNC switches
+// itself to T.
+func (s *State) ShrinkTD(notContrib []int, minNC int) int {
+	switched := 0
+	for _, v := range s.SwitchableM() {
+		if notContrib[v] == minNC {
+			s.label[v] = T
+			switched++
+		}
+	}
+	return switched
+}
+
+// Validate checks the structural invariants the switch operations maintain:
+// the base station is M, and every M vertex's tree parent is M (the delta is
+// upward closed, which implies Path Correctness for the realized message
+// flow). It returns the first violation found.
+func (s *State) Validate() error {
+	if s.label[topo.Base] != M {
+		return fmt.Errorf("tdgraph: base station is not M")
+	}
+	for v := 0; v < s.G.N(); v++ {
+		if v == topo.Base || s.label[v] != M {
+			continue
+		}
+		p := s.Tree.Parent[v]
+		if p == -1 {
+			if s.R.Reachable(v) {
+				return fmt.Errorf("tdgraph: reachable M vertex %d has no tree parent", v)
+			}
+			continue
+		}
+		if s.label[p] != M {
+			return fmt.Errorf("tdgraph: M vertex %d has T tree parent %d", v, p)
+		}
+	}
+	return nil
+}
+
+// Edges returns the potential aggregation edges of the labeled graph G of
+// §3 under the current labels: one unicast edge per T vertex to its tree
+// parent, and one broadcast edge from each M vertex to every up-ring M
+// neighbour (T vertices ignore synopses, so those transmissions never become
+// G edges). Used by the correctness checks and tests.
+func (s *State) Edges() [][2]int {
+	var edges [][2]int
+	for v := 0; v < s.G.N(); v++ {
+		if !s.R.Reachable(v) || v == topo.Base {
+			continue
+		}
+		if s.label[v] == T {
+			if p := s.Tree.Parent[v]; p != -1 {
+				edges = append(edges, [2]int{v, p})
+			}
+			continue
+		}
+		for _, u := range s.R.Up[v] {
+			if s.label[u] == M {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,413 @@
+package tdgraph
+
+import (
+	"testing"
+
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// testTopology builds a synthetic field with rings and a restricted tree.
+func testTopology(seed uint64, n int) (*topo.Graph, *topo.Rings, *topo.Tree) {
+	g := topo.NewRandomField(seed, n, 20, 20, topo.Point{X: 10, Y: 10}, 2.0)
+	r := topo.BuildRings(g)
+	t := topo.BuildRestrictedTree(g, r, seed)
+	return g, r, t
+}
+
+func TestNewStateDeltaLevels(t *testing.T) {
+	g, r, tr := testTopology(1, 300)
+	for _, lv := range []int{0, 1, 2, r.Max} {
+		s := NewState(g, r, tr, lv)
+		for v := 0; v < g.N(); v++ {
+			if !r.Reachable(v) {
+				continue
+			}
+			wantM := r.Level[v] <= lv || v == topo.Base
+			if s.IsM(v) != wantM {
+				t.Fatalf("deltaLevels=%d node %d level %d labeled %v", lv, v, r.Level[v], s.Label(v))
+			}
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("deltaLevels=%d: %v", lv, err)
+		}
+	}
+}
+
+func TestPureExtremes(t *testing.T) {
+	g, r, tr := testTopology(2, 200)
+	tree := NewState(g, r, tr, 0)
+	if tree.DeltaSize() != 1 {
+		t.Fatalf("pure tree delta size %d, want 1 (base only)", tree.DeltaSize())
+	}
+	multi := NewState(g, r, tr, r.Max)
+	if multi.DeltaSize() != r.CountReachable() {
+		t.Fatalf("pure multipath delta %d, want all %d reachable", multi.DeltaSize(), r.CountReachable())
+	}
+	if multi.TributarySize() != g.N()-multi.DeltaSize() {
+		t.Fatal("tributary size inconsistent")
+	}
+}
+
+func TestObservation1(t *testing.T) {
+	// All children of a switchable M vertex are switchable T vertices.
+	g, r, tr := testTopology(3, 400)
+	s := NewState(g, r, tr, 2)
+	for _, v := range s.SwitchableM() {
+		for _, c := range tr.Children[v] {
+			if !r.Reachable(c) {
+				continue
+			}
+			if s.Label(c) != T {
+				t.Fatalf("child %d of switchable M %d is not T", c, v)
+			}
+			if !s.IsSwitchableT(c) {
+				t.Fatalf("child %d of switchable M %d is not switchable", c, v)
+			}
+		}
+	}
+	_ = g
+}
+
+func TestLemma1(t *testing.T) {
+	// If T vertices exist, at least one is switchable; if non-base M
+	// vertices exist, at least one is switchable. Exercised across many
+	// delta shapes produced by random expand/shrink walks.
+	g, r, tr := testTopology(4, 300)
+	s := NewState(g, r, tr, 1)
+	src := xrand.NewSource(77)
+	nc := make([]int, g.N())
+	for step := 0; step < 200; step++ {
+		hasT, hasM := false, false
+		for v := 0; v < g.N(); v++ {
+			if !r.Reachable(v) || v == topo.Base {
+				continue
+			}
+			if s.Label(v) == T {
+				hasT = true
+			} else {
+				hasM = true
+			}
+		}
+		if hasT && len(s.SwitchableT()) == 0 {
+			t.Fatal("Lemma 1 violated: T vertices exist but none switchable")
+		}
+		if hasM && len(s.SwitchableM()) == 0 {
+			t.Fatal("Lemma 1 violated: M vertices exist but none switchable")
+		}
+		// Random walk over delta shapes using both strategies' moves.
+		switch src.Intn(4) {
+		case 0:
+			s.ExpandCoarse()
+		case 1:
+			s.ShrinkCoarse()
+		case 2:
+			for _, v := range s.SwitchableM() {
+				nc[v] = src.Intn(5)
+			}
+			s.ExpandTD(nc, 4)
+		default:
+			for _, v := range s.SwitchableM() {
+				nc[v] = src.Intn(5)
+			}
+			s.ShrinkTD(nc, 0)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestExpandShrinkCoarseRoundTrip(t *testing.T) {
+	g, r, tr := testTopology(5, 300)
+	s := NewState(g, r, tr, 0)
+	before := s.DeltaSize()
+	n1 := s.ExpandCoarse()
+	if n1 == 0 || s.DeltaSize() != before+n1 {
+		t.Fatalf("expand switched %d, delta %d", n1, s.DeltaSize())
+	}
+	// Shrinking all the way back down recovers the pure tree.
+	for s.DeltaSize() > 1 {
+		if s.ShrinkCoarse() == 0 {
+			t.Fatal("shrink stalled before reaching pure tree")
+		}
+	}
+	if s.DeltaSize() != 1 {
+		t.Fatal("did not shrink to base-only delta")
+	}
+	_ = g
+}
+
+func TestExpandCoarseGrowsByLevels(t *testing.T) {
+	g, r, tr := testTopology(6, 300)
+	s := NewState(g, r, tr, 0)
+	// After k coarse expansions every reachable vertex within tree depth k
+	// must be M.
+	depth := tr.Depths()
+	for k := 1; k <= 3; k++ {
+		s.ExpandCoarse()
+		for v := 0; v < g.N(); v++ {
+			if r.Reachable(v) && depth[v] <= k && depth[v] >= 0 && !s.IsM(v) {
+				t.Fatalf("after %d expansions, depth-%d vertex %d still T", k, depth[v], v)
+			}
+		}
+	}
+}
+
+func TestExpandTDTargetsMaxSubtree(t *testing.T) {
+	g, r, tr := testTopology(7, 300)
+	s := NewState(g, r, tr, 1)
+	nc := make([]int, g.N())
+	sw := s.SwitchableM()
+	if len(sw) < 2 {
+		t.Skip("topology yielded too few switchable M vertices")
+	}
+	// Give one switchable vertex a uniquely bad subtree.
+	bad := sw[0]
+	for _, v := range sw {
+		nc[v] = 1
+	}
+	nc[bad] = 9
+	switched := s.ExpandTD(nc, 9)
+	// Only bad's children switch.
+	want := 0
+	for _, c := range tr.Children[bad] {
+		if r.Reachable(c) {
+			want++
+		}
+	}
+	if switched != want {
+		t.Fatalf("TD expand switched %d, want %d (children of the max subtree)", switched, want)
+	}
+	for _, v := range sw[1:] {
+		for _, c := range tr.Children[v] {
+			if r.Reachable(c) && s.IsM(c) && tr.Parent[c] == v {
+				t.Fatalf("TD expand touched subtree of %d with min count", v)
+			}
+		}
+	}
+	_ = g
+}
+
+func TestShrinkTDTargetsMinSubtree(t *testing.T) {
+	g, r, tr := testTopology(8, 300)
+	s := NewState(g, r, tr, 2)
+	nc := make([]int, g.N())
+	sw := s.SwitchableM()
+	if len(sw) < 2 {
+		t.Skip("too few switchable M vertices")
+	}
+	good := sw[0]
+	for _, v := range sw {
+		nc[v] = 7
+	}
+	nc[good] = 0
+	switched := s.ShrinkTD(nc, 0)
+	if switched != 1 {
+		t.Fatalf("TD shrink switched %d, want exactly the min vertex", switched)
+	}
+	if s.IsM(good) {
+		t.Fatal("min vertex not switched to T")
+	}
+	_ = g
+	_ = r
+}
+
+func TestExpandTDFromDegenerateDelta(t *testing.T) {
+	g, r, tr := testTopology(9, 200)
+	s := NewState(g, r, tr, 0)
+	nc := make([]int, g.N())
+	if switched := s.ExpandTD(nc, 0); switched == 0 {
+		t.Fatal("TD expand from base-only delta must recruit the base's children")
+	}
+	for _, c := range tr.Children[topo.Base] {
+		if r.Reachable(c) && !s.IsM(c) {
+			t.Fatalf("base child %d not recruited", c)
+		}
+	}
+	_ = g
+}
+
+func TestEdgesRespectCorrectness(t *testing.T) {
+	// The realized aggregation edges must satisfy both properties at every
+	// delta shape along a random adaptation walk.
+	g, r, tr := testTopology(10, 300)
+	s := NewState(g, r, tr, 1)
+	src := xrand.NewSource(5)
+	nc := make([]int, g.N())
+	for step := 0; step < 60; step++ {
+		edges := s.Edges()
+		if !EdgeCorrect(g.N(), edges, s.labelsCopy()) {
+			t.Fatalf("step %d: edge correctness violated", step)
+		}
+		if !PathCorrect(g.N(), edges, s.labelsCopy()) {
+			t.Fatalf("step %d: path correctness violated", step)
+		}
+		if src.Intn(2) == 0 {
+			s.ExpandCoarse()
+		} else {
+			for _, v := range s.SwitchableM() {
+				nc[v] = src.Intn(3)
+			}
+			s.ShrinkTD(nc, src.Intn(3))
+		}
+	}
+}
+
+// labelsCopy exposes labels for the correctness checks in tests.
+func (s *State) labelsCopy() []Label {
+	out := make([]Label, len(s.label))
+	copy(out, s.label)
+	return out
+}
+
+func TestEdgeCorrectImpliesPathCorrect(t *testing.T) {
+	// On arbitrary digraphs, Property 1 implies Property 2; and on graphs
+	// where every non-base vertex routes onward and the base station is M
+	// (always true in the system), Property 2 implies Property 1.
+	src := xrand.NewSource(123)
+	for trial := 0; trial < 500; trial++ {
+		n := 3 + src.Intn(8)
+		label := make([]Label, n)
+		label[0] = M // vertex 0 is the base station
+		for i := 1; i < n; i++ {
+			if src.Intn(2) == 0 {
+				label[i] = M
+			}
+		}
+		// Random DAG edges v -> u with u < v (0 acts as the base station).
+		var edges [][2]int
+		for v := 1; v < n; v++ {
+			deg := 1 + src.Intn(2)
+			for d := 0; d < deg; d++ {
+				edges = append(edges, [2]int{v, src.Intn(v)})
+			}
+		}
+		ec := EdgeCorrect(n, edges, label)
+		pc := PathCorrect(n, edges, label)
+		if ec && !pc {
+			t.Fatalf("trial %d: edge-correct graph not path-correct (labels %v edges %v)", trial, label, edges)
+		}
+		// Every non-sink vertex here has an outgoing edge, so the converse
+		// holds too.
+		if pc && !ec {
+			t.Fatalf("trial %d: path-correct graph not edge-correct (labels %v edges %v)", trial, label, edges)
+		}
+	}
+}
+
+func TestPathCorrectCounterexample(t *testing.T) {
+	// M edge into a T vertex that routes onward with a T edge: path
+	// correctness must fail.
+	label := []Label{T, T, M}
+	edges := [][2]int{{2, 1}, {1, 0}} // M(2)->T(1), then T(1)->T(0)
+	if PathCorrect(3, edges, label) {
+		t.Fatal("expected path correctness violation")
+	}
+	if EdgeCorrect(3, edges, label) {
+		t.Fatal("expected edge correctness violation")
+	}
+	// A dead-end M edge into T violates Property 1 but not Property 2 —
+	// the equivalence needs onward routing, as §3 notes.
+	label2 := []Label{T, M}
+	edges2 := [][2]int{{1, 0}}
+	if EdgeCorrect(2, edges2, label2) {
+		t.Fatal("M->T edge must violate edge correctness")
+	}
+	if !PathCorrect(2, edges2, label2) {
+		t.Fatal("single dead-end edge cannot violate path correctness")
+	}
+}
+
+func TestControllerThresholds(t *testing.T) {
+	g, r, tr := testTopology(11, 300)
+	nc := make([]int, g.N())
+
+	s := NewState(g, r, tr, 1)
+	c := NewController(StrategyCoarse)
+	act, n := c.Decide(s, 0.5, nc, nil, 0)
+	if act != ActionExpand || n == 0 {
+		t.Fatalf("low contribution must expand, got %v/%d", act, n)
+	}
+	act, _ = c.Decide(s, 0.92, nc, nil, 0)
+	if act != ActionNone {
+		t.Fatalf("in-band contribution must hold, got %v", act)
+	}
+	act, n = c.Decide(s, 0.99, nc, nil, 0)
+	if act != ActionShrink || n == 0 {
+		t.Fatalf("high contribution must shrink, got %v/%d", act, n)
+	}
+}
+
+func TestControllerNoneStrategy(t *testing.T) {
+	g, r, tr := testTopology(12, 100)
+	s := NewState(g, r, tr, 1)
+	c := NewController(StrategyNone)
+	if act, n := c.Decide(s, 0.1, make([]int, g.N()), nil, 0); act != ActionNone || n != 0 {
+		t.Fatal("StrategyNone must never adapt")
+	}
+}
+
+func TestControllerOscillationDamping(t *testing.T) {
+	g, r, tr := testTopology(13, 300)
+	s := NewState(g, r, tr, 1)
+	c := NewController(StrategyCoarse)
+	nc := make([]int, g.N())
+	// Alternate low/high contribution; damping must introduce cooldowns.
+	skipped := 0
+	frac := []float64{0.5, 0.99}
+	for i := 0; i < 30; i++ {
+		act, _ := c.Decide(s, frac[i%2], nc, nil, 0)
+		if act == ActionNone {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("oscillation damping never engaged")
+	}
+}
+
+func TestControllerSameDirectionNoDamping(t *testing.T) {
+	g, r, tr := testTopology(14, 400)
+	s := NewState(g, r, tr, 0)
+	c := NewController(StrategyCoarse)
+	nc := make([]int, g.N())
+	// Repeated expansion in the same direction should not back off until
+	// the delta saturates.
+	acted := 0
+	for i := 0; i < 4; i++ {
+		if act, _ := c.Decide(s, 0.5, nc, nil, 0); act == ActionExpand {
+			acted++
+		}
+	}
+	if acted < 3 {
+		t.Fatalf("same-direction adaptation was damped: %d/4 acted", acted)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, r, tr := testTopology(15, 100)
+	s := NewState(g, r, tr, 2)
+	// Corrupt: find an M vertex at level 2 and flip its parent's label.
+	for v := 0; v < g.N(); v++ {
+		if s.IsM(v) && v != topo.Base && r.Level[v] == 2 {
+			s.label[tr.Parent[v]] = T
+			break
+		}
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate must catch an M vertex with a T parent")
+	}
+}
+
+func TestStrategyAndActionStrings(t *testing.T) {
+	if StrategyTD.String() != "TD" || StrategyCoarse.String() != "TD-Coarse" || StrategyNone.String() != "none" {
+		t.Fatal("strategy strings wrong")
+	}
+	if ActionExpand.String() != "expand" || ActionShrink.String() != "shrink" || ActionNone.String() != "none" {
+		t.Fatal("action strings wrong")
+	}
+	if T.String() != "T" || M.String() != "M" {
+		t.Fatal("label strings wrong")
+	}
+}

@@ -1,0 +1,127 @@
+package topo
+
+import "math"
+
+// HeightHist returns the paper's h(i) vector for a tree: h[i-1] is the
+// number of sensor nodes of height i. The base station (the root) is
+// excluded, as in Table 2 where the 54 LabData sensors sum the histogram.
+func HeightHist(t *Tree) []int {
+	heights := t.Heights()
+	max := 0
+	for v, h := range heights {
+		if v != Base && t.InTree(v) && h > max {
+			max = h
+		}
+	}
+	hist := make([]int, max)
+	for v, h := range heights {
+		if v != Base && t.InTree(v) && h >= 1 {
+			hist[h-1]++
+		}
+	}
+	return hist
+}
+
+// HFractions returns the cumulative H(i) = (1/m)·Σ_{j≤i} h(j) vector from a
+// height histogram: H[i-1] is the fraction of nodes with height at most i.
+func HFractions(hist []int) []float64 {
+	m := 0
+	for _, h := range hist {
+		m += h
+	}
+	out := make([]float64, len(hist))
+	run := 0
+	for i, h := range hist {
+		run += h
+		out[i] = float64(run) / float64(m)
+	}
+	return out
+}
+
+// IsDominating reports whether a tree with height histogram hist is
+// d-dominating: for every i ≥ 1,
+//
+//	H(i) ≥ (d−1)/d · (1 + 1/d + … + 1/d^{i−1}) = 1 − d^{−i}.
+//
+// Every tree is 1-dominating.
+func IsDominating(hist []int, d float64) bool {
+	if d <= 1 {
+		return true
+	}
+	H := HFractions(hist)
+	for i, h := range H {
+		if h < 1-math.Pow(d, -float64(i+1))-1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// DominationFactor returns the largest d at the given granularity for which
+// the tree is d-dominating. The bound per level i is closed-form:
+// H(i) ≥ 1 − d^{−i}  ⇔  d ≤ (1/(1−H(i)))^{1/i}, so the factor is the minimum
+// over levels with H(i) < 1, floored to a multiple of granularity (the paper
+// uses granularity 0.05 in the Table 2 example). Trees with H(1) = 1 (a
+// star) have unbounded factor; maxDomination caps the report.
+func DominationFactor(hist []int, granularity float64) float64 {
+	const maxDomination = 64.0
+	d := maxDomination
+	H := HFractions(hist)
+	for i, h := range H {
+		if h >= 1 {
+			continue
+		}
+		bound := math.Pow(1/(1-h), 1/float64(i+1))
+		if bound < d {
+			d = bound
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	if granularity > 0 {
+		d = math.Floor(d/granularity+1e-9) * granularity
+	}
+	return d
+}
+
+// TreeDominationFactor is a convenience wrapper computing the domination
+// factor of a tree directly.
+func TreeDominationFactor(t *Tree, granularity float64) float64 {
+	return DominationFactor(HeightHist(t), granularity)
+}
+
+// SatisfiesLemma2 reports whether every internal node of height i has at
+// least d children of height i−1 — the sufficient condition of Lemma 2 for
+// d-domination.
+func SatisfiesLemma2(t *Tree, d int) bool {
+	heights := t.Heights()
+	for v := range t.Parent {
+		if !t.InTree(v) || len(t.Children[v]) == 0 || v == Base {
+			continue
+		}
+		count := 0
+		for _, c := range t.Children[v] {
+			if heights[c] == heights[v]-1 {
+				count++
+			}
+		}
+		if count < d {
+			return false
+		}
+	}
+	return true
+}
+
+// RegularHist returns the height histogram of a complete balanced d-ary tree
+// of the given height: h(i) = d^{height−i} (Table 2's T2 is RegularHist(2,4)
+// = [8 4 2 1]).
+func RegularHist(d, height int) []int {
+	hist := make([]int, height)
+	v := 1
+	for i := height - 1; i >= 0; i-- {
+		hist[i] = v
+		v *= d
+	}
+	return hist
+}

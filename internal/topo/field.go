@@ -1,0 +1,196 @@
+// Package topo builds and analyses the aggregation topologies of the paper:
+// the sensor field and its connectivity graph, the rings decomposition used
+// by multi-path aggregation (§2), spanning trees — the standard TAG tree and
+// the paper's restricted tree whose links are a subset of the rings links
+// (§4.1) — the opportunistic parent-switching construction that raises the
+// domination factor (§6.1.3), and the d-dominating tree machinery of §6.1.2
+// (height histograms, H(i), domination factors, Lemma 2).
+package topo
+
+import (
+	"fmt"
+	"math"
+
+	"tributarydelta/internal/xrand"
+)
+
+// Base is the node index of the base station in every Graph.
+const Base = 0
+
+// Point is a sensor position in the deployment plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Graph is a sensor field: node 0 is the base station, nodes 1..N-1 are
+// sensors, and Adj lists the bidirectional radio links (nodes within radio
+// range of each other).
+type Graph struct {
+	Pos   []Point
+	Adj   [][]int
+	Range float64
+}
+
+// N returns the number of nodes including the base station.
+func (g *Graph) N() int { return len(g.Pos) }
+
+// Sensors returns the number of sensor nodes (excluding the base station).
+func (g *Graph) Sensors() int { return len(g.Pos) - 1 }
+
+// NewField builds a graph from explicit positions (index 0 is the base
+// station) connecting every pair within radioRange.
+func NewField(pos []Point, radioRange float64) *Graph {
+	g := &Graph{Pos: pos, Adj: make([][]int, len(pos)), Range: radioRange}
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist(pos[j]) <= radioRange {
+				g.Adj[i] = append(g.Adj[i], j)
+				g.Adj[j] = append(g.Adj[j], i)
+			}
+		}
+	}
+	return g
+}
+
+// NewRandomField places n sensors uniformly at random in a width×height
+// rectangle with the base station at base, and connects nodes within
+// radioRange. This is the paper's Synthetic deployment generator (§7.1: 600
+// sensors in a 20 ft × 20 ft grid, base station at (10,10)).
+func NewRandomField(seed uint64, n int, width, height float64, base Point, radioRange float64) *Graph {
+	src := xrand.NewSource(seed, 0xF1E1D)
+	pos := make([]Point, n+1)
+	pos[Base] = base
+	for i := 1; i <= n; i++ {
+		pos[i] = Point{X: src.Float64() * width, Y: src.Float64() * height}
+	}
+	return NewField(pos, radioRange)
+}
+
+// IsConnectedFrom reports whether every node is reachable from start.
+func (g *Graph) IsConnectedFrom(start int) bool {
+	seen := make([]bool, g.N())
+	stack := []int{start}
+	seen[start] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.Adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.N()
+}
+
+// Degree returns the number of radio neighbours of v.
+func (g *Graph) Degree(v int) int { return len(g.Adj[v]) }
+
+// Rings is the level decomposition used by multi-path aggregation: the base
+// station is level 0; a node is in ring i if it can hear a ring i−1
+// transmission and is in no earlier ring (§2). Level is −1 for nodes not
+// reachable from the base station.
+type Rings struct {
+	Level []int
+	Max   int
+	// Up[v] lists v's radio neighbours one ring closer to the base — the
+	// recipients of v's multi-path broadcast and the candidate tree parents
+	// under the §4.1 restriction.
+	Up [][]int
+	// Down[v] lists v's radio neighbours one ring further from the base.
+	Down [][]int
+}
+
+// BuildRings runs the rings construction over the graph.
+func BuildRings(g *Graph) *Rings {
+	n := g.N()
+	r := &Rings{
+		Level: make([]int, n),
+		Up:    make([][]int, n),
+		Down:  make([][]int, n),
+	}
+	for i := range r.Level {
+		r.Level[i] = -1
+	}
+	r.Level[Base] = 0
+	queue := []int{Base}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Adj[v] {
+			if r.Level[w] == -1 {
+				r.Level[w] = r.Level[v] + 1
+				if r.Level[w] > r.Max {
+					r.Max = r.Level[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if r.Level[v] < 0 {
+			continue
+		}
+		for _, w := range g.Adj[v] {
+			switch {
+			case r.Level[w] == r.Level[v]-1:
+				r.Up[v] = append(r.Up[v], w)
+			case r.Level[w] == r.Level[v]+1:
+				r.Down[v] = append(r.Down[v], w)
+			}
+		}
+	}
+	return r
+}
+
+// Reachable reports whether v is in some ring (i.e. connected to the base).
+func (r *Rings) Reachable(v int) bool { return r.Level[v] >= 0 }
+
+// CountReachable returns the number of reachable nodes, including the base.
+func (r *Rings) CountReachable() int {
+	c := 0
+	for _, l := range r.Level {
+		if l >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks the defining ring property: every non-base reachable node
+// has at least one neighbour one ring up, and ring numbers of neighbours
+// differ by at most one... except that plain radio graphs may connect rings
+// i and i+1 only; same-ring links are allowed and skipped by Up/Down.
+func (r *Rings) Validate(g *Graph) error {
+	for v := 0; v < g.N(); v++ {
+		if v == Base || r.Level[v] < 0 {
+			continue
+		}
+		if len(r.Up[v]) == 0 {
+			return fmt.Errorf("topo: node %d at ring %d has no up neighbour", v, r.Level[v])
+		}
+		for _, w := range g.Adj[v] {
+			if r.Level[w] >= 0 && abs(r.Level[w]-r.Level[v]) > 1 {
+				return fmt.Errorf("topo: radio link %d–%d spans rings %d and %d",
+					v, w, r.Level[v], r.Level[w])
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,366 @@
+package topo
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/xrand"
+)
+
+// Tree is a spanning tree rooted at the base station. Parent[v] is −1 for
+// the root and for nodes outside the tree (unreachable sensors).
+type Tree struct {
+	Parent   []int
+	Children [][]int
+}
+
+// NewTreeFromParents builds a Tree from a parent vector, deriving children
+// lists. It validates that the structure is acyclic and rooted at Base.
+func NewTreeFromParents(parent []int) (*Tree, error) {
+	n := len(parent)
+	t := &Tree{Parent: make([]int, n), Children: make([][]int, n)}
+	copy(t.Parent, parent)
+	for v, p := range parent {
+		if p == -1 {
+			continue
+		}
+		if p < 0 || p >= n || p == v {
+			return nil, fmt.Errorf("topo: node %d has invalid parent %d", v, p)
+		}
+		t.Children[p] = append(t.Children[p], v)
+	}
+	// Walk up from every node; a cycle would exceed n steps.
+	for v := range parent {
+		steps := 0
+		for u := v; u != -1; u = t.Parent[u] {
+			steps++
+			if steps > n {
+				return nil, fmt.Errorf("topo: cycle through node %d", v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// InTree reports whether v participates in the tree (the root always does).
+func (t *Tree) InTree(v int) bool { return v == Base || t.Parent[v] != -1 }
+
+// Size returns the number of nodes in the tree, including the root.
+func (t *Tree) Size() int {
+	c := 0
+	for v := range t.Parent {
+		if t.InTree(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	nt := &Tree{Parent: make([]int, len(t.Parent)), Children: make([][]int, len(t.Children))}
+	copy(nt.Parent, t.Parent)
+	for v, ch := range t.Children {
+		nt.Children[v] = append([]int(nil), ch...)
+	}
+	return nt
+}
+
+// SetParent relinks v under newParent, updating children lists. newParent
+// may be −1 to detach v.
+func (t *Tree) SetParent(v, newParent int) {
+	if old := t.Parent[v]; old != -1 {
+		ch := t.Children[old]
+		for i, c := range ch {
+			if c == v {
+				t.Children[old] = append(ch[:i], ch[i+1:]...)
+				break
+			}
+		}
+	}
+	t.Parent[v] = newParent
+	if newParent != -1 {
+		t.Children[newParent] = append(t.Children[newParent], v)
+	}
+}
+
+// Heights returns the height of every tree node: leaves have height 1, an
+// internal node one more than its highest child (§6.1.1). Nodes outside the
+// tree get height 0. The base station's height is the h of the precision
+// gradient ε(1..h).
+func (t *Tree) Heights() []int {
+	h := make([]int, len(t.Parent))
+	order := t.PostOrder()
+	for _, v := range order {
+		max := 0
+		for _, c := range t.Children[v] {
+			if h[c] > max {
+				max = h[c]
+			}
+		}
+		h[v] = max + 1
+	}
+	return h
+}
+
+// Depths returns each tree node's hop distance from the root (root = 0);
+// −1 outside the tree.
+func (t *Tree) Depths() []int {
+	d := make([]int, len(t.Parent))
+	for i := range d {
+		d[i] = -1
+	}
+	d[Base] = 0
+	for _, v := range t.PreOrder() {
+		if v != Base {
+			d[v] = d[t.Parent[v]] + 1
+		}
+	}
+	return d
+}
+
+// SubtreeSizes returns, for every tree node, the number of tree nodes in its
+// subtree (itself included); 0 outside the tree.
+func (t *Tree) SubtreeSizes() []int {
+	s := make([]int, len(t.Parent))
+	for _, v := range t.PostOrder() {
+		s[v] = 1
+		for _, c := range t.Children[v] {
+			s[v] += s[c]
+		}
+	}
+	return s
+}
+
+// PreOrder returns the tree nodes root-first.
+func (t *Tree) PreOrder() []int {
+	order := make([]int, 0, len(t.Parent))
+	stack := []int{Base}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		stack = append(stack, t.Children[v]...)
+	}
+	return order
+}
+
+// PostOrder returns the tree nodes children-first (every child before its
+// parent), the order in which in-network aggregation proceeds.
+func (t *Tree) PostOrder() []int {
+	pre := t.PreOrder()
+	for i, j := 0, len(pre)-1; i < j; i, j = i+1, j-1 {
+		pre[i], pre[j] = pre[j], pre[i]
+	}
+	return pre
+}
+
+// BuildTAGTree constructs the standard TAG spanning tree [10]: the tree-
+// construction message floods outward from the base station and each node
+// attaches to a node it heard the flood from — usually a neighbour one hop
+// closer to the base, but the standard algorithm also allows a same-level
+// neighbour whose broadcast happened to arrive first (§6.1.3 notes this
+// difference from the paper's restricted construction). Tree depth is
+// therefore close to, but not bounded by, the rings depth.
+func BuildTAGTree(g *Graph, seed uint64) *Tree {
+	n := g.N()
+	t := &Tree{Parent: make([]int, n), Children: make([][]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[Base] = 0
+	queue := []int{Base}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Adj[v] {
+			if level[w] == -1 {
+				level[w] = level[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	src := xrand.NewSource(seed, 0x7A6)
+	for v := 1; v < n; v++ {
+		if level[v] < 0 {
+			continue
+		}
+		// Flood arrival: all hop-level-(i−1) neighbours are candidates;
+		// each same-level neighbour races the node's own attachment and
+		// wins half the time.
+		var cands []int
+		for _, u := range g.Adj[v] {
+			switch {
+			case level[u] == level[v]-1:
+				cands = append(cands, u)
+			case level[u] == level[v] && u != v && src.Intn(2) == 0:
+				cands = append(cands, u)
+			}
+		}
+		// Keep only candidates that cannot create a cycle: same-level
+		// parents are allowed only when the candidate's own parent chain is
+		// already fixed and does not pass through v. Processing in id order
+		// with the check below guarantees acyclicity.
+		var safe []int
+		for _, u := range cands {
+			if level[u] < level[v] {
+				safe = append(safe, u)
+				continue
+			}
+			cyclic := false
+			for a := u; a != -1; a = t.Parent[a] {
+				if a == v {
+					cyclic = true
+					break
+				}
+			}
+			if !cyclic && (u == Base || t.Parent[u] != -1) {
+				safe = append(safe, u)
+			}
+		}
+		if len(safe) == 0 {
+			// Fall back to any up-level neighbour (always exists).
+			for _, u := range g.Adj[v] {
+				if level[u] == level[v]-1 {
+					safe = append(safe, u)
+				}
+			}
+		}
+		t.SetParent(v, safe[src.Intn(len(safe))])
+	}
+	return t
+}
+
+// BuildRestrictedTree constructs the paper's tree (§4.1, §6.1.3 first
+// optimisation): every node picks its parent uniformly among its ring-(i−1)
+// neighbours, so all tree links are rings links and a node keeps its sending
+// epoch when switching between tree and multi-path modes.
+func BuildRestrictedTree(g *Graph, r *Rings, seed uint64) *Tree {
+	n := g.N()
+	t := &Tree{Parent: make([]int, n), Children: make([][]int, n)}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	src := xrand.NewSource(seed, 0x757)
+	for v := 0; v < n; v++ {
+		if v == Base || !r.Reachable(v) {
+			continue
+		}
+		up := r.Up[v]
+		t.SetParent(v, up[src.Intn(len(up))])
+	}
+	return t
+}
+
+// LinksSubsetOfRings reports whether every tree link connects a node to a
+// ring-(i−1) neighbour — the §4.1 synchronisation property.
+func (t *Tree) LinksSubsetOfRings(g *Graph, r *Rings) bool {
+	for v, p := range t.Parent {
+		if p == -1 {
+			continue
+		}
+		if r.Level[p] != r.Level[v]-1 {
+			return false
+		}
+		ok := false
+		for _, u := range g.Adj[v] {
+			if u == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// OpportunisticImprove applies the §6.1.3 parent-switching technique to push
+// the tree toward 2-domination while keeping tree links inside the rings
+// links. Each round: (1) every node with two or more children of height one
+// less than its own pins two of them and flags itself; (2) every non-pinned
+// node switches to a uniformly random reachable non-flagged ring-(i−1)
+// neighbour; (3) pins and flags are re-derived. The search stops after
+// rounds rounds or when a round changes nothing.
+func OpportunisticImprove(g *Graph, r *Rings, t *Tree, seed uint64, rounds int) {
+	n := g.N()
+	src := xrand.NewSource(seed, 0x0BB)
+	for round := 0; round < rounds; round++ {
+		heights := t.Heights()
+		flagged := make([]bool, n)
+		pinned := make([]bool, n)
+		// Pin two height-(j) children under every height-(j+1) node that
+		// has at least two, then flag the parent.
+		markPins(t, heights, flagged, pinned)
+		changed := false
+		for v := 1; v < n; v++ {
+			if !t.InTree(v) || pinned[v] {
+				continue
+			}
+			var cands []int
+			for _, u := range r.Up[v] {
+				if !flagged[u] && u != t.Parent[v] && (u == Base || t.InTree(u)) {
+					cands = append(cands, u)
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			p := cands[src.Intn(len(cands))]
+			t.SetParent(v, p)
+			changed = true
+			// As soon as a non-flagged node has two flagged children of the
+			// same height, it pins both and flags itself.
+			if !flagged[p] {
+				byHeight := map[int]int{}
+				for _, c := range t.Children[p] {
+					if flagged[c] {
+						byHeight[heights[c]]++
+						if byHeight[heights[c]] >= 2 {
+							flagged[p] = true
+							for _, c2 := range t.Children[p] {
+								if flagged[c2] && heights[c2] == heights[c] {
+									pinned[c2] = true
+								}
+							}
+							break
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// markPins performs step (1) of OpportunisticImprove.
+func markPins(t *Tree, heights []int, flagged, pinned []bool) {
+	for v := range t.Parent {
+		if !t.InTree(v) {
+			continue
+		}
+		want := heights[v] - 1
+		count := 0
+		for _, c := range t.Children[v] {
+			if heights[c] == want {
+				count++
+			}
+		}
+		if count >= 2 {
+			flagged[v] = true
+			pinnedHere := 0
+			for _, c := range t.Children[v] {
+				if heights[c] == want && pinnedHere < 2 {
+					pinned[c] = true
+					pinnedHere++
+				}
+			}
+		}
+	}
+}

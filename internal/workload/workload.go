@@ -1,0 +1,135 @@
+// Package workload builds the paper's two evaluation scenarios (§7.1):
+//
+//   - LabData: a 54-sensor deployment shaped like the Intel Research
+//     Berkeley laboratory, with distance-derived link loss and light
+//     readings following a diurnal pattern. The original trace is not
+//     redistributable; DESIGN.md §2 documents the substitution.
+//   - Synthetic: 600 sensors placed uniformly at random in a 20 ft × 20 ft
+//     field with the base station at (10,10), evaluated under the Global(p)
+//     and Regional(p1,p2) failure models.
+//
+// Each scenario bundles the field, its rings, the restricted aggregation
+// tree (links ⊆ rings, improved with opportunistic parent switching), a TAG
+// tree for the pure-tree baseline, and deterministic reading/item streams.
+package workload
+
+import (
+	"math"
+
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/xrand"
+)
+
+// Scenario is a fully assembled evaluation environment.
+type Scenario struct {
+	Name  string
+	Graph *topo.Graph
+	Rings *topo.Rings
+	// Tree is the restricted tree used by the TD modes (and the SD/TD tree
+	// baselines).
+	Tree *topo.Tree
+	// TAGTree is the standard TAG construction used by the pure-tree
+	// baseline.
+	TAGTree *topo.Tree
+	Seed    uint64
+}
+
+// SyntheticRadioRange gives the Synthetic scenario's connectivity; at the
+// paper's density (600 nodes / 400 ft²) it yields typical up-ring degrees of
+// 8–12 and ring depths of 5–6 (see DESIGN.md §2).
+const SyntheticRadioRange = 3.0
+
+// NewSynthetic builds the §7.1 Synthetic scenario: n sensors (the paper uses
+// 600) in a 20×20 field, base station at (10,10).
+func NewSynthetic(seed uint64, n int) *Scenario {
+	g := topo.NewRandomField(seed, n, 20, 20, topo.Point{X: 10, Y: 10}, SyntheticRadioRange)
+	r := topo.BuildRings(g)
+	tr := topo.BuildRestrictedTree(g, r, seed)
+	topo.OpportunisticImprove(g, r, tr, seed, 8)
+	return &Scenario{
+		Name:  "Synthetic",
+		Graph: g, Rings: r, Tree: tr,
+		TAGTree: topo.BuildTAGTree(g, seed),
+		Seed:    seed,
+	}
+}
+
+// NewLab builds the LabData substitute scenario.
+func NewLab(seed uint64) *Scenario {
+	g := topo.NewLabField()
+	r := topo.BuildRings(g)
+	tr := topo.BuildRestrictedTree(g, r, seed)
+	topo.OpportunisticImprove(g, r, tr, seed, 8)
+	return &Scenario{
+		Name:  "LabData",
+		Graph: g, Rings: r, Tree: tr,
+		TAGTree: topo.BuildTAGTree(g, seed),
+		Seed:    seed,
+	}
+}
+
+// LabLossModel approximates the measured link qualities of the lab
+// deployment: short links are reliable, links near the radio fringe lose a
+// third or more of their messages. The parameters are calibrated so the
+// §7.3 LabData numbers land near the paper's (TAG ≈ 0.5, SD ≈ 0.12 RMS).
+func (s *Scenario) LabLossModel() network.Model {
+	return network.DistanceModel{
+		Pos:   s.Graph.Pos,
+		Range: topo.LabRadioRange,
+		Base:  0.04, Scale: 0.30, Gamma: 2.0, Max: 0.40,
+	}
+}
+
+// Light returns the LabData-style light reading of a node at an epoch: a
+// diurnal cycle (period 288 epochs ≈ one day of 5-minute rounds) scaled by a
+// per-node gain (window versus corridor motes) plus sensor noise, always
+// non-negative.
+func (s *Scenario) Light(epoch, node int) float64 {
+	gainSrc := xrand.NewSource(s.Seed, 0x11647, uint64(node))
+	gain := 0.5 + gainSrc.Float64() // fixed per node
+	phase := 2 * math.Pi * float64(epoch%288) / 288
+	day := math.Max(0, math.Sin(phase))
+	noise := xrand.Float64(xrand.Hash(s.Seed, 0x2015E, uint64(epoch), uint64(node)))
+	return 50 + 400*gain*day + 20*noise
+}
+
+// UniformReading returns a uniform reading in [0, max) — the Synthetic
+// scenario's value stream.
+func (s *Scenario) UniformReading(max float64) func(epoch, node int) float64 {
+	return func(epoch, node int) float64 {
+		return max * xrand.Float64(xrand.Hash(s.Seed, 0x0F2, uint64(epoch), uint64(node)))
+	}
+}
+
+// ZipfItems returns an item stream where all nodes draw from one global
+// Zipf distribution over `universe` ranks with the given skew — globally
+// frequent items exist, as in the LabData frequent items runs (§7.4).
+// Each node produces perEpoch items per epoch.
+func (s *Scenario) ZipfItems(universe int, skew float64, perEpoch int) func(epoch, node int) []freq.Item {
+	return func(epoch, node int) []freq.Item {
+		src := xrand.NewSource(s.Seed, 0x21F, uint64(epoch), uint64(node))
+		z := xrand.NewZipf(src, universe, skew)
+		items := make([]freq.Item, perEpoch)
+		for i := range items {
+			items[i] = freq.Item(z.Draw())
+		}
+		return items
+	}
+}
+
+// DisjointUniformItems returns the Figure 8 synthetic stream: the same item
+// never occurs at two different nodes, and within a node's stream items are
+// uniformly distributed over a private block of `perNodeUniverse` ids.
+func (s *Scenario) DisjointUniformItems(perNodeUniverse, perEpoch int) func(epoch, node int) []freq.Item {
+	return func(epoch, node int) []freq.Item {
+		src := xrand.NewSource(s.Seed, 0xD15, uint64(epoch), uint64(node))
+		base := uint64(node) * uint64(perNodeUniverse)
+		items := make([]freq.Item, perEpoch)
+		for i := range items {
+			items[i] = freq.Item(base + uint64(src.Intn(perNodeUniverse)))
+		}
+		return items
+	}
+}

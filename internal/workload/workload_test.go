@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/topo"
+)
+
+func TestNewSynthetic(t *testing.T) {
+	sc := NewSynthetic(1, 600)
+	if sc.Graph.Sensors() != 600 {
+		t.Fatalf("sensors = %d", sc.Graph.Sensors())
+	}
+	if sc.Rings.Max < 4 || sc.Rings.Max > 8 {
+		t.Fatalf("ring depth %d outside expected band", sc.Rings.Max)
+	}
+	if !sc.Tree.LinksSubsetOfRings(sc.Graph, sc.Rings) {
+		t.Fatal("scenario tree must be rings-restricted")
+	}
+	if sc.TAGTree.Size() != sc.Rings.CountReachable() {
+		t.Fatal("TAG tree must span all reachable nodes")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	a := NewSynthetic(7, 100)
+	b := NewSynthetic(7, 100)
+	for v := range a.Graph.Pos {
+		if a.Graph.Pos[v] != b.Graph.Pos[v] {
+			t.Fatal("scenarios with the same seed differ")
+		}
+		if a.Tree.Parent[v] != b.Tree.Parent[v] {
+			t.Fatal("trees with the same seed differ")
+		}
+	}
+}
+
+func TestNewLab(t *testing.T) {
+	sc := NewLab(1)
+	if sc.Graph.Sensors() != 54 {
+		t.Fatalf("lab sensors = %d, want 54", sc.Graph.Sensors())
+	}
+	d := topo.TreeDominationFactor(sc.Tree, 0.05)
+	if d < 1.5 || d > 4 {
+		t.Fatalf("lab domination factor %v outside the paper-like band", d)
+	}
+	m := sc.LabLossModel()
+	// Loss grows with distance and stays within (0, 0.5].
+	short := m.LossRate(0, 0, 1)
+	if short <= 0 || short > 0.5 {
+		t.Fatalf("short link loss %v", short)
+	}
+}
+
+func TestLightReadings(t *testing.T) {
+	sc := NewLab(2)
+	// Deterministic, non-negative, diurnal: midday larger than midnight.
+	for node := 1; node <= 54; node++ {
+		if sc.Light(0, node) != sc.Light(0, node) {
+			t.Fatal("readings not deterministic")
+		}
+	}
+	midday, midnight := 0.0, 0.0
+	for node := 1; node <= 54; node++ {
+		midday += sc.Light(72, node) // sin peak at 288/4
+		midnight += sc.Light(216, node)
+	}
+	if midday <= midnight {
+		t.Fatalf("diurnal pattern inverted: %v vs %v", midday, midnight)
+	}
+	for e := 0; e < 288; e += 24 {
+		if sc.Light(e, 1) < 0 {
+			t.Fatal("negative light reading")
+		}
+	}
+}
+
+func TestUniformReading(t *testing.T) {
+	sc := NewSynthetic(3, 50)
+	f := sc.UniformReading(100)
+	sum := 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		v := f(i, i%50+1)
+		if v < 0 || v >= 100 {
+			t.Fatalf("reading %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-50) > 3 {
+		t.Fatalf("uniform mean %v, want ~50", mean)
+	}
+}
+
+func TestZipfItemsGloballySkewed(t *testing.T) {
+	sc := NewSynthetic(4, 50)
+	items := sc.ZipfItems(100, 1.2, 50)
+	counts := make(map[freq.Item]int)
+	total := 0
+	for node := 1; node <= 50; node++ {
+		for _, u := range items(0, node) {
+			counts[u]++
+			total++
+		}
+	}
+	if float64(counts[0])/float64(total) < 0.05 {
+		t.Fatalf("rank-0 share %v too small for a Zipf stream", float64(counts[0])/float64(total))
+	}
+	// Deterministic per (epoch, node).
+	a := items(3, 7)
+	b := items(3, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("item stream not deterministic")
+		}
+	}
+}
+
+func TestDisjointUniformItems(t *testing.T) {
+	sc := NewSynthetic(5, 20)
+	items := sc.DisjointUniformItems(100, 200)
+	seen := make(map[freq.Item]int)
+	for node := 1; node <= 20; node++ {
+		for _, u := range items(0, node) {
+			if prev, ok := seen[u]; ok && prev != node {
+				t.Fatalf("item %d appears at nodes %d and %d — streams must be disjoint", u, prev, node)
+			}
+			seen[u] = node
+		}
+	}
+}

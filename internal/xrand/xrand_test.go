@@ -1,0 +1,252 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping any single input bit should flip roughly half the output bits.
+	const trials = 256
+	src := NewSource(1, 42)
+	for i := 0; i < trials; i++ {
+		x := src.Uint64()
+		for bit := 0; bit < 64; bit += 7 {
+			d := Mix64(x) ^ Mix64(x^(1<<uint(bit)))
+			popcount := 0
+			for d != 0 {
+				d &= d - 1
+				popcount++
+			}
+			if popcount < 10 || popcount > 54 {
+				t.Fatalf("weak avalanche: x=%#x bit=%d flipped %d bits", x, bit, popcount)
+			}
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	a := Hash(7, 1, 2, 3)
+	b := Hash(7, 1, 2, 3)
+	if a != b {
+		t.Fatalf("Hash not deterministic: %#x != %#x", a, b)
+	}
+	if Hash(7, 1, 2, 3) == Hash(7, 3, 2, 1) {
+		t.Fatal("Hash should be order-sensitive")
+	}
+	if Hash(7, 1, 2, 3) == Hash(8, 1, 2, 3) {
+		t.Fatal("Hash should depend on seed")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(h uint64) bool {
+		f := Float64(h)
+		return f >= 0 && f < 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	if Bernoulli(12345, 0) {
+		t.Fatal("Bernoulli(0) must never succeed")
+	}
+	if !Bernoulli(12345, 1) {
+		t.Fatal("Bernoulli(1) must always succeed")
+	}
+	if Bernoulli(12345, -0.5) {
+		t.Fatal("negative p must never succeed")
+	}
+	if !Bernoulli(12345, 1.5) {
+		t.Fatal("p>1 must always succeed")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	for _, p := range []float64{0.05, 0.3, 0.5, 0.9} {
+		hits := 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			if Bernoulli(Hash(99, uint64(i)), p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency %v, want within 0.01", p, got)
+		}
+	}
+}
+
+func TestSourceStreamsIndependent(t *testing.T) {
+	a := NewSource(1, 10)
+	b := NewSource(1, 11)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different ids collided %d times", same)
+	}
+	// Same key -> identical stream.
+	c := NewSource(1, 10)
+	d := NewSource(1, 10)
+	for i := 0; i < 64; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same-key sources diverged")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := NewSource(3, 1)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	src := NewSource(5, 2)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	src := NewSource(9)
+	p := src.Perm(50)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("permutation missing elements: %v", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	src := NewSource(11)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := src.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance %v, want ~1", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	src := NewSource(13)
+	const p = 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += src.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of failures-before-success
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("geometric mean %v, want ~%v", mean, want)
+	}
+	if src.Geometric(1) != 0 {
+		t.Error("Geometric(1) must be 0")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	src := NewSource(17)
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {64, 0.1}, {1000, 0.3}, {100000, 0.01}} {
+		const trials = 2000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += src.Binomial(tc.n, tc.p)
+		}
+		mean := float64(sum) / trials
+		want := float64(tc.n) * tc.p
+		sd := math.Sqrt(want * (1 - tc.p))
+		if math.Abs(mean-want) > 4*sd/math.Sqrt(trials)+1 {
+			t.Errorf("Binomial(%d,%v) mean %v, want ~%v", tc.n, tc.p, mean, want)
+		}
+	}
+	if v := src.Binomial(100, 0); v != 0 {
+		t.Errorf("Binomial(n,0) = %d, want 0", v)
+	}
+	if v := src.Binomial(100, 1); v != 100 {
+		t.Errorf("Binomial(n,1) = %d, want n", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	src := NewSource(19)
+	z := NewZipf(src, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 should be roughly twice as frequent as rank 1 for alpha=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("zipf rank0/rank1 ratio %v, want ~2", ratio)
+	}
+	if counts[0] < counts[50] {
+		t.Error("zipf should be decreasing in rank")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	src := NewSource(1)
+	for _, fn := range []func(){
+		func() { NewZipf(src, 0, 1) },
+		func() { NewZipf(src, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

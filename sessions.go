@@ -1,0 +1,161 @@
+package tributarydelta
+
+// Facade sessions for the remaining §5 aggregates: Min, Max, Average,
+// statistical Moments and the duplicate-insensitive Uniform sample. Each
+// wires the corresponding internal aggregate into the collection-round
+// runner exactly like NewCountSession/NewSumSession.
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/sample"
+	"tributarydelta/internal/topo"
+)
+
+// NewMinSession builds a session tracking the minimum reading. Min is
+// idempotent, so multi-path aggregation introduces no approximation error
+// (§5) — the answer is exact whenever the reading's node contributes.
+func NewMinSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.Min{},
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d}, nil
+}
+
+// NewMaxSession builds a session tracking the maximum reading; see
+// NewMinSession.
+func NewMaxSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.Max{},
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d}, nil
+}
+
+// NewAverageSession builds a session computing the mean reading as
+// Sum/Count (both exact in the tributaries, sketched in the delta).
+func NewAverageSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	r, err := runner.New(runner.Config[float64, aggregate.AvgPartial, aggregate.AvgSynopsis, float64]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.NewAverage(seed),
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &Session{run: scalarAdapter[float64, aggregate.AvgPartial, aggregate.AvgSynopsis]{r}, deps: d}, nil
+}
+
+// MomentsResult is one collection round's outcome for the Moments session.
+type MomentsResult struct {
+	Epoch       int
+	Value       aggregate.MomentsValue
+	TrueContrib int
+	DeltaSize   int
+}
+
+// MomentsSession computes mean, variance and skewness (§5's statistical
+// moments, via duplicate-insensitive power sums).
+type MomentsSession struct {
+	r *runner.Runner[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]
+}
+
+// NewMomentsSession builds a Moments session over non-negative readings.
+func NewMomentsSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*MomentsSession, error) {
+	r, err := runner.New(runner.Config[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.NewMoments(seed),
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &MomentsSession{r: r}, nil
+}
+
+// RunEpoch executes one collection round.
+func (s *MomentsSession) RunEpoch(epoch int) MomentsResult {
+	res := s.r.RunEpoch(epoch)
+	return MomentsResult{
+		Epoch:       epoch,
+		Value:       res.Answer,
+		TrueContrib: res.TrueContrib,
+		DeltaSize:   res.DeltaSize,
+	}
+}
+
+// ExactValue computes the ground-truth moments for an epoch.
+func (s *MomentsSession) ExactValue(epoch int) aggregate.MomentsValue {
+	return s.r.ExactAnswer(epoch)
+}
+
+// SampleResult is one collection round's outcome for the sampling session.
+type SampleResult struct {
+	Epoch       int
+	Sample      *sample.Sample
+	TrueContrib int
+}
+
+// SampleSession maintains a duplicate-insensitive uniform sample of k
+// readings (§5), usable for quantiles and other order statistics.
+type SampleSession struct {
+	r *runner.Runner[float64, *sample.Sample, *sample.Sample, *sample.Sample]
+}
+
+// NewSampleSession builds a bottom-k sampling session.
+func NewSampleSession(d *Deployment, scheme Scheme, seed uint64, k int, value func(epoch, node int) float64) (*SampleSession, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tributarydelta: sample capacity must be positive, got %d", k)
+	}
+	r, err := runner.New(runner.Config[float64, *sample.Sample, *sample.Sample, *sample.Sample]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.NewUniformSample(seed, k),
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &SampleSession{r: r}, nil
+}
+
+// RunEpoch executes one collection round.
+func (s *SampleSession) RunEpoch(epoch int) SampleResult {
+	res := s.r.RunEpoch(epoch)
+	return SampleResult{Epoch: epoch, Sample: res.Answer, TrueContrib: res.TrueContrib}
+}
+
+// treeFor picks the aggregation tree for a scheme: the TAG construction for
+// the pure-tree baseline, the restricted tree otherwise.
+func (d *Deployment) treeFor(scheme Scheme) *topo.Tree {
+	if scheme == SchemeTAG {
+		return d.scenario.TAGTree
+	}
+	return d.scenario.Tree
+}

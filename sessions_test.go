@@ -1,0 +1,114 @@
+package tributarydelta
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinMaxSessions(t *testing.T) {
+	dep := NewSyntheticDeployment(11, 150)
+	value := func(_, node int) float64 { return float64(100 + node) }
+	minS, err := NewMinSession(dep, SchemeSD, 11, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxS, err := NewMaxSession(dep, SchemeSD, 11, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss-free multi-path Min/Max are exact (§5: no approximation error).
+	if got, want := minS.RunEpoch(0).Answer, minS.ExactAnswer(0); got != want {
+		t.Fatalf("Min = %v, want %v", got, want)
+	}
+	if got, want := maxS.RunEpoch(0).Answer, maxS.ExactAnswer(0); got != want {
+		t.Fatalf("Max = %v, want %v", got, want)
+	}
+}
+
+func TestAverageSession(t *testing.T) {
+	dep := NewSyntheticDeployment(12, 200)
+	dep.SetGlobalLoss(0.1)
+	s, err := NewAverageSession(dep, SchemeTD, 12, func(_, node int) float64 {
+		return 40 + float64(node%21)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const rounds = 15
+	for e := 0; e < rounds; e++ {
+		sum += s.RunEpoch(e).Answer
+	}
+	truth := s.ExactAnswer(0)
+	if math.Abs(sum/rounds-truth)/truth > 0.3 {
+		t.Fatalf("average %v too far from %v", sum/rounds, truth)
+	}
+}
+
+func TestMomentsSession(t *testing.T) {
+	dep := NewSyntheticDeployment(13, 150)
+	s, err := NewMomentsSession(dep, SchemeTAG, 13, func(_, node int) float64 {
+		return 10 + float64(node%7)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunEpoch(0)
+	want := s.ExactValue(0)
+	if math.Abs(res.Value.Mean-want.Mean) > 1e-9 {
+		t.Fatalf("loss-free tree moments mean %v, want exact %v", res.Value.Mean, want.Mean)
+	}
+	if math.Abs(res.Value.Variance-want.Variance) > 1e-6 {
+		t.Fatalf("variance %v, want %v", res.Value.Variance, want.Variance)
+	}
+}
+
+func TestSampleSession(t *testing.T) {
+	dep := NewSyntheticDeployment(14, 150)
+	dep.SetGlobalLoss(0.1)
+	const k = 25
+	s, err := NewSampleSession(dep, SchemeTD, 14, k, func(_, node int) float64 {
+		return float64(node)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunEpoch(0)
+	if res.Sample.Len() != k {
+		t.Fatalf("sample size %d, want %d", res.Sample.Len(), k)
+	}
+	seen := map[int]bool{}
+	for _, it := range res.Sample.Items() {
+		if seen[it.Node] {
+			t.Fatal("node sampled twice")
+		}
+		seen[it.Node] = true
+	}
+	if _, err := NewSampleSession(dep, SchemeTD, 14, 0, nil); err == nil {
+		t.Fatal("zero capacity must be rejected")
+	}
+}
+
+func TestAllSessionsAcrossSchemes(t *testing.T) {
+	// Every constructor must work under every scheme.
+	dep := NewSyntheticDeployment(15, 120)
+	dep.SetGlobalLoss(0.2)
+	value := func(_, node int) float64 { return float64(node%9 + 1) }
+	for _, scheme := range []Scheme{SchemeTAG, SchemeSD, SchemeTDCoarse, SchemeTD} {
+		if _, err := NewMinSession(dep, scheme, 15, value); err != nil {
+			t.Fatalf("Min %v: %v", scheme, err)
+		}
+		if _, err := NewMaxSession(dep, scheme, 15, value); err != nil {
+			t.Fatalf("Max %v: %v", scheme, err)
+		}
+		if _, err := NewAverageSession(dep, scheme, 15, value); err != nil {
+			t.Fatalf("Average %v: %v", scheme, err)
+		}
+		if _, err := NewMomentsSession(dep, scheme, 15, value); err != nil {
+			t.Fatalf("Moments %v: %v", scheme, err)
+		}
+		if _, err := NewSampleSession(dep, scheme, 15, 10, value); err != nil {
+			t.Fatalf("Sample %v: %v", scheme, err)
+		}
+	}
+}

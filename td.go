@@ -1,0 +1,295 @@
+// Package tributarydelta is a Go implementation of the Tributary-Delta
+// framework of Manjhi, Nath and Gibbons, "Tributaries and Deltas: Efficient
+// and Robust Aggregation in Sensor Network Streams" (SIGMOD 2005).
+//
+// Tributary-Delta combines the two classical in-network aggregation
+// approaches for wireless sensor networks: exact, compact tree aggregation
+// (TAG-style) in low-loss regions — the tributaries — and duplicate-
+// insensitive multi-path aggregation (synopsis diffusion over rings) around
+// the base station — the delta. The boundary between the two adapts at
+// runtime to the observed fraction of contributing nodes.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Deployment assembles a sensor field, its rings decomposition, the
+//     restricted aggregation tree and a failure model.
+//   - Session runs collection rounds for a chosen aggregate and scheme
+//     (TAG, SD, TD-Coarse or TD) and reports per-epoch answers, the
+//     contributing-node counts and energy statistics.
+//   - Frequent items and quantiles expose the §6 algorithms directly for
+//     in-tree computation with precision gradients.
+//
+// A minimal session:
+//
+//	dep := tributarydelta.NewSyntheticDeployment(1, 600)
+//	dep.SetGlobalLoss(0.2)
+//	s, err := tributarydelta.NewCountSession(dep, tributarydelta.SchemeTD, 1)
+//	if err != nil { ... }
+//	res := s.RunEpoch(0)
+//	fmt.Println(res.Answer, res.TrueContrib)
+//
+// The cmd/tdbench tool regenerates every table and figure of the paper's
+// evaluation; see DESIGN.md and EXPERIMENTS.md.
+package tributarydelta
+
+import (
+	"fmt"
+	"math"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/freq"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/workload"
+)
+
+// Scheme selects the aggregation approach of a Session.
+type Scheme = runner.Mode
+
+// Aggregation schemes.
+const (
+	// SchemeTAG runs pure tree aggregation (the TAG baseline).
+	SchemeTAG = runner.ModeTree
+	// SchemeSD runs pure multi-path synopsis diffusion over rings.
+	SchemeSD = runner.ModeMultipath
+	// SchemeTDCoarse adapts the delta region a whole level at a time.
+	SchemeTDCoarse = runner.ModeTDCoarse
+	// SchemeTD adapts the delta region subtree by subtree.
+	SchemeTD = runner.ModeTD
+)
+
+// Deployment is an assembled sensor field: positions, radio connectivity,
+// the rings decomposition, the restricted aggregation tree (links ⊆ rings,
+// §4.1) and a TAG tree for the pure-tree baseline.
+type Deployment struct {
+	scenario *workload.Scenario
+	model    network.Model
+}
+
+// NewSyntheticDeployment places n sensors uniformly in the paper's 20×20
+// field with the base station at (10,10).
+func NewSyntheticDeployment(seed uint64, n int) *Deployment {
+	return &Deployment{
+		scenario: workload.NewSynthetic(seed, n),
+		model:    network.Global{P: 0},
+	}
+}
+
+// NewLabDeployment builds the 54-sensor LabData-style deployment with its
+// distance-derived loss model.
+func NewLabDeployment(seed uint64) *Deployment {
+	sc := workload.NewLab(seed)
+	return &Deployment{scenario: sc, model: sc.LabLossModel()}
+}
+
+// SetGlobalLoss installs the Global(p) failure model.
+func (d *Deployment) SetGlobalLoss(p float64) {
+	d.model = network.Global{P: p}
+}
+
+// SetRegionalLoss installs the Regional(p1,p2) failure model: senders in the
+// rectangle {(x0,y0),(x1,y1)} lose messages at p1, everyone else at p2.
+func (d *Deployment) SetRegionalLoss(x0, y0, x1, y1, p1, p2 float64) {
+	d.model = network.Regional{
+		Region: network.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1},
+		P1:     p1, P2: p2, Pos: d.scenario.Graph.Pos,
+	}
+}
+
+// Sensors returns the number of sensor nodes (excluding the base station).
+func (d *Deployment) Sensors() int { return d.scenario.Graph.Sensors() }
+
+// Rings returns each node's ring level (hop count from the base station).
+func (d *Deployment) Rings() []int {
+	return append([]int(nil), d.scenario.Rings.Level...)
+}
+
+// DominationFactor returns the aggregation tree's domination factor at the
+// paper's 0.05 granularity (§6.1.2).
+func (d *Deployment) DominationFactor() float64 {
+	return topo.TreeDominationFactor(d.scenario.Tree, 0.05)
+}
+
+// Scenario exposes the underlying workload scenario for advanced use
+// together with the internal packages.
+func (d *Deployment) Scenario() *workload.Scenario { return d.scenario }
+
+// Model exposes the current failure model.
+func (d *Deployment) Model() network.Model { return d.model }
+
+// Result is one collection round's outcome for scalar aggregates.
+type Result struct {
+	// Epoch is the round number.
+	Epoch int
+	// Answer is the base station's result.
+	Answer float64
+	// TrueContrib is the exact number of sensors represented in Answer.
+	TrueContrib int
+	// EstContrib is the base station's own (approximate) contribution count.
+	EstContrib float64
+	// DeltaSize is the current size of the multi-path delta region.
+	DeltaSize int
+}
+
+// Session runs collection rounds of a scalar aggregate over a deployment.
+type Session struct {
+	run  scalarRunner
+	deps *Deployment
+}
+
+// scalarRunner erases the runner's generic parameters for the facade.
+type scalarRunner interface {
+	epoch(e int) Result
+	exact(e int) float64
+	sensors() int
+	deltaSize() int
+	totalWords() int64
+}
+
+type scalarAdapter[V, P, S any] struct {
+	r *runner.Runner[V, P, S, float64]
+}
+
+func (a scalarAdapter[V, P, S]) epoch(e int) Result {
+	res := a.r.RunEpoch(e)
+	return Result{
+		Epoch:       res.Epoch,
+		Answer:      res.Answer,
+		TrueContrib: res.TrueContrib,
+		EstContrib:  res.EstContrib,
+		DeltaSize:   res.DeltaSize,
+	}
+}
+
+func (a scalarAdapter[V, P, S]) exact(e int) float64 { return a.r.ExactAnswer(e) }
+func (a scalarAdapter[V, P, S]) sensors() int        { return a.r.Sensors() }
+func (a scalarAdapter[V, P, S]) deltaSize() int      { return a.r.State().DeltaSize() }
+func (a scalarAdapter[V, P, S]) totalWords() int64   { return a.r.Stats.TotalWords() }
+
+// NewCountSession builds a session counting the contributing sensors — the
+// paper's running example aggregate.
+func NewCountSession(d *Deployment, scheme Scheme, seed uint64) (*Session, error) {
+	r, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.NewCount(seed),
+		Value: func(int, int) struct{} { return struct{}{} },
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &Session{run: scalarAdapter[struct{}, int64, *sketch.Sketch]{r}, deps: d}, nil
+}
+
+// NewSumSession builds a session summing per-node readings supplied by
+// value(epoch, node). Readings must be non-negative.
+func NewSumSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	r, err := runner.New(runner.Config[float64, float64, *sketch.Sketch, float64]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   aggregate.NewSum(seed),
+		Value: value,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &Session{run: scalarAdapter[float64, float64, *sketch.Sketch]{r}, deps: d}, nil
+}
+
+// RunEpoch executes one collection round.
+func (s *Session) RunEpoch(epoch int) Result { return s.run.epoch(epoch) }
+
+// Run executes rounds collection rounds starting at startEpoch.
+func (s *Session) Run(startEpoch, rounds int) []Result {
+	out := make([]Result, 0, rounds)
+	for e := 0; e < rounds; e++ {
+		out = append(out, s.run.epoch(startEpoch+e))
+	}
+	return out
+}
+
+// ExactAnswer computes the ground-truth answer for an epoch.
+func (s *Session) ExactAnswer(epoch int) float64 { return s.run.exact(epoch) }
+
+// Sensors returns the number of participating sensors.
+func (s *Session) Sensors() int { return s.run.sensors() }
+
+// DeltaSize returns the current delta region size.
+func (s *Session) DeltaSize() int { return s.run.deltaSize() }
+
+// TotalWords returns the total 32-bit payload words transmitted so far.
+func (s *Session) TotalWords() int64 { return s.run.totalWords() }
+
+// FrequentItemsResult is the outcome of one frequent items round.
+type FrequentItemsResult struct {
+	Epoch int
+	// Frequent lists the reported items (estimate > (s−ε)·N̂).
+	Frequent []freq.Item
+	// Estimates holds the per-item frequency estimates.
+	Estimates map[freq.Item]float64
+	// NEst is the estimated total number of item occurrences.
+	NEst float64
+	// TrueContrib is the exact number of sensors represented.
+	TrueContrib int
+}
+
+// FrequentItemsSession runs the §6 Tributary-Delta frequent items algorithm.
+type FrequentItemsSession struct {
+	r       *runner.Runner[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]
+	support float64
+	epsilon float64
+}
+
+// NewFrequentItemsSession builds a frequent items session: items(epoch,
+// node) supplies each node's item collection, epsilon is the total error
+// tolerance and support the reporting threshold (s ≫ ε). expectedN is an
+// upper bound on the total item occurrences per epoch (nodes are assumed to
+// know log N, §6.2).
+func NewFrequentItemsSession(d *Deployment, scheme Scheme, seed uint64,
+	items func(epoch, node int) []freq.Item, epsilon, support float64, expectedN float64) (*FrequentItemsSession, error) {
+	if epsilon <= 0 || support <= epsilon {
+		return nil, fmt.Errorf("tributarydelta: need 0 < epsilon < support, got eps=%v s=%v", epsilon, support)
+	}
+	tree := d.treeFor(scheme)
+	dfac := topo.TreeDominationFactor(tree, 0.05)
+	if dfac < 1.2 {
+		dfac = 1.2
+	}
+	logN := log2(expectedN) + 1
+	agg := freq.NewAgg(tree,
+		freq.MinTotalLoad{Epsilon: epsilon / 2, D: dfac},
+		epsilon/2,
+		freq.DefaultParams(seed, epsilon/2, logN))
+	r, err := runner.New(runner.Config[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]{
+		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: tree,
+		Net:   network.New(d.scenario.Graph, d.model, seed),
+		Agg:   agg,
+		Value: items,
+		Mode:  scheme,
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tributarydelta: %w", err)
+	}
+	return &FrequentItemsSession{r: r, support: support, epsilon: epsilon}, nil
+}
+
+// RunEpoch executes one frequent items round.
+func (s *FrequentItemsSession) RunEpoch(epoch int) FrequentItemsResult {
+	res := s.r.RunEpoch(epoch)
+	return FrequentItemsResult{
+		Epoch:       epoch,
+		Frequent:    res.Answer.Frequent(s.support, s.epsilon),
+		Estimates:   res.Answer.Estimates,
+		NEst:        res.Answer.NEst,
+		TrueContrib: res.TrueContrib,
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
