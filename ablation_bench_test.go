@@ -28,7 +28,7 @@ import (
 
 // BenchmarkAblationRadioRange measures the multi-path survival fraction at
 // Global(0.3) across radio ranges: the one simulation parameter the paper
-// leaves unstated (EXPERIMENTS.md calibration note).
+// leaves unstated (DESIGN.md §4 calibration note).
 func BenchmarkAblationRadioRange(b *testing.B) {
 	for _, radio := range []float64{2.5, 3.0, 3.5, 4.0} {
 		b.Run(formatF("range", radio), func(b *testing.B) {
@@ -60,7 +60,7 @@ func BenchmarkAblationRadioRange(b *testing.B) {
 }
 
 // BenchmarkAblationThreshold measures TD RMS error at Global(0.15) across
-// contributing thresholds — the knob behind EXPERIMENTS.md deviation 1.
+// contributing thresholds — the knob behind DESIGN.md §4 deviation 1.
 func BenchmarkAblationThreshold(b *testing.B) {
 	sc := workload.NewSynthetic(1, 300)
 	for _, threshold := range []float64{0.85, 0.90, 0.95} {

@@ -3,8 +3,8 @@ package tributarydelta
 // One benchmark per table and figure of the paper's evaluation (§7), each
 // regenerating its artifact through the experiments harness in Quick mode
 // (reduced node counts and epochs — the full-scale versions are run with
-// cmd/tdbench and recorded in EXPERIMENTS.md). Micro-benchmarks cover the
-// hot substrate operations.
+// cmd/tdbench; see DESIGN.md). Micro-benchmarks cover the hot substrate
+// operations.
 
 import (
 	"testing"

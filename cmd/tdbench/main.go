@@ -7,7 +7,7 @@
 //	tdbench -list                 # list experiment ids
 //
 // Each experiment prints a table whose rows mirror the series of the
-// corresponding paper artifact; EXPERIMENTS.md records the comparison.
+// corresponding paper artifact; DESIGN.md §4 records the calibration notes.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module tributarydelta
+
+go 1.24

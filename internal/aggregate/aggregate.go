@@ -8,6 +8,8 @@
 // (§6) lives in internal/freq and Uniform Sample in internal/sample.
 package aggregate
 
+import "tributarydelta/internal/wire"
+
 // Aggregate is the contract between an aggregate and the collection-round
 // runner. V is the type of one sensor's local reading, P the tree partial
 // result, S the multi-path synopsis, and R the query answer produced at the
@@ -27,6 +29,17 @@ package aggregate
 //     under multi-path replication.
 //   - Implementations must not modify `in` arguments; they may mutate and
 //     return `acc`.
+//
+// Every aggregate also supplies a partial codec and a synopsis codec: the
+// runner transmits real encoded bytes (framed by internal/wire's Envelope),
+// and all message-size accounting is derived from encoded lengths — there
+// is no separate "estimated words" path that could drift from reality. The
+// codecs must be lossless (decode(encode(x)) is semantically identical to
+// x) and deterministic (equal values encode to equal bytes); any fixed
+// parameters a decoder needs (sketch bitmap counts, sample capacity) come
+// from the aggregate's own configuration, mirroring a deployment-wide query
+// plan. Decoders must return an error — never panic — on malformed or
+// truncated input.
 type Aggregate[V, P, S, R any] interface {
 	// Name identifies the aggregate in reports.
 	Name() string
@@ -40,14 +53,22 @@ type Aggregate[V, P, S, R any] interface {
 	// (Algorithm 1, step 3), which must run exactly once per node after
 	// all children are folded.
 	FinalizeTree(epoch, node int, p P) P
-	// TreeWords is the message size of a tree partial, in 32-bit words.
-	TreeWords(p P) int
+	// AppendPartial appends the wire encoding of a tree partial to dst
+	// and returns the extended buffer (append-style: zero allocation when
+	// dst has capacity).
+	AppendPartial(dst []byte, p P) []byte
+	// DecodePartial parses a tree partial from exactly the bytes
+	// AppendPartial produced.
+	DecodePartial(data []byte) (P, error)
 	// Convert is the tree→multi-path conversion function.
 	Convert(epoch, owner int, p P) S
 	// Fuse is the synopsis fusion (SF) function.
 	Fuse(acc, in S) S
-	// SynopsisWords is the message size of a synopsis, in 32-bit words.
-	SynopsisWords(s S) int
+	// AppendSynopsis appends the wire encoding of a synopsis to dst.
+	AppendSynopsis(dst []byte, s S) []byte
+	// DecodeSynopsis parses a synopsis from exactly the bytes
+	// AppendSynopsis produced.
+	DecodeSynopsis(data []byte) (S, error)
 	// EvalBase produces the answer at the base station from the tree
 	// partials received directly from T children (kept exact — the source
 	// of the zero approximation error at low loss) and the synopses
@@ -56,4 +77,17 @@ type Aggregate[V, P, S, R any] interface {
 	// Exact computes the ground-truth answer over all readings, for error
 	// measurement by experiments.
 	Exact(vs []V) R
+}
+
+// PartialWords returns the message size of a tree partial in 32-bit words,
+// measured from its wire encoding — the only sanctioned way to cost a
+// partial.
+func PartialWords[V, P, S, R any](a Aggregate[V, P, S, R], p P) int {
+	return wire.Words(len(a.AppendPartial(nil, p)))
+}
+
+// SynopsisWords returns the message size of a synopsis in 32-bit words,
+// measured from its wire encoding.
+func SynopsisWords[V, P, S, R any](a Aggregate[V, P, S, R], s S) int {
+	return wire.Words(len(a.AppendSynopsis(nil, s)))
 }

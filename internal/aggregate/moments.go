@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -83,8 +84,20 @@ func (a *Moments) MergeTree(acc, in MomentsPartial) MomentsPartial {
 // FinalizeTree implements Aggregate (no-op).
 func (a *Moments) FinalizeTree(_, _ int, p MomentsPartial) MomentsPartial { return p }
 
-// TreeWords implements Aggregate.
-func (a *Moments) TreeWords(MomentsPartial) int { return 4 }
+// AppendPartial implements Aggregate: the count and three exact power sums.
+func (a *Moments) AppendPartial(dst []byte, p MomentsPartial) []byte {
+	dst = wire.AppendVarint(dst, p.N)
+	dst = wire.AppendFloat64(dst, p.S1)
+	dst = wire.AppendFloat64(dst, p.S2)
+	return wire.AppendFloat64(dst, p.S3)
+}
+
+// DecodePartial implements Aggregate.
+func (a *Moments) DecodePartial(data []byte) (MomentsPartial, error) {
+	r := wire.NewReader(data)
+	p := MomentsPartial{N: r.Varint(), S1: r.Float64(), S2: r.Float64(), S3: r.Float64()}
+	return p, r.Finish()
+}
 
 // Convert implements Aggregate: each power sum becomes a count credit owned
 // by the converting sender.
@@ -112,8 +125,26 @@ func (a *Moments) Fuse(acc, in MomentsSynopsis) MomentsSynopsis {
 	return acc
 }
 
-// SynopsisWords implements Aggregate.
-func (a *Moments) SynopsisWords(MomentsSynopsis) int { return 4 * sketch.EncodedWords(a.K) }
+// AppendSynopsis implements Aggregate: the four power-sum sketches
+// back-to-back, 4K words.
+func (a *Moments) AppendSynopsis(dst []byte, s MomentsSynopsis) []byte {
+	dst = s.N.AppendWire(dst)
+	dst = s.S1.AppendWire(dst)
+	dst = s.S2.AppendWire(dst)
+	return s.S3.AppendWire(dst)
+}
+
+// DecodeSynopsis implements Aggregate.
+func (a *Moments) DecodeSynopsis(data []byte) (MomentsSynopsis, error) {
+	r := wire.NewReader(data)
+	s := MomentsSynopsis{
+		N:  sketch.ReadWire(r, a.K),
+		S1: sketch.ReadWire(r, a.K),
+		S2: sketch.ReadWire(r, a.K),
+		S3: sketch.ReadWire(r, a.K),
+	}
+	return s, r.Finish()
+}
 
 // EvalBase implements Aggregate.
 func (a *Moments) EvalBase(treeParts []MomentsPartial, syns []MomentsSynopsis) MomentsValue {

@@ -40,8 +40,15 @@ func (a *UniformSample) MergeTree(acc, in *sample.Sample) *sample.Sample {
 // FinalizeTree implements Aggregate (no-op).
 func (a *UniformSample) FinalizeTree(_, _ int, p *sample.Sample) *sample.Sample { return p }
 
-// TreeWords implements Aggregate.
-func (a *UniformSample) TreeWords(p *sample.Sample) int { return p.Words() }
+// AppendPartial implements Aggregate.
+func (a *UniformSample) AppendPartial(dst []byte, p *sample.Sample) []byte {
+	return p.AppendWire(dst)
+}
+
+// DecodePartial implements Aggregate.
+func (a *UniformSample) DecodePartial(data []byte) (*sample.Sample, error) {
+	return sample.DecodeWire(data, a.SampleK)
+}
 
 // Convert implements Aggregate: identity up to copying (the synopsis must
 // not alias the tree partial, which its producer may keep).
@@ -55,8 +62,16 @@ func (a *UniformSample) Fuse(acc, in *sample.Sample) *sample.Sample {
 	return acc
 }
 
-// SynopsisWords implements Aggregate.
-func (a *UniformSample) SynopsisWords(s *sample.Sample) int { return s.Words() }
+// AppendSynopsis implements Aggregate: samples use one codec for both
+// roles, like the structure itself.
+func (a *UniformSample) AppendSynopsis(dst []byte, s *sample.Sample) []byte {
+	return s.AppendWire(dst)
+}
+
+// DecodeSynopsis implements Aggregate.
+func (a *UniformSample) DecodeSynopsis(data []byte) (*sample.Sample, error) {
+	return sample.DecodeWire(data, a.SampleK)
+}
 
 // EvalBase implements Aggregate.
 func (a *UniformSample) EvalBase(treeParts []*sample.Sample, syns []*sample.Sample) *sample.Sample {

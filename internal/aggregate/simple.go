@@ -4,8 +4,17 @@ import (
 	"math"
 
 	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
+
+// decodeFloatPartial parses the one-float encoding shared by Sum, Min and
+// Max.
+func decodeFloatPartial(data []byte) (float64, error) {
+	r := wire.NewReader(data)
+	v := r.Float64()
+	return v, r.Finish()
+}
 
 // DefaultSketchK is the paper's multi-path Count/Sum configuration: 40
 // 32-bit FM bitmaps, RLE-packed into one 48-byte TinyDB message, giving the
@@ -40,8 +49,16 @@ func (a *Sum) MergeTree(acc, in float64) float64 { return acc + in }
 // FinalizeTree implements Aggregate (no-op).
 func (a *Sum) FinalizeTree(_, _ int, p float64) float64 { return p }
 
-// TreeWords implements Aggregate.
-func (a *Sum) TreeWords(float64) int { return 1 }
+// AppendPartial implements Aggregate: the exact float64 subtree sum,
+// varint-compressed (integer-valued readings fit one word).
+func (a *Sum) AppendPartial(dst []byte, p float64) []byte {
+	return wire.AppendFloat64(dst, p)
+}
+
+// DecodePartial implements Aggregate.
+func (a *Sum) DecodePartial(data []byte) (float64, error) {
+	return decodeFloatPartial(data)
+}
 
 // Convert implements Aggregate: a subtree sum p becomes round(p·Scale)
 // distinct sketch insertions owned by the converting sender, which is
@@ -59,8 +76,16 @@ func (a *Sum) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
-// SynopsisWords implements Aggregate.
-func (a *Sum) SynopsisWords(*sketch.Sketch) int { return sketch.EncodedWords(a.K) }
+// AppendSynopsis implements Aggregate: the raw K-bitmap FM sketch, exactly
+// K 32-bit words.
+func (a *Sum) AppendSynopsis(dst []byte, s *sketch.Sketch) []byte {
+	return s.AppendWire(dst)
+}
+
+// DecodeSynopsis implements Aggregate.
+func (a *Sum) DecodeSynopsis(data []byte) (*sketch.Sketch, error) {
+	return sketch.DecodeWire(data, a.K)
+}
 
 // EvalBase implements Aggregate.
 func (a *Sum) EvalBase(treeParts []float64, syns []*sketch.Sketch) float64 {
@@ -111,8 +136,18 @@ func (a *Count) MergeTree(acc, in int64) int64 { return acc + in }
 // FinalizeTree implements Aggregate (no-op).
 func (a *Count) FinalizeTree(_, _ int, p int64) int64 { return p }
 
-// TreeWords implements Aggregate.
-func (a *Count) TreeWords(int64) int { return 1 }
+// AppendPartial implements Aggregate: the exact subtree count as a varint —
+// one 32-bit word for any realistic deployment (counts below 2^27).
+func (a *Count) AppendPartial(dst []byte, p int64) []byte {
+	return wire.AppendVarint(dst, p)
+}
+
+// DecodePartial implements Aggregate.
+func (a *Count) DecodePartial(data []byte) (int64, error) {
+	r := wire.NewReader(data)
+	p := r.Varint()
+	return p, r.Finish()
+}
 
 // Convert implements Aggregate.
 func (a *Count) Convert(epoch, owner int, p int64) *sketch.Sketch {
@@ -127,8 +162,16 @@ func (a *Count) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
-// SynopsisWords implements Aggregate.
-func (a *Count) SynopsisWords(*sketch.Sketch) int { return sketch.EncodedWords(a.K) }
+// AppendSynopsis implements Aggregate: the raw K-bitmap FM bit vector of
+// Figure 3, exactly K 32-bit words.
+func (a *Count) AppendSynopsis(dst []byte, s *sketch.Sketch) []byte {
+	return s.AppendWire(dst)
+}
+
+// DecodeSynopsis implements Aggregate.
+func (a *Count) DecodeSynopsis(data []byte) (*sketch.Sketch, error) {
+	return sketch.DecodeWire(data, a.K)
+}
 
 // EvalBase implements Aggregate.
 func (a *Count) EvalBase(treeParts []int64, syns []*sketch.Sketch) float64 {
@@ -168,8 +211,11 @@ func (Min) MergeTree(acc, in float64) float64 { return math.Min(acc, in) }
 // FinalizeTree implements Aggregate (no-op).
 func (Min) FinalizeTree(_, _ int, p float64) float64 { return p }
 
-// TreeWords implements Aggregate.
-func (Min) TreeWords(float64) int { return 1 }
+// AppendPartial implements Aggregate.
+func (Min) AppendPartial(dst []byte, p float64) []byte { return wire.AppendFloat64(dst, p) }
+
+// DecodePartial implements Aggregate.
+func (Min) DecodePartial(data []byte) (float64, error) { return decodeFloatPartial(data) }
 
 // Convert implements Aggregate.
 func (Min) Convert(_, _ int, p float64) float64 { return p }
@@ -177,8 +223,12 @@ func (Min) Convert(_, _ int, p float64) float64 { return p }
 // Fuse implements Aggregate.
 func (Min) Fuse(acc, in float64) float64 { return math.Min(acc, in) }
 
-// SynopsisWords implements Aggregate.
-func (Min) SynopsisWords(float64) int { return 1 }
+// AppendSynopsis implements Aggregate: Min's synopsis is the same scalar as
+// its partial (identity conversion).
+func (Min) AppendSynopsis(dst []byte, s float64) []byte { return wire.AppendFloat64(dst, s) }
+
+// DecodeSynopsis implements Aggregate.
+func (Min) DecodeSynopsis(data []byte) (float64, error) { return decodeFloatPartial(data) }
 
 // EvalBase implements Aggregate.
 func (Min) EvalBase(treeParts []float64, syns []float64) float64 {
@@ -216,8 +266,11 @@ func (Max) MergeTree(acc, in float64) float64 { return math.Max(acc, in) }
 // FinalizeTree implements Aggregate (no-op).
 func (Max) FinalizeTree(_, _ int, p float64) float64 { return p }
 
-// TreeWords implements Aggregate.
-func (Max) TreeWords(float64) int { return 1 }
+// AppendPartial implements Aggregate.
+func (Max) AppendPartial(dst []byte, p float64) []byte { return wire.AppendFloat64(dst, p) }
+
+// DecodePartial implements Aggregate.
+func (Max) DecodePartial(data []byte) (float64, error) { return decodeFloatPartial(data) }
 
 // Convert implements Aggregate.
 func (Max) Convert(_, _ int, p float64) float64 { return p }
@@ -225,8 +278,11 @@ func (Max) Convert(_, _ int, p float64) float64 { return p }
 // Fuse implements Aggregate.
 func (Max) Fuse(acc, in float64) float64 { return math.Max(acc, in) }
 
-// SynopsisWords implements Aggregate.
-func (Max) SynopsisWords(float64) int { return 1 }
+// AppendSynopsis implements Aggregate.
+func (Max) AppendSynopsis(dst []byte, s float64) []byte { return wire.AppendFloat64(dst, s) }
+
+// DecodeSynopsis implements Aggregate.
+func (Max) DecodeSynopsis(data []byte) (float64, error) { return decodeFloatPartial(data) }
 
 // EvalBase implements Aggregate.
 func (Max) EvalBase(treeParts []float64, syns []float64) float64 {
@@ -293,8 +349,18 @@ func (a *Average) MergeTree(acc, in AvgPartial) AvgPartial {
 // FinalizeTree implements Aggregate (no-op).
 func (a *Average) FinalizeTree(_, _ int, p AvgPartial) AvgPartial { return p }
 
-// TreeWords implements Aggregate.
-func (a *Average) TreeWords(AvgPartial) int { return 2 }
+// AppendPartial implements Aggregate: the exact (sum, count) pair.
+func (a *Average) AppendPartial(dst []byte, p AvgPartial) []byte {
+	dst = wire.AppendFloat64(dst, p.Sum)
+	return wire.AppendVarint(dst, p.Count)
+}
+
+// DecodePartial implements Aggregate.
+func (a *Average) DecodePartial(data []byte) (AvgPartial, error) {
+	r := wire.NewReader(data)
+	p := AvgPartial{Sum: r.Float64(), Count: r.Varint()}
+	return p, r.Finish()
+}
 
 // Convert implements Aggregate.
 func (a *Average) Convert(epoch, owner int, p AvgPartial) AvgSynopsis {
@@ -312,8 +378,19 @@ func (a *Average) Fuse(acc, in AvgSynopsis) AvgSynopsis {
 	return acc
 }
 
-// SynopsisWords implements Aggregate.
-func (a *Average) SynopsisWords(AvgSynopsis) int { return 2 * sketch.EncodedWords(a.K) }
+// AppendSynopsis implements Aggregate: the Sum and Count sketches
+// back-to-back, 2K words.
+func (a *Average) AppendSynopsis(dst []byte, s AvgSynopsis) []byte {
+	dst = s.Sum.AppendWire(dst)
+	return s.Count.AppendWire(dst)
+}
+
+// DecodeSynopsis implements Aggregate.
+func (a *Average) DecodeSynopsis(data []byte) (AvgSynopsis, error) {
+	r := wire.NewReader(data)
+	s := AvgSynopsis{Sum: sketch.ReadWire(r, a.K), Count: sketch.ReadWire(r, a.K)}
+	return s, r.Finish()
+}
 
 // EvalBase implements Aggregate.
 func (a *Average) EvalBase(treeParts []AvgPartial, syns []AvgSynopsis) float64 {

@@ -1,6 +1,6 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§7). Each experiment returns a Table whose rows mirror the
-// series the paper plots; EXPERIMENTS.md records paper-vs-measured values.
+// series the paper plots; DESIGN.md §4 records paper-vs-measured calibration notes.
 // The Options.Quick flag shrinks workloads for benchmarks and CI.
 package experiments
 

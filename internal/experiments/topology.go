@@ -198,7 +198,7 @@ func Table2(Options) *Table {
 		t.Add(cells...)
 	}
 	t.Note("paper's H(i) for Te: 37/54=0.685, 47/54=0.870, 53/54=0.981, 1.000; for T2: 8/15, 12/15, 14/15, 1")
-	t.Note("the printed definition gives Te an exact factor of (54/7)^(1/2)=2.78 -> 2.75 at 0.05 granularity; the paper's prose says 2 (see EXPERIMENTS.md)")
+	t.Note("the printed definition gives Te an exact factor of (54/7)^(1/2)=2.78 -> 2.75 at 0.05 granularity; the paper's prose says 2 (see DESIGN.md §4)")
 	if math.Abs(topo.DominationFactor(te, 0.05)-2.75) > 1e-9 {
 		t.Note("WARNING: computed Te factor deviates from 2.75 — check topo.DominationFactor")
 	}

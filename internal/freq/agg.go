@@ -71,8 +71,11 @@ func (a *Agg) FinalizeTree(_, node int, p *Summary) *Summary {
 	return p
 }
 
-// TreeWords implements aggregate.Aggregate.
-func (a *Agg) TreeWords(p *Summary) int { return p.Words() }
+// AppendPartial implements aggregate.Aggregate.
+func (a *Agg) AppendPartial(dst []byte, p *Summary) []byte { return p.AppendWire(dst) }
+
+// DecodePartial implements aggregate.Aggregate.
+func (a *Agg) DecodePartial(data []byte) (*Summary, error) { return DecodeWireSummary(data) }
 
 // Convert implements aggregate.Aggregate (the §6.3 conversion function).
 func (a *Agg) Convert(epoch, owner int, p *Summary) *Synopsis {
@@ -85,8 +88,13 @@ func (a *Agg) Fuse(acc, in *Synopsis) *Synopsis {
 	return acc
 }
 
-// SynopsisWords implements aggregate.Aggregate.
-func (a *Agg) SynopsisWords(s *Synopsis) int { return s.Words(a.MP) }
+// AppendSynopsis implements aggregate.Aggregate.
+func (a *Agg) AppendSynopsis(dst []byte, s *Synopsis) []byte { return s.AppendWire(dst, a.MP) }
+
+// DecodeSynopsis implements aggregate.Aggregate.
+func (a *Agg) DecodeSynopsis(data []byte) (*Synopsis, error) {
+	return DecodeWireSynopsis(data, a.MP)
+}
 
 // EvalBase implements aggregate.Aggregate: directly received tree partials
 // are merged and finalized exactly (base station as Algorithm 1 root); the

@@ -170,8 +170,9 @@ func TestEpsDeficiencyInvariant(t *testing.T) {
 }
 
 // TestMinTotalLoadCommBound checks Lemma 3 empirically: total communication
-// stays below (1 + 2/(√d−1))·m/ε words (loads here count words ≈ 2·counters,
-// so compare counters: total items+N fields transmitted).
+// stays below (1 + 2/(√d−1))·m/ε counters. Loads are compared in counters
+// directly (LoadCounters), independent of the wire codec's per-counter byte
+// cost.
 func TestMinTotalLoadCommBound(t *testing.T) {
 	tr, perNode, _ := buildTestTree(13, 300)
 	d := topo.TreeDominationFactor(tr, 0.05)
@@ -182,14 +183,13 @@ func TestMinTotalLoadCommBound(t *testing.T) {
 	g := MinTotalLoad{Epsilon: eps, D: d}
 	res := RunTree(tr, func(v int) []Item { return perNode[v] }, g)
 	total := 0
-	for _, w := range res.LoadWords {
-		total += w
+	for _, c := range res.LoadCounters {
+		total += c
 	}
 	m := tr.Size() - 1
 	bound := g.TotalCommBound(m)
-	// Words ≈ 2·counters + 1 per node; compare against 2×bound + m slack.
-	if float64(total) > 2*bound+float64(m) {
-		t.Fatalf("total load %d words exceeds Lemma 3 bound %v (m=%d d=%v)", total, 2*bound+float64(m), m, d)
+	if float64(total) > bound {
+		t.Fatalf("total load %d counters exceeds Lemma 3 bound %v (m=%d d=%v)", total, bound, m, d)
 	}
 }
 
@@ -202,14 +202,13 @@ func TestPerNodeLoadBound(t *testing.T) {
 	const eps = 0.02
 	g := MinMaxLoad{Epsilon: eps, H: h}
 	res := RunTree(tr, func(v int) []Item { return perNode[v] }, g)
-	for v, w := range res.LoadWords {
-		if w == 0 || v == topo.Base {
+	for v, counters := range res.LoadCounters {
+		if counters == 0 || v == topo.Base {
 			continue
 		}
 		i := heights[v]
 		maxCounters := 1/(g.Eps(i)-g.Eps(i-1)) + 1
-		counters := float64(w-1) / 2
-		if counters > maxCounters {
+		if float64(counters) > maxCounters {
 			t.Fatalf("node %d (height %d) sent %v counters, bound %v", v, i, counters, maxCounters)
 		}
 	}

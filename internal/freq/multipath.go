@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -72,13 +73,6 @@ func (cs *ClassSynopsis) clone() *ClassSynopsis {
 		c.ItemSketches[u] = sk.Clone()
 	}
 	return c
-}
-
-// words is the message size: one word of header plus the ñ sketch plus one
-// item id word and one count sketch per item.
-func (cs *ClassSynopsis) words(p Params) int {
-	return 1 + sketch.EncodedWords(p.KTotal) +
-		len(cs.ItemSketches)*(1+sketch.EncodedWords(p.KItem))
 }
 
 // Synopsis is a multi-path partial result: at most one class synopsis per
@@ -186,16 +180,18 @@ func (s *Synopsis) Fuse(in *Synopsis, p Params) {
 	}
 }
 
-// Words returns the message size of the whole synopsis in 32-bit words.
+// Words returns the message size of the whole synopsis in 32-bit words,
+// measured from the actual wire encoding (see AppendWire). Even an empty
+// synopsis costs its one-byte class count. The buffer is pre-sized (a
+// capacity hint only, not accounting) to avoid growth reallocations.
 func (s *Synopsis) Words(p Params) int {
-	w := 0
+	capHint := 8
 	for _, cs := range s.ByClass {
-		w += cs.words(p)
+		capHint += 16 + sketch.WireBytes(p.KTotal) +
+			len(cs.ItemSketches)*(10+sketch.WireBytes(p.KItem))
 	}
-	if w == 0 {
-		w = 1
-	}
-	return w
+	buf := make([]byte, 0, capHint)
+	return wire.Words(len(s.AppendWire(buf, p)))
 }
 
 // Items returns all items present in any class, sorted.

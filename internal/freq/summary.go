@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"tributarydelta/internal/topo"
+	"tributarydelta/internal/wire"
 )
 
 // Summary is the ε-deficient summary of §6.1.1: S = ⟨N, ε, {(u, c̃(u))}⟩.
@@ -70,9 +71,18 @@ func (s *Summary) Finalize(epsK float64) {
 	s.credit = epsK * float64(s.N)
 }
 
-// Words returns the message size in 32-bit words: two per (item, estimate)
-// pair plus one for N (ε is implied by the sender's height).
-func (s *Summary) Words() int { return 2*len(s.Counts) + 1 }
+// Words returns the message size in 32-bit words, measured from the actual
+// wire encoding (see AppendWire) so the accounting can never drift from
+// what is transmitted. The buffer is pre-sized (a capacity hint only, not
+// accounting) to avoid growth reallocations.
+func (s *Summary) Words() int {
+	buf := make([]byte, 0, 32+13*len(s.Counts))
+	return wire.Words(len(s.AppendWire(buf)))
+}
+
+// Counters returns the number of (item, estimate) pairs the summary keeps —
+// the unit the paper's load lemmas bound.
+func (s *Summary) Counters() int { return len(s.Counts) }
 
 // Frequent reports the items with c̃(u) > (s−ε)·N, the paper's reporting
 // rule that guarantees no false negatives for items with c(u) ≥ s·N.
@@ -93,8 +103,12 @@ type TreeResult struct {
 	// Root is the summary produced at the base station (already finalized
 	// at the base's height).
 	Root *Summary
-	// LoadWords[v] is the number of 32-bit words node v transmitted.
+	// LoadWords[v] is the number of 32-bit words node v transmitted,
+	// measured from the wire encoding.
 	LoadWords []int
+	// LoadCounters[v] is the number of (item, estimate) counters node v
+	// transmitted — the unit of the §6.1 load bounds.
+	LoadCounters []int
 }
 
 // RunTree executes Algorithm 1 bottom-up over a tree without message loss,
@@ -105,6 +119,7 @@ func RunTree(t *topo.Tree, values func(node int) []Item, g Gradient) TreeResult 
 	heights := t.Heights()
 	summaries := make([]*Summary, n)
 	loads := make([]int, n)
+	counters := make([]int, n)
 	for _, v := range t.PostOrder() {
 		if !t.InTree(v) {
 			continue
@@ -118,8 +133,9 @@ func RunTree(t *topo.Tree, values func(node int) []Item, g Gradient) TreeResult 
 		s.Finalize(g.Eps(heights[v]))
 		if v != topo.Base {
 			loads[v] = s.Words()
+			counters[v] = s.Counters()
 		}
 		summaries[v] = s
 	}
-	return TreeResult{Root: summaries[topo.Base], LoadWords: loads}
+	return TreeResult{Root: summaries[topo.Base], LoadWords: loads, LoadCounters: counters}
 }

@@ -111,8 +111,9 @@ func TestMaxLoadBoundedByClasses(t *testing.T) {
 	// Pruning only fires on class promotions, so between promotions the
 	// synopsis accumulates; require meaningful pruning at the peak (≥ 25%
 	// under this weakly skewed stream) and that the peak respects Theorem
-	// 1's per-link bound O(log²N/ε · 1/εc²) counters.
-	unpruned := len(distinct) * 4 // 1 id word + 3 sketch words per item
+	// 1's per-link bound O(log²N/ε · 1/εc²) counters. The per-item wire
+	// cost is one id word plus a raw KItem-bitmap sketch (= KItem words).
+	unpruned := len(distinct) * (1 + p.KItem)
 	if float64(maxWords) > 0.75*float64(unpruned) {
 		t.Fatalf("synopsis peaked at %d words — thresholding pruned under 25%% (unpruned baseline %d, %d distinct items)",
 			maxWords, unpruned, len(distinct))

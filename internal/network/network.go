@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"tributarydelta/internal/topo"
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -169,11 +170,21 @@ func (n *Net) Delivered(epoch, attempt, from, to int) bool {
 }
 
 // Stats accumulates the energy-side metrics of Table 1: per-node
-// transmission, word and packet counts.
+// transmission, byte, word and packet counts, plus per-schedule-level byte
+// loads. Bytes are measured from real encoded frames (see internal/wire);
+// Words and PacketsSent are derived from them, so the accounting can never
+// drift from what was actually transmitted.
 type Stats struct {
 	Transmissions []int64 // radio sends (one per broadcast or unicast attempt)
 	Words         []int64 // 32-bit words of payload transmitted
+	Bytes         []int64 // encoded payload bytes transmitted
 	PacketsSent   []int64 // 48-byte TinyDB packets transmitted
+	// LevelBytes[l] is the total encoded bytes transmitted by senders
+	// scheduled at level l (ring level, or tree depth in pure-tree mode).
+	// The slice grows on demand as levels are observed.
+	LevelBytes []int64
+	// LevelWords is the word-denominated companion of LevelBytes.
+	LevelWords []int64
 }
 
 // NewStats returns zeroed stats for n nodes.
@@ -181,15 +192,28 @@ func NewStats(n int) *Stats {
 	return &Stats{
 		Transmissions: make([]int64, n),
 		Words:         make([]int64, n),
+		Bytes:         make([]int64, n),
 		PacketsSent:   make([]int64, n),
 	}
 }
 
-// AddTx records one transmission by node v carrying words payload words.
-func (s *Stats) AddTx(v, words int) {
+// AddTxBytes records one transmission by node v at schedule level `level`
+// carrying an encoded frame of byteLen bytes. Word and packet counts are
+// derived from the byte length.
+func (s *Stats) AddTxBytes(v, level, byteLen int) {
+	words := wire.Words(byteLen)
 	s.Transmissions[v]++
 	s.Words[v] += int64(words)
+	s.Bytes[v] += int64(byteLen)
 	s.PacketsSent[v] += int64(Packets(words))
+	if level >= 0 {
+		for len(s.LevelBytes) <= level {
+			s.LevelBytes = append(s.LevelBytes, 0)
+			s.LevelWords = append(s.LevelWords, 0)
+		}
+		s.LevelBytes[level] += int64(byteLen)
+		s.LevelWords[level] += int64(words)
+	}
 }
 
 // TotalWords returns the total words transmitted by all nodes.
@@ -199,6 +223,28 @@ func (s *Stats) TotalWords() int64 {
 		t += w
 	}
 	return t
+}
+
+// TotalBytes returns the total encoded payload bytes transmitted by all
+// nodes.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// MaxBytes returns the largest per-node byte count — the byte-denominated
+// "maximum load" of Figure 8.
+func (s *Stats) MaxBytes() int64 {
+	var m int64
+	for _, b := range s.Bytes {
+		if b > m {
+			m = b
+		}
+	}
+	return m
 }
 
 // TotalPackets returns the total packets transmitted by all nodes.

@@ -156,9 +156,9 @@ func TestDeliveredRates(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	s := NewStats(4)
-	s.AddTx(1, 5)
-	s.AddTx(1, 13)
-	s.AddTx(2, 0)
+	s.AddTxBytes(1, 1, 20) // 5 words, 1 packet
+	s.AddTxBytes(1, 1, 52) // 13 words, 2 packets
+	s.AddTxBytes(2, 1, 0)  // empty frame still costs a packet
 	if s.Transmissions[1] != 2 || s.Transmissions[2] != 1 {
 		t.Fatal("transmission counts wrong")
 	}
@@ -179,6 +179,31 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if got := s.AvgWords(); math.Abs(got-6) > 1e-12 { // 18/3 sensors
 		t.Fatalf("avg words %v, want 6", got)
+	}
+}
+
+func TestStatsByteAccounting(t *testing.T) {
+	s := NewStats(3)
+	s.AddTxBytes(1, 2, 9)  // 9 bytes = 3 words = 1 packet
+	s.AddTxBytes(1, 3, 49) // 49 bytes = 13 words = 2 packets
+	s.AddTxBytes(2, 2, 0)  // empty frame still costs a packet
+	if s.Bytes[1] != 58 || s.Bytes[2] != 0 {
+		t.Fatalf("bytes = %v", s.Bytes)
+	}
+	if s.Words[1] != 16 {
+		t.Fatalf("words[1] = %d, want 16 (derived from bytes)", s.Words[1])
+	}
+	if s.PacketsSent[1] != 3 {
+		t.Fatalf("packets[1] = %d, want 3", s.PacketsSent[1])
+	}
+	if s.TotalBytes() != 58 || s.MaxBytes() != 58 {
+		t.Fatalf("total/max bytes = %d/%d, want 58/58", s.TotalBytes(), s.MaxBytes())
+	}
+	if len(s.LevelBytes) != 4 || s.LevelBytes[2] != 9 || s.LevelBytes[3] != 49 {
+		t.Fatalf("level bytes = %v", s.LevelBytes)
+	}
+	if s.LevelWords[2] != 3 || s.LevelWords[3] != 13 {
+		t.Fatalf("level words = %v", s.LevelWords)
 	}
 }
 

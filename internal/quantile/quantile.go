@@ -22,6 +22,8 @@ package quantile
 import (
 	"fmt"
 	"sort"
+
+	"tributarydelta/internal/wire"
 )
 
 // Entry is one stored value with its rank bounds: the value's rank (1-based,
@@ -68,9 +70,14 @@ func (s *Summary) Clone() *Summary {
 // Size returns the number of stored entries.
 func (s *Summary) Size() int { return len(s.Entries) }
 
-// Words returns the message size in 32-bit words: three per entry (value +
-// two rank bounds, the paper's integer-counting convention) plus one for N.
-func (s *Summary) Words() int { return 3*len(s.Entries) + 1 }
+// Words returns the message size in 32-bit words, measured from the actual
+// wire encoding (see AppendWire) so the accounting can never drift from
+// what is transmitted. The buffer is pre-sized (a capacity hint only, not
+// accounting) to avoid growth reallocations.
+func (s *Summary) Words() int {
+	buf := make([]byte, 0, 16+16*len(s.Entries))
+	return wire.Words(len(s.AppendWire(buf)))
+}
 
 // Merge combines two summaries into a new one covering both populations.
 // Rank bounds follow the mergeable-summaries construction: an entry's rmin

@@ -1,0 +1,60 @@
+package quantile
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/wire"
+)
+
+// Wire codec. A summary travels as N, its accumulated error fraction, and
+// the entries in value order. Rank bounds are monotone, so they are encoded
+// as deltas: RMin against the previous entry's RMin, RMax against the
+// entry's own RMin — small varints for realistic summaries.
+
+// AppendWire appends the lossless wire encoding of the summary to dst.
+func (s *Summary) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(s.N))
+	dst = wire.AppendFloat64(dst, s.Eps)
+	dst = wire.AppendUvarint(dst, uint64(len(s.Entries)))
+	prevRMin := int64(0)
+	for _, e := range s.Entries {
+		dst = wire.AppendFloat64(dst, e.V)
+		dst = wire.AppendVarint(dst, e.RMin-prevRMin)
+		dst = wire.AppendUvarint(dst, uint64(e.RMax-e.RMin))
+		prevRMin = e.RMin
+	}
+	return dst
+}
+
+// DecodeWireSummary parses a summary encoded by AppendWire.
+func DecodeWireSummary(data []byte) (*Summary, error) {
+	r := wire.NewReader(data)
+	s := &Summary{
+		N:   int64(r.Uvarint()),
+		Eps: r.Float64(),
+	}
+	n := r.Count(3) // value + two rank fields, >= 1 byte each
+	if n > 0 {
+		s.Entries = make([]Entry, n)
+	}
+	prevRMin := int64(0)
+	prevV := 0.0
+	for i := range s.Entries {
+		v := r.Float64()
+		rmin := prevRMin + r.Varint()
+		rmax := rmin + int64(r.Uvarint())
+		if r.Err() == nil && i > 0 && v < prevV { // canonical form is V-ascending
+			return nil, fmt.Errorf("quantile: entries out of order: %w", wire.ErrMalformed)
+		}
+		s.Entries[i] = Entry{V: v, RMin: rmin, RMax: rmax}
+		prevRMin = rmin
+		prevV = v
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("quantile: negative N: %w", wire.ErrMalformed)
+	}
+	return s, nil
+}

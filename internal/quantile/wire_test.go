@@ -1,0 +1,105 @@
+package quantile
+
+import (
+	"testing"
+
+	"tributarydelta/internal/wire"
+	"tributarydelta/internal/xrand"
+)
+
+func testSummary(seed uint64, n, prune int) *Summary {
+	src := xrand.NewSource(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = src.Float64() * 1000
+	}
+	s := FromUnsorted(vals)
+	if prune > 0 {
+		s.Prune(prune)
+	}
+	return s
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, s := range []*Summary{
+		{},
+		FromSorted([]float64{1, 2, 3}),
+		testSummary(7, 500, 50),
+		testSummary(8, 1000, 0),
+	} {
+		enc := s.AppendWire(nil)
+		got, err := DecodeWireSummary(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N != s.N || got.Eps != s.Eps || len(got.Entries) != len(s.Entries) {
+			t.Fatalf("shape: %+v vs %+v", got, s)
+		}
+		for i := range s.Entries {
+			if got.Entries[i] != s.Entries[i] {
+				t.Fatalf("entry %d: %+v != %+v", i, got.Entries[i], s.Entries[i])
+			}
+		}
+		if err := got.Validate(); s.Validate() == nil && err != nil {
+			t.Fatalf("decoded summary invalid: %v", err)
+		}
+	}
+}
+
+func TestWordsDerivedFromEncoding(t *testing.T) {
+	s := testSummary(9, 800, 100)
+	if want := wire.Words(len(s.AppendWire(nil))); s.Words() != want {
+		t.Fatalf("Words() = %d, want encoded length %d", s.Words(), want)
+	}
+	if s.Words() == 0 {
+		t.Fatal("non-empty summary must cost words")
+	}
+}
+
+func TestDecodeWireSummaryRejectsUnsortedEntries(t *testing.T) {
+	// Hand-build a frame whose entries are out of V-order: the canonical
+	// form is V-ascending, so this must be rejected, not silently accepted.
+	buf := wire.AppendUvarint(nil, 2) // N
+	buf = wire.AppendFloat64(buf, 0)  // Eps
+	buf = wire.AppendUvarint(buf, 2)  // entries
+	buf = wire.AppendFloat64(buf, 9)  // V0 = 9
+	buf = wire.AppendVarint(buf, 1)   // RMin 1
+	buf = wire.AppendUvarint(buf, 0)  // RMax = RMin
+	buf = wire.AppendFloat64(buf, 3)  // V1 = 3 < V0
+	buf = wire.AppendVarint(buf, 1)   // RMin 2
+	buf = wire.AppendUvarint(buf, 0)  // RMax = RMin
+	if _, err := DecodeWireSummary(buf); err == nil {
+		t.Fatal("out-of-order entries accepted")
+	}
+}
+
+func TestDecodeWireSummaryRejectsTruncation(t *testing.T) {
+	enc := testSummary(10, 100, 20).AppendWire(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeWireSummary(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	if _, err := DecodeWireSummary(append(enc, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func FuzzDecodeWireSummary(f *testing.F) {
+	f.Add(testSummary(11, 200, 30).AppendWire(nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeWireSummary(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Whatever decodes must survive a re-encode/re-decode cycle intact.
+		again, err := DecodeWireSummary(s.AppendWire(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.N != s.N || len(again.Entries) != len(s.Entries) {
+			t.Fatal("cycle changed the summary")
+		}
+	})
+}

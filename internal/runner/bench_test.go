@@ -1,0 +1,41 @@
+package runner
+
+import (
+	"testing"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/topo"
+)
+
+// BenchmarkRunEpoch is the wire refactor's performance guard: one full
+// 600-node Count collection round per scheme, through real encoded
+// envelopes. Compare against the facade-level BenchmarkEpochCount history
+// when touching the dispatch or codec hot paths.
+func BenchmarkRunEpoch(b *testing.B) {
+	for _, mode := range []Mode{ModeTree, ModeMultipath, ModeTDCoarse, ModeTD} {
+		b.Run(mode.String(), func(b *testing.B) {
+			g := topo.NewRandomField(1, 600, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
+			rings := topo.BuildRings(g)
+			tr := topo.BuildRestrictedTree(g, rings, 1)
+			topo.OpportunisticImprove(g, rings, tr, 1, 4)
+			r, err := New(Config[struct{}, int64, *sketch.Sketch, float64]{
+				Graph: g, Rings: rings, Tree: tr,
+				Net:   network.New(g, network.Global{P: 0.2}, 1),
+				Agg:   aggregate.NewCount(1),
+				Value: func(int, int) struct{} { return struct{}{} },
+				Mode:  mode,
+				Seed:  1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.RunEpoch(i)
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tributarydelta/internal/network"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden answer file")
+
+// goldenEpoch is one recorded collection round.
+type goldenEpoch struct {
+	Answer      string `json:"answer"` // %.17g — exact float64 round-trip
+	TrueContrib int    `json:"trueContrib"`
+	DeltaSize   int    `json:"deltaSize"`
+}
+
+// goldenRun is one (aggregate, mode, seed) series.
+type goldenRun struct {
+	Agg    string        `json:"agg"`
+	Mode   string        `json:"mode"`
+	Seed   uint64        `json:"seed"`
+	Epochs []goldenEpoch `json:"epochs"`
+}
+
+const goldenEpochs = 30
+
+// goldenRuns executes the reference workloads: Count and Sum across all four
+// schemes for seeds 1–3 under 25% global loss.
+func goldenRuns(t *testing.T) []goldenRun {
+	t.Helper()
+	var out []goldenRun
+	for seed := uint64(1); seed <= 3; seed++ {
+		f := newFixture(seed, 300)
+		for _, mode := range []Mode{ModeTree, ModeMultipath, ModeTDCoarse, ModeTD} {
+			cr := countRunner(t, f, mode, network.Global{P: 0.25}, seed)
+			run := goldenRun{Agg: "Count", Mode: mode.String(), Seed: seed}
+			for _, res := range cr.Run(goldenEpochs) {
+				run.Epochs = append(run.Epochs, goldenEpoch{
+					Answer:      fmt.Sprintf("%.17g", res.Answer),
+					TrueContrib: res.TrueContrib,
+					DeltaSize:   res.DeltaSize,
+				})
+			}
+			out = append(out, run)
+
+			sr := sumRunner(t, f, mode, network.Global{P: 0.25}, seed)
+			srun := goldenRun{Agg: "Sum", Mode: mode.String(), Seed: seed}
+			for _, res := range sr.Run(goldenEpochs) {
+				srun.Epochs = append(srun.Epochs, goldenEpoch{
+					Answer:      fmt.Sprintf("%.17g", res.Answer),
+					TrueContrib: res.TrueContrib,
+					DeltaSize:   res.DeltaSize,
+				})
+			}
+			out = append(out, srun)
+		}
+	}
+	return out
+}
+
+// TestGoldenAnswers pins every scheme's per-epoch answers bit-for-bit against
+// the pre-wire-refactor runner: the wire codec layer is required to be
+// lossless, so transmitting real bytes must not move a single answer.
+func TestGoldenAnswers(t *testing.T) {
+	path := filepath.Join("testdata", "golden_answers.json")
+	got := goldenRuns(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file updated: %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	var want []goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d runs, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Agg != w.Agg || g.Mode != w.Mode || g.Seed != w.Seed || len(g.Epochs) != len(w.Epochs) {
+			t.Fatalf("run %d header mismatch: got %s/%s/%d×%d, want %s/%s/%d×%d",
+				i, g.Agg, g.Mode, g.Seed, len(g.Epochs), w.Agg, w.Mode, w.Seed, len(w.Epochs))
+		}
+		for e := range w.Epochs {
+			if g.Epochs[e] != w.Epochs[e] {
+				t.Errorf("%s/%s seed %d epoch %d: got %+v, want %+v",
+					w.Agg, w.Mode, w.Seed, e, g.Epochs[e], w.Epochs[e])
+				break // report the first divergence per run
+			}
+		}
+	}
+}

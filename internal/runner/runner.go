@@ -7,14 +7,24 @@
 // integers in the tributaries, a small FM sketch in the delta), from which
 // the base station drives the §4.2 adaptation strategies.
 //
-// The runner also maintains ground truth: every envelope carries a bitset of
-// the sensors actually represented in it, so experiments can separate
-// communication error from approximation error (Table 1's error
-// decomposition).
+// Every transmission goes over the wire for real: the sender's partial or
+// synopsis is serialized by the aggregate's codec into a framed
+// internal/wire Envelope, energy accounting charges the encoded byte
+// length, losses drop whole frames, and receivers decode actual bytes. The
+// codecs are lossless, so results are bit-identical to an in-memory
+// hand-off — but sizes can never drift from reality, and the Transport seam
+// lets a future networked backend replace the in-process simulator.
+//
+// The runner also maintains ground truth: every envelope is accompanied by
+// a bitset of the sensors actually represented in it, so experiments can
+// separate communication error from approximation error (Table 1's error
+// decomposition). The bitset is simulator metadata — it rides next to the
+// frame, never inside it, and is not charged to the energy accounting.
 package runner
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 	"sync"
@@ -24,6 +34,7 @@ import (
 	"tributarydelta/internal/sketch"
 	"tributarydelta/internal/tdgraph"
 	"tributarydelta/internal/topo"
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -101,6 +112,10 @@ type Config[V, P, S, R any] struct {
 	Pipelined bool
 	// Seed drives all the run's randomness.
 	Seed uint64
+	// Transport overrides frame delivery. Nil uses the in-process simulator
+	// over Net — the only mode today; the seam exists so a networked
+	// backend can carry the very same frames later.
+	Transport Transport
 	// Parallel processes each level's nodes on goroutines — one per sensor,
 	// as sensor nodes are naturally concurrent. Results are bit-identical
 	// to the sequential schedule because every stochastic decision is a
@@ -152,6 +167,77 @@ type Runner[V, P, S, R any] struct {
 	// lastContributors is the ground-truth bitset of the most recent epoch,
 	// exposed for diagnostics and tests.
 	lastContributors []uint64
+	// transport carries encoded frames (the simulator unless overridden).
+	transport Transport
+	// encBuf, payloadBuf and contribBuf are the dispatch scratch buffers:
+	// dispatch runs sequentially, so one set of buffers serves every
+	// transmission with zero steady-state allocation.
+	encBuf     []byte
+	payloadBuf []byte
+	contribBuf []byte
+	// contribArena backs every node's ground-truth contributor bitset for
+	// one epoch: node v owns contribArena[v*words:(v+1)*words]. The regions
+	// are disjoint, so the Parallel schedule writes them race-free, and the
+	// arena is cleared (not reallocated) between epochs.
+	contribArena []uint64
+	// byLevel is the static transmission schedule: the participating nodes
+	// of each level (participation and scheduling levels never change
+	// within a run).
+	byLevel [][]int
+	// inbox buffers are retained across epochs (lengths reset, capacity
+	// kept) so steady-state epochs append envelopes without reallocating.
+	inbox [][]envelope[P, S]
+	// envScratch holds one level's outgoing envelopes; buildEnvelope fully
+	// overwrites each slot, and dispatch copies what receivers keep, so the
+	// buffer is safely recycled level to level.
+	envScratch []envelope[P, S]
+	// skPool recycles the contributing-Count sketches decoded from frames:
+	// they are runner-owned, consumed within the epoch, and never escape to
+	// aggregates, so a per-epoch pool is safe.
+	skPool contribSketchPool
+}
+
+// contribSketchPool hands out ContribK-bitmap sketches, recycling them each
+// epoch.
+type contribSketchPool struct {
+	k     int
+	items []*sketch.Sketch
+	next  int
+}
+
+func (p *contribSketchPool) reset() { p.next = 0 }
+
+func (p *contribSketchPool) get() *sketch.Sketch {
+	if p.next < len(p.items) {
+		s := p.items[p.next]
+		p.next++
+		return s
+	}
+	s := sketch.New(p.k)
+	p.items = append(p.items, s)
+	p.next++
+	return s
+}
+
+// Transport is the delivery seam between the runner and the medium: it
+// carries an already-encoded frame and reports whether it reached the
+// receiver. The in-process implementation consults the loss model; a
+// networked backend would put the frame on a real socket.
+type Transport interface {
+	// Deliver reports whether the attempt-th transmission of frame by
+	// `from` during `epoch` reached `to`. Implementations must not retain
+	// frame — the runner reuses the buffer.
+	Deliver(epoch, attempt, from, to int, frame []byte) bool
+}
+
+// simTransport adapts network.Net to the Transport seam: delivery is a pure
+// function of (seed, epoch, attempt, from, to); the frame travels by
+// staying in memory.
+type simTransport struct{ net *network.Net }
+
+// Deliver implements Transport.
+func (t simTransport) Deliver(epoch, attempt, from, to int, _ []byte) bool {
+	return t.net.Delivered(epoch, attempt, from, to)
 }
 
 type envelope[P, S any] struct {
@@ -169,7 +255,8 @@ type envelope[P, S any] struct {
 	topNC   []int
 	minNC   int
 	ncValid bool
-	// contributors is the ground-truth bitset of represented sensors.
+	// contributors is the ground-truth bitset of represented sensors. It is
+	// simulator bookkeeping, never serialized into the frame.
 	contributors []uint64
 }
 
@@ -236,6 +323,10 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		lastNC:     make([]int, n),
 		schedLevel: make([]int, n),
 		words:      (n + 63) / 64,
+		transport:  cfg.Transport,
+	}
+	if r.transport == nil {
+		r.transport = simTransport{net: cfg.Net}
 	}
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
@@ -259,6 +350,18 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 	if r.sensors == 0 {
 		return nil, errors.New("runner: no sensor can reach the base station")
 	}
+	// Participation and schedule levels are fixed for a run, so the
+	// level-by-level transmission order is precomputed once.
+	r.byLevel = make([][]int, r.maxLevel+1)
+	for v := 1; v < n; v++ {
+		if r.participates(v) {
+			l := r.schedLevel[v]
+			if l >= 1 {
+				r.byLevel[l] = append(r.byLevel[l], v)
+			}
+		}
+	}
+	r.skPool.k = cfg.ContribK
 	return r, nil
 }
 
@@ -359,41 +462,48 @@ func insertTopK(dst []int, v, cap int) []int {
 // adaptation decision.
 func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 	n := r.cfg.Graph.N()
-	inbox := make([][]envelope[P, S], n)
+	if r.inbox == nil {
+		r.inbox = make([][]envelope[P, S], n)
+	} else {
+		for v := range r.inbox {
+			r.inbox[v] = r.inbox[v][:0]
+		}
+	}
+	inbox := r.inbox
+	if r.contribArena == nil {
+		r.contribArena = make([]uint64, n*r.words)
+	} else {
+		clear(r.contribArena)
+	}
+	r.skPool.reset()
 
 	// Nodes transmit level by level toward the base station, deepest first
 	// (§2). Envelope construction per node only reads the node's own inbox,
 	// so a level's nodes can be processed concurrently; deliveries are
 	// dispatched afterwards to keep inbox appends race-free.
-	byLevel := make([][]int, r.maxLevel+1)
-	for v := 1; v < n; v++ {
-		if r.participates(v) {
-			l := r.schedLevel[v]
-			if l >= 1 {
-				byLevel[l] = append(byLevel[l], v)
-			}
-		}
-	}
 	for level := r.maxLevel; level >= 1; level-- {
-		nodes := byLevel[level]
-		envs := make([]envelope[P, S], len(nodes))
+		nodes := r.byLevel[level]
+		if cap(r.envScratch) < len(nodes) {
+			r.envScratch = make([]envelope[P, S], len(nodes))
+		}
+		envs := r.envScratch[:len(nodes)]
 		if r.cfg.Parallel {
 			var wg sync.WaitGroup
 			for i, v := range nodes {
 				wg.Add(1)
 				go func(i, v int) {
 					defer wg.Done()
-					envs[i] = r.buildEnvelope(epoch, v, inbox[v])
+					r.buildEnvelope(epoch, v, inbox[v], &envs[i])
 				}(i, v)
 			}
 			wg.Wait()
 		} else {
 			for i, v := range nodes {
-				envs[i] = r.buildEnvelope(epoch, v, inbox[v])
+				r.buildEnvelope(epoch, v, inbox[v], &envs[i])
 			}
 		}
 		for i, v := range nodes {
-			r.dispatch(epoch, v, envs[i], inbox)
+			r.dispatch(epoch, v, &envs[i], inbox)
 		}
 	}
 
@@ -484,11 +594,12 @@ func (r *Runner[V, P, S, R]) Run(epochs int) []EpochResult[R] {
 }
 
 // buildEnvelope assembles node v's outgoing partial result from its own
-// reading and its inbox.
-func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S]) envelope[P, S] {
+// reading and its inbox into *out. The contributor bitset lives in the
+// runner's per-epoch arena — node-disjoint, so concurrent levels are safe.
+func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S], out *envelope[P, S]) {
 	agg := r.cfg.Agg
 	own := agg.Local(epoch, v, r.cfg.Value(r.valueEpoch(epoch, v), v))
-	contributors := make([]uint64, r.words)
+	contributors := r.contribArena[v*r.words : (v+1)*r.words]
 	setBit(contributors, v)
 
 	if !r.state.IsM(v) {
@@ -507,10 +618,11 @@ func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S]) en
 			orBits(contributors, e.contributors)
 		}
 		p = agg.FinalizeTree(epoch, v, p)
-		return envelope[P, S]{
+		*out = envelope[P, S]{
 			from: v, isTree: true, p: p,
 			contribTree: contrib, contributors: contributors,
 		}
+		return
 	}
 
 	// Multi-path vertex: start from the conversion of the node's own local
@@ -555,40 +667,113 @@ func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S]) en
 		}
 		ncValid = true
 	}
-	return envelope[P, S]{
+	*out = envelope[P, S]{
 		from: v, isTree: false, s: s,
 		contribSk: cs, topNC: topNC, minNC: minNC, ncValid: ncValid,
 		contributors: contributors,
 	}
 }
 
-// dispatch transmits v's envelope: unicast with retransmissions toward the
-// tree parent for T vertices, a single broadcast up the rings for M
-// vertices. Energy accounting charges every radio transmission.
-func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env envelope[P, S], inbox [][]envelope[P, S]) {
+// encodeFrame serializes v's outgoing envelope into the runner's scratch
+// buffer and returns the framed bytes. The returned slice is valid until
+// the next encodeFrame call.
+func (r *Runner[V, P, S, R]) encodeFrame(epoch int, env *envelope[P, S]) []byte {
+	we := wire.Envelope{Epoch: uint32(epoch), From: uint32(env.from)}
+	if env.isTree {
+		we.Kind = wire.KindTree
+		we.Contrib = env.contribTree
+		r.payloadBuf = r.cfg.Agg.AppendPartial(r.payloadBuf[:0], env.p)
+	} else {
+		we.Kind = wire.KindSynopsis
+		r.contribBuf = env.contribSk.AppendWire(r.contribBuf[:0])
+		we.ContribSketch = r.contribBuf
+		we.TopNC = env.topNC
+		we.MinNC = env.minNC
+		we.NCValid = env.ncValid
+		r.payloadBuf = r.cfg.Agg.AppendSynopsis(r.payloadBuf[:0], env.s)
+	}
+	we.Payload = r.payloadBuf
+	r.encBuf = wire.AppendEnvelope(r.encBuf[:0], &we)
+	return r.encBuf
+}
+
+// decodeFrame reconstructs an envelope from received bytes into *dst. The
+// runner produced the frame itself, so a decode failure is a codec bug, not
+// a network condition — it panics rather than silently dropping data.
+func (r *Runner[V, P, S, R]) decodeFrame(frame []byte, dst *envelope[P, S]) {
+	we, err := wire.DecodeEnvelope(frame)
+	if err != nil {
+		panic(fmt.Sprintf("runner: corrupt frame: %v", err))
+	}
+	dst.from = int(we.From)
+	switch we.Kind {
+	case wire.KindTree:
+		dst.isTree = true
+		p, err := r.cfg.Agg.DecodePartial(we.Payload)
+		if err != nil {
+			panic(fmt.Sprintf("runner: corrupt tree partial from %d: %v", dst.from, err))
+		}
+		dst.p = p
+		dst.contribTree = we.Contrib
+	case wire.KindSynopsis:
+		s, err := r.cfg.Agg.DecodeSynopsis(we.Payload)
+		if err != nil {
+			panic(fmt.Sprintf("runner: corrupt synopsis from %d: %v", dst.from, err))
+		}
+		cs := r.skPool.get()
+		if err := cs.LoadWire(we.ContribSketch); err != nil {
+			panic(fmt.Sprintf("runner: corrupt contributing sketch from %d: %v", dst.from, err))
+		}
+		dst.s = s
+		dst.contribSk = cs
+		dst.topNC = we.TopNC
+		dst.minNC = we.MinNC
+		dst.ncValid = we.NCValid
+	}
+}
+
+// dispatch transmits v's envelope as an encoded frame: unicast with
+// retransmissions toward the tree parent for T vertices, a single broadcast
+// up the rings for M vertices. Energy accounting charges the encoded byte
+// length of every radio transmission; a lost frame is dropped whole, and
+// receivers decode the actual bytes. A broadcast is decoded once and the
+// result shared among its receivers — fusion treats inputs as read-only, so
+// this is indistinguishable from per-receiver decoding and keeps the
+// simulator's hot path linear in deliveries, not in decode work.
+func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [][]envelope[P, S]) {
+	frame := r.encodeFrame(epoch, env)
+	level := r.schedLevel[v]
 	if env.isTree {
 		parent := r.cfg.Tree.Parent[v]
 		if parent == -1 {
 			return
 		}
-		words := r.cfg.Agg.TreeWords(env.p) + 1 // +1 contributing count
 		for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
-			r.Stats.AddTx(v, words)
-			if r.cfg.Net.Delivered(epoch, attempt, v, parent) {
-				inbox[parent] = append(inbox[parent], env)
+			r.Stats.AddTxBytes(v, level, len(frame))
+			if r.transport.Deliver(epoch, attempt, v, parent, frame) {
+				inbox[parent] = append(inbox[parent], envelope[P, S]{})
+				recv := &inbox[parent][len(inbox[parent])-1]
+				r.decodeFrame(frame, recv)
+				recv.contributors = env.contributors
 				break
 			}
 		}
 		return
 	}
-	words := r.cfg.Agg.SynopsisWords(env.s) + sketch.EncodedWords(r.cfg.ContribK) + len(env.topNC) + 1
-	r.Stats.AddTx(v, words) // one broadcast, many potential receivers
+	r.Stats.AddTxBytes(v, level, len(frame)) // one broadcast, many potential receivers
+	var recv envelope[P, S]
+	decoded := false
 	for _, u := range r.cfg.Rings.Up[v] {
 		if !r.state.IsM(u) {
 			continue // T vertices ignore synopses (Edge Correctness)
 		}
-		if r.cfg.Net.Delivered(epoch, 0, v, u) {
-			inbox[u] = append(inbox[u], env)
+		if r.transport.Deliver(epoch, 0, v, u, frame) {
+			if !decoded {
+				r.decodeFrame(frame, &recv)
+				recv.contributors = env.contributors
+				decoded = true
+			}
+			inbox[u] = append(inbox[u], recv)
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"testing"
+
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/wire"
+)
+
+// TestByteAccountingTree pins the byte-level energy accounting of the
+// tributary fast path: a Count tree frame is the paper's two payload words
+// (one-word partial + one-word contributing count) plus at most one word of
+// framing (version, kind, epoch, sender, length).
+func TestByteAccountingTree(t *testing.T) {
+	f := newFixture(31, 300)
+	r := countRunner(t, f, ModeTree, network.Global{P: 0}, 31)
+	r.RunEpoch(0)
+	if r.Stats.TotalBytes() <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+	// Bytes and Words must describe the same transmissions: each frame's
+	// words is ceil(bytes/4).
+	if r.Stats.TotalBytes() > 4*r.Stats.TotalWords() {
+		t.Fatalf("bytes %d exceed 4×words %d", r.Stats.TotalBytes(), 4*r.Stats.TotalWords())
+	}
+	for v := 1; v < f.g.N(); v++ {
+		tx := r.Stats.Transmissions[v]
+		if tx == 0 {
+			continue
+		}
+		perTxWords := float64(r.Stats.Words[v]) / float64(tx)
+		if perTxWords > 3 {
+			t.Fatalf("node %d: %v words per tree Count frame, want <= 3 (2 payload + framing)", v, perTxWords)
+		}
+	}
+}
+
+// TestByteAccountingMultipath pins the delta side: a broadcast frame
+// carries the K-word synopsis sketch plus the ContribK-word
+// contributing-Count sketch plus a few words of NC statistics and framing.
+func TestByteAccountingMultipath(t *testing.T) {
+	f := newFixture(32, 300)
+	r := countRunner(t, f, ModeMultipath, network.Global{P: 0}, 32)
+	r.RunEpoch(0)
+	const k = 40 // aggregate.DefaultSketchK and the default ContribK
+	minWords := int64(k + k)
+	maxWords := int64(k + k + 10)
+	for v := 1; v < f.g.N(); v++ {
+		tx := r.Stats.Transmissions[v]
+		if tx == 0 {
+			continue
+		}
+		w := r.Stats.Words[v] / tx
+		if w < minWords || w > maxWords {
+			t.Fatalf("node %d: %d words per synopsis frame, want %d..%d", v, w, minWords, maxWords)
+		}
+	}
+}
+
+// TestPerLevelByteAccounting verifies the per-level load breakdown: every
+// populated schedule level reports bytes and the levels sum to the total.
+func TestPerLevelByteAccounting(t *testing.T) {
+	f := newFixture(33, 300)
+	r := countRunner(t, f, ModeTD, network.Global{P: 0.2}, 33)
+	r.Run(5)
+	if len(r.Stats.LevelBytes) == 0 {
+		t.Fatal("no per-level accounting")
+	}
+	var sum int64
+	for l, b := range r.Stats.LevelBytes {
+		sum += b
+		// Per frame, words = ceil(bytes/4), so 4·words always covers bytes.
+		if 4*r.Stats.LevelWords[l] < b {
+			t.Fatalf("level %d: words %d inconsistent with bytes %d", l, r.Stats.LevelWords[l], b)
+		}
+	}
+	if sum != r.Stats.TotalBytes() {
+		t.Fatalf("level bytes sum %d != total %d", sum, r.Stats.TotalBytes())
+	}
+}
+
+// TestLossDropsWholeFrames: at 100% loss nothing is delivered and the base
+// station answers from its own perspective alone, yet every transmission is
+// still charged.
+func TestLossDropsWholeFrames(t *testing.T) {
+	f := newFixture(34, 200)
+	r := countRunner(t, f, ModeTree, network.Global{P: 1}, 34)
+	res := r.RunEpoch(0)
+	if res.Answer != 0 {
+		t.Fatalf("total loss delivered an answer: %v", res.Answer)
+	}
+	if r.Stats.TotalBytes() <= 0 {
+		t.Fatal("lost frames must still cost transmit energy")
+	}
+}
+
+// recordingTransport wraps the simulator transport and checks that every
+// frame on the seam is a decodable envelope.
+type recordingTransport struct {
+	net    *network.Net
+	frames int
+	bad    int
+}
+
+func (t *recordingTransport) Deliver(epoch, attempt, from, to int, frame []byte) bool {
+	t.frames++
+	if _, err := wire.DecodeEnvelope(frame); err != nil {
+		t.bad++
+	}
+	return t.net.Delivered(epoch, attempt, from, to)
+}
+
+// TestTransportSeamSeesRealFrames verifies the Transport seam: a custom
+// backend receives the actual encoded envelopes and can decode every one,
+// and plugging it in does not change results.
+func TestTransportSeamSeesRealFrames(t *testing.T) {
+	f := newFixture(35, 200)
+	net := network.New(f.g, network.Global{P: 0.2}, 35)
+	rec := &recordingTransport{net: net}
+	a := countRunner(t, f, ModeTD, network.Global{P: 0.2}, 35)
+	b := countRunner(t, f, ModeTD, network.Global{P: 0.2}, 35,
+		func(c *Config[struct{}, int64, *sketch.Sketch, float64]) { c.Transport = rec })
+	ra := a.Run(10)
+	rb := b.Run(10)
+	for i := range ra {
+		if ra[i].Answer != rb[i].Answer || ra[i].TrueContrib != rb[i].TrueContrib {
+			t.Fatalf("epoch %d: custom transport changed results", i)
+		}
+	}
+	if rec.frames == 0 {
+		t.Fatal("transport saw no frames")
+	}
+	if rec.bad != 0 {
+		t.Fatalf("%d of %d frames failed to decode on the seam", rec.bad, rec.frames)
+	}
+}

@@ -11,6 +11,7 @@ package sample
 import (
 	"sort"
 
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -92,10 +93,13 @@ func (s *Sample) Clone() *Sample {
 	return c
 }
 
-// Words returns the message size in 32-bit words: three words per item (two
-// for the rank, one for node+value packed — the paper's accounting counts
-// words, not exact encodings).
-func (s *Sample) Words() int { return 3 * len(s.items) }
+// Words returns the message size in 32-bit words, measured from the actual
+// wire encoding so the accounting can never drift from what is transmitted.
+// The buffer is pre-sized (a capacity hint only, not accounting).
+func (s *Sample) Words() int {
+	buf := make([]byte, 0, 8+22*len(s.items))
+	return wire.Words(len(s.AppendWire(buf)))
+}
 
 // Values returns just the sampled values, in rank order.
 func (s *Sample) Values() []float64 {

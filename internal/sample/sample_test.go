@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tributarydelta/internal/wire"
 	"tributarydelta/internal/xrand"
 )
 
@@ -133,12 +134,81 @@ func TestWordsAndValues(t *testing.T) {
 	s := New(4)
 	s.Add(1, 0, 1, 10)
 	s.Add(1, 0, 2, 20)
-	if s.Words() != 6 {
-		t.Fatalf("words = %d, want 6", s.Words())
+	// Words is derived from the real wire encoding, never hand-estimated.
+	if want := wire.Words(len(s.AppendWire(nil))); s.Words() != want {
+		t.Fatalf("words = %d, want %d (encoded length)", s.Words(), want)
+	}
+	// Simple readings keep an item within ~3 words: 8 rank bytes + small
+	// node varint + compact float.
+	if s.Words() > 1+3*2 {
+		t.Fatalf("2-item sample costs %d words, want <= 7", s.Words())
 	}
 	if len(s.Values()) != 2 {
 		t.Fatal("values length")
 	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	s := New(8)
+	src := xrand.NewSource(42)
+	for i := 0; i < 30; i++ {
+		s.Add(3, 1, src.Intn(500), src.Float64()*100)
+	}
+	enc := s.AppendWire(nil)
+	got, err := DecodeWire(enc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != s.K() || got.Len() != s.Len() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d", got.K(), got.Len(), s.K(), s.Len())
+	}
+	for i, it := range got.Items() {
+		if it != s.Items()[i] {
+			t.Fatalf("item %d: %+v != %+v", i, it, s.Items()[i])
+		}
+	}
+	// Truncations must error, never panic.
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeWire(enc[:i], 8); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Over-capacity encodings are rejected.
+	if _, err := DecodeWire(enc, 2); err == nil {
+		t.Fatal("sample above capacity accepted")
+	}
+}
+
+func FuzzDecodeWire(f *testing.F) {
+	s := New(4)
+	s.Add(1, 0, 1, 10)
+	s.Add(1, 0, 2, 20)
+	f.Add(s.AppendWire(nil), 4)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k <= 0 || k > 1<<16 {
+			return
+		}
+		got, err := DecodeWire(data, k)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must survive a re-encode/re-decode cycle intact.
+		enc := got.AppendWire(nil)
+		again, err := DecodeWire(enc, k)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("re-decode changed length: %d != %d", again.Len(), got.Len())
+		}
+		for i := range got.Items() {
+			a, b := again.Items()[i], got.Items()[i]
+			if a.Rank != b.Rank || a.Node != b.Node ||
+				math.Float64bits(a.Value) != math.Float64bits(b.Value) {
+				t.Fatalf("item %d changed across cycle", i)
+			}
+		}
+	})
 }
 
 func TestInsertRankOrderProperty(t *testing.T) {

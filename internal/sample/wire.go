@@ -1,0 +1,55 @@
+package sample
+
+import (
+	"fmt"
+
+	"tributarydelta/internal/wire"
+)
+
+// Wire codec. A sample travels as its item count followed by the items in
+// rank order: the rank as a fixed 64-bit word (bottom-k ranks are uniform
+// hashes — no redundancy to compress), then the owning node and the reading.
+// The capacity k is deployment configuration and is not transmitted.
+
+// AppendWire appends the lossless wire encoding of the sample to dst.
+func (s *Sample) AppendWire(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(s.items)))
+	for _, it := range s.items {
+		dst = wire.AppendUint64(dst, it.Rank)
+		dst = wire.AppendUvarint(dst, uint64(it.Node))
+		dst = wire.AppendFloat64(dst, it.Value)
+	}
+	return dst
+}
+
+// DecodeWire parses a sample of capacity k. Items must arrive in strictly
+// ascending rank order (the canonical form AppendWire emits) and must not
+// exceed the capacity.
+func DecodeWire(data []byte, k int) (*Sample, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sample: decode with non-positive capacity %d", k)
+	}
+	r := wire.NewReader(data)
+	n := r.Count(10) // rank(8) + node(>=1) + value(>=1)
+	if r.Err() == nil && n > k {
+		return nil, fmt.Errorf("sample: %d items exceed capacity %d: %w", n, k, wire.ErrMalformed)
+	}
+	s := New(k)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		it := Item{
+			Rank:  r.Uint64(),
+			Node:  int(r.Uvarint()),
+			Value: r.Float64(),
+		}
+		if r.Err() == nil && i > 0 && it.Rank <= prev {
+			return nil, fmt.Errorf("sample: ranks out of order: %w", wire.ErrMalformed)
+		}
+		prev = it.Rank
+		s.items = append(s.items, it)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,81 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tributarydelta/internal/wire"
+)
+
+// Wire codec.
+//
+// The wire encoding of a sketch is its K bitmaps as fixed-width 32-bit
+// words: exactly K words (4K bytes), the straightforward "k 32-bit FM
+// bitmaps" message of the Count/Sum synopses (Figure 3). Unlike the
+// run-length EncodeCompact (which drops bits above the fringe window and is
+// kept for the 48-byte TinyDB packing experiments), the wire codec is
+// lossless: it is what the runner actually transmits, so the decoded sketch
+// must be bit-identical to the sender's.
+
+// WireBytes returns the encoded size of a k-bitmap sketch in bytes.
+func WireBytes(k int) int { return k * wire.BytesPerWord }
+
+// WireWords returns the encoded size of a k-bitmap sketch in 32-bit words:
+// exactly k, one word per bitmap.
+func WireWords(k int) int { return wire.Words(WireBytes(k)) }
+
+// AppendWire appends the lossless wire encoding of the sketch to dst. The
+// bitmaps are written in one bulk extension — this is the runner's
+// per-broadcast hot path.
+func (s *Sketch) AppendWire(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, len(s.bitmaps)*wire.BytesPerWord)...)
+	for i, b := range s.bitmaps {
+		binary.LittleEndian.PutUint32(dst[off+i*wire.BytesPerWord:], b)
+	}
+	return dst
+}
+
+// DecodeWire parses a sketch of k bitmaps from exactly WireBytes(k) bytes.
+// The bitmap count is carried by context (the aggregate's configuration),
+// not the message, exactly as a fixed deployment-wide query plan would.
+func DecodeWire(data []byte, k int) (*Sketch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sketch: decode with non-positive k %d", k)
+	}
+	if len(data) != WireBytes(k) {
+		return nil, fmt.Errorf("sketch: encoding is %d bytes, want %d for k=%d: %w",
+			len(data), WireBytes(k), k, wire.ErrMalformed)
+	}
+	s := New(k)
+	if err := s.LoadWire(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadWire overwrites s's bitmaps from data, which must be exactly
+// WireBytes(s.K()) bytes — the allocation-free decode used by pools that
+// recycle sketches across messages.
+func (s *Sketch) LoadWire(data []byte) error {
+	if len(data) != WireBytes(len(s.bitmaps)) {
+		return fmt.Errorf("sketch: encoding is %d bytes, want %d for k=%d: %w",
+			len(data), WireBytes(len(s.bitmaps)), len(s.bitmaps), wire.ErrMalformed)
+	}
+	for m := range s.bitmaps {
+		s.bitmaps[m] = binary.LittleEndian.Uint32(data[m*wire.BytesPerWord:])
+	}
+	return nil
+}
+
+// ReadWire parses a sketch of k bitmaps from a reader positioned at its
+// first byte — the form used when a sketch is one field of a larger
+// message. On underflow the reader's error is set and an empty sketch is
+// returned.
+func ReadWire(r *wire.Reader, k int) *Sketch {
+	s := New(k)
+	if data := r.Take(k * wire.BytesPerWord); data != nil {
+		_ = s.LoadWire(data) // length is exact by construction
+	}
+	return s
+}

@@ -1,0 +1,101 @@
+package sketch
+
+import (
+	"testing"
+
+	"tributarydelta/internal/wire"
+)
+
+func TestWireRoundTripLossless(t *testing.T) {
+	s := New(40)
+	for owner := uint64(1); owner <= 30; owner++ {
+		s.AddCount(7, owner, int64(owner)*37)
+	}
+	enc := s.AppendWire(nil)
+	if len(enc) != WireBytes(40) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), WireBytes(40))
+	}
+	got, err := DecodeWire(enc, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range s.bitmaps {
+		if got.bitmaps[m] != s.bitmaps[m] {
+			t.Fatalf("bitmap %d changed: %x != %x — wire codec must be lossless", m, got.bitmaps[m], s.bitmaps[m])
+		}
+	}
+	if got.Estimate() != s.Estimate() {
+		t.Fatal("estimate changed across the wire")
+	}
+}
+
+func TestWireWordsIsK(t *testing.T) {
+	// The raw wire synopsis is exactly k 32-bit words — the paper's
+	// Count/Sum synopsis size.
+	for _, k := range []int{1, 8, 20, 40} {
+		if WireWords(k) != k {
+			t.Fatalf("WireWords(%d) = %d, want %d", k, WireWords(k), k)
+		}
+		if got := len(New(k).AppendWire(nil)); got != k*wire.BytesPerWord {
+			t.Fatalf("k=%d encodes to %d bytes, want %d", k, got, k*wire.BytesPerWord)
+		}
+	}
+}
+
+func TestDecodeWireRejectsBadInput(t *testing.T) {
+	enc := New(8).AppendWire(nil)
+	if _, err := DecodeWire(enc, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := DecodeWire(enc[:len(enc)-1], 8); err == nil {
+		t.Fatal("truncation accepted")
+	}
+	if _, err := DecodeWire(append(enc, 0), 8); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := DecodeWire(enc, 9); err == nil {
+		t.Fatal("wrong k accepted")
+	}
+}
+
+func TestReadWireEmbedded(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Insert(1, 2)
+	b.Insert(3, 4)
+	buf := a.AppendWire(nil)
+	buf = b.AppendWire(buf)
+	r := wire.NewReader(buf)
+	ga, gb := ReadWire(r, 4), ReadWire(r, 4)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if ga.bitmaps[0] != a.bitmaps[0] && ga.Estimate() != a.Estimate() {
+		t.Fatal("first embedded sketch wrong")
+	}
+	if gb.Estimate() != b.Estimate() {
+		t.Fatal("second embedded sketch wrong")
+	}
+	// Underflow sets the reader error.
+	r2 := wire.NewReader(buf[:3])
+	ReadWire(r2, 4)
+	if r2.Err() == nil {
+		t.Fatal("underflow not reported")
+	}
+}
+
+func FuzzDecodeWireSketch(f *testing.F) {
+	f.Add(New(8).AppendWire(nil), 8)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k <= 0 || k > 1<<12 {
+			return
+		}
+		s, err := DecodeWire(data, k)
+		if err != nil {
+			return
+		}
+		// The raw codec is bijective: re-encoding must reproduce the input.
+		if string(s.AppendWire(nil)) != string(data) {
+			t.Fatal("sketch wire codec is not bijective")
+		}
+	})
+}

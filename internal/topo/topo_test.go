@@ -282,7 +282,7 @@ func TestDominationFactorClosedForm(t *testing.T) {
 	// For Te the binding constraint is i=2: d = (54/7)^(1/2) ≈ 2.777, so at
 	// granularity 0.05 the factor is 2.75. (The paper's prose says "2",
 	// which is inconsistent with its own printed definition; we follow the
-	// definition — see EXPERIMENTS.md.)
+	// definition — see DESIGN.md §4.)
 	d := DominationFactor([]int{37, 10, 6, 1}, 0.05)
 	if math.Abs(d-2.75) > 1e-9 {
 		t.Fatalf("Te domination factor = %v, want 2.75", d)

@@ -1,0 +1,119 @@
+package wire
+
+import "math"
+
+// Kind tags the two message schemes of the framework (§2): exact tree
+// partials unicast to a parent, and duplicate-insensitive synopses broadcast
+// up the rings.
+type Kind uint8
+
+const (
+	// KindTree frames an exact tree partial result.
+	KindTree Kind = 1
+	// KindSynopsis frames a multi-path synopsis.
+	KindSynopsis Kind = 2
+)
+
+// Version is the envelope format version; the first frame byte.
+const Version = 1
+
+// Envelope is the framed radio message of one transmission: the scheme tag,
+// the epoch and sender, the piggybacked contributing-Count (an exact integer
+// in the tributaries, an encoded FM sketch in the delta), the §4.2
+// adaptation statistics, and the aggregate-specific payload produced by the
+// aggregate's partial or synopsis codec.
+//
+// The simulator's ground-truth contributor bitset is deliberately NOT part
+// of the envelope: it is bookkeeping about the network, not a field a real
+// sensor message could carry, and must not count toward transmission cost.
+type Envelope struct {
+	Kind  Kind
+	Epoch uint32
+	From  uint32
+
+	// Contrib is the exact contributing-node count of a tree partial
+	// (KindTree only).
+	Contrib int64
+
+	// ContribSketch is the encoded duplicate-insensitive contributing-Count
+	// sketch (KindSynopsis only).
+	ContribSketch []byte
+
+	// TopNC, MinNC and NCValid carry the §4.2 non-contributing subtree
+	// statistics (KindSynopsis only). TopNC is descending; NCValid marks
+	// presence.
+	TopNC   []int
+	MinNC   int
+	NCValid bool
+
+	// Payload is the aggregate-specific encoding of the partial result or
+	// synopsis.
+	Payload []byte
+}
+
+// AppendEnvelope appends the framed encoding of e to dst.
+func AppendEnvelope(dst []byte, e *Envelope) []byte {
+	dst = append(dst, Version, byte(e.Kind))
+	dst = AppendUvarint(dst, uint64(e.Epoch))
+	dst = AppendUvarint(dst, uint64(e.From))
+	switch e.Kind {
+	case KindTree:
+		dst = AppendVarint(dst, e.Contrib)
+	case KindSynopsis:
+		dst = AppendBytes(dst, e.ContribSketch)
+		dst = AppendBool(dst, e.NCValid)
+		if e.NCValid {
+			dst = AppendUvarint(dst, uint64(len(e.TopNC)))
+			for _, v := range e.TopNC {
+				dst = AppendVarint(dst, int64(v))
+			}
+			dst = AppendVarint(dst, int64(e.MinNC))
+		}
+	}
+	return AppendBytes(dst, e.Payload)
+}
+
+// DecodeEnvelope parses a frame produced by AppendEnvelope. The returned
+// envelope's byte fields alias data. Trailing bytes, unknown versions and
+// unknown kinds are errors.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	r := NewReader(data)
+	var e Envelope
+	if v := r.Byte(); r.Err() == nil && v != Version {
+		return Envelope{}, ErrMalformed
+	}
+	e.Kind = Kind(r.Byte())
+	epoch := r.Uvarint()
+	from := r.Uvarint()
+	if r.Err() == nil && (epoch > math.MaxUint32 || from > math.MaxUint32) {
+		return Envelope{}, ErrMalformed
+	}
+	e.Epoch = uint32(epoch)
+	e.From = uint32(from)
+	switch e.Kind {
+	case KindTree:
+		e.Contrib = r.Varint()
+	case KindSynopsis:
+		e.ContribSketch = r.Bytes()
+		e.NCValid = r.Bool()
+		if e.NCValid {
+			n := r.Count(1)
+			if n > 0 {
+				e.TopNC = make([]int, n)
+				for i := range e.TopNC {
+					e.TopNC[i] = int(r.Varint())
+				}
+			}
+			e.MinNC = int(r.Varint())
+		}
+	default:
+		if r.Err() == nil {
+			return Envelope{}, ErrMalformed
+		}
+	}
+	e.Payload = r.Bytes()
+	if err := r.Finish(); err != nil {
+		return Envelope{}, err
+	}
+	return e, nil
+}

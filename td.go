@@ -28,8 +28,13 @@
 //	res := s.RunEpoch(0)
 //	fmt.Println(res.Answer, res.TrueContrib)
 //
+// Messages travel as real bytes: every partial result and synopsis is
+// serialized by the internal/wire codec layer, and all energy accounting
+// (TotalWords, TotalBytes) is measured from encoded frame lengths.
+//
 // The cmd/tdbench tool regenerates every table and figure of the paper's
-// evaluation; see DESIGN.md and EXPERIMENTS.md.
+// evaluation; DESIGN.md covers the architecture, the wire format and the
+// experiment harness.
 package tributarydelta
 
 import (
@@ -146,6 +151,7 @@ type scalarRunner interface {
 	sensors() int
 	deltaSize() int
 	totalWords() int64
+	totalBytes() int64
 }
 
 type scalarAdapter[V, P, S any] struct {
@@ -167,6 +173,7 @@ func (a scalarAdapter[V, P, S]) exact(e int) float64 { return a.r.ExactAnswer(e)
 func (a scalarAdapter[V, P, S]) sensors() int        { return a.r.Sensors() }
 func (a scalarAdapter[V, P, S]) deltaSize() int      { return a.r.State().DeltaSize() }
 func (a scalarAdapter[V, P, S]) totalWords() int64   { return a.r.Stats.TotalWords() }
+func (a scalarAdapter[V, P, S]) totalBytes() int64   { return a.r.Stats.TotalBytes() }
 
 // NewCountSession builds a session counting the contributing sensors — the
 // paper's running example aggregate.
@@ -223,8 +230,13 @@ func (s *Session) Sensors() int { return s.run.sensors() }
 // DeltaSize returns the current delta region size.
 func (s *Session) DeltaSize() int { return s.run.deltaSize() }
 
-// TotalWords returns the total 32-bit payload words transmitted so far.
+// TotalWords returns the total 32-bit payload words transmitted so far,
+// derived from the encoded frame lengths.
 func (s *Session) TotalWords() int64 { return s.run.totalWords() }
+
+// TotalBytes returns the total encoded payload bytes transmitted so far —
+// the byte-exact energy measure underneath TotalWords.
+func (s *Session) TotalBytes() int64 { return s.run.totalBytes() }
 
 // FrequentItemsResult is the outcome of one frequent items round.
 type FrequentItemsResult struct {

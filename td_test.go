@@ -47,6 +47,10 @@ func TestSumSessionSchemes(t *testing.T) {
 		if s.TotalWords() <= 0 {
 			t.Fatalf("%v: no energy accounted", scheme)
 		}
+		if s.TotalBytes() <= 0 || s.TotalBytes() > 4*s.TotalWords() {
+			t.Fatalf("%v: byte accounting inconsistent: %d bytes, %d words",
+				scheme, s.TotalBytes(), s.TotalWords())
+		}
 	}
 }
 
