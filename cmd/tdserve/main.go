@@ -1,0 +1,213 @@
+// Command tdserve hosts many independent Tributary-Delta deployments
+// behind a small HTTP API — the multi-tenant direction of the roadmap:
+// many concurrent collection sessions sharing one worker budget, not one
+// big tree. Deployments are started, advanced, queried and stopped over
+// JSON:
+//
+//	POST   /v1/deployments            {"id":"a","sensors":300,"seed":1,"loss":0.25,"scheme":"TD","aggregate":"count"}
+//	GET    /v1/deployments            list all deployment statuses
+//	GET    /v1/deployments/{id}       one deployment's status
+//	POST   /v1/deployments/{id}/run   {"rounds":10} → per-epoch results
+//	DELETE /v1/deployments/{id}       stop and release the deployment
+//
+// Set "concurrent": true in the create request to run that deployment on
+// the goroutine-per-node chan transport (deterministic mode — answers are
+// identical to the simulator backend). The flags:
+//
+//	tdserve -addr :8473 -workers 0
+//
+// where -workers 0 means GOMAXPROCS concurrent deployments.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	td "tributarydelta"
+)
+
+// createRequest is the POST /v1/deployments body.
+type createRequest struct {
+	ID      string  `json:"id"`
+	Sensors int     `json:"sensors"` // default 300
+	Seed    uint64  `json:"seed"`    // default 1
+	Loss    float64 `json:"loss"`    // Global(p) loss rate, default 0
+	// Scheme is TAG, SD, TD-Coarse or TD (default TD).
+	Scheme string `json:"scheme"`
+	// Aggregate is count or sum (default count). Sum uses the demo reading
+	// node%50 — tdserve is a host for synthetic deployments, not a data
+	// plane for real sensors.
+	Aggregate string `json:"aggregate"`
+	// Concurrent selects the goroutine-per-node chan transport.
+	Concurrent bool `json:"concurrent"`
+}
+
+// runRequest is the POST /v1/deployments/{id}/run body.
+type runRequest struct {
+	Rounds int `json:"rounds"` // default 1
+}
+
+// server routes HTTP traffic onto a deployment pool.
+type server struct {
+	pool *td.Pool
+}
+
+func newServer(pool *td.Pool) *server {
+	return &server{pool: pool}
+}
+
+// routes returns the HTTP handler.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/deployments", s.create)
+	mux.HandleFunc("GET /v1/deployments", s.list)
+	mux.HandleFunc("GET /v1/deployments/{id}", s.get)
+	mux.HandleFunc("POST /v1/deployments/{id}/run", s.run)
+	mux.HandleFunc("DELETE /v1/deployments/{id}", s.remove)
+	return mux
+}
+
+// parseScheme maps the wire names onto schemes.
+func parseScheme(name string) (td.Scheme, error) {
+	switch strings.ToUpper(name) {
+	case "", "TD":
+		return td.SchemeTD, nil
+	case "TAG":
+		return td.SchemeTAG, nil
+	case "SD":
+		return td.SchemeSD, nil
+	case "TD-COARSE", "TDCOARSE":
+		return td.SchemeTDCoarse, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want TAG, SD, TD-Coarse or TD)", name)
+}
+
+// buildSession assembles the deployment and session a create request asks
+// for.
+func buildSession(req createRequest) (*td.Session, error) {
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	dep := td.NewSyntheticDeployment(req.Seed, req.Sensors)
+	if req.Loss < 0 || req.Loss >= 1 {
+		return nil, fmt.Errorf("loss %v out of [0,1)", req.Loss)
+	}
+	dep.SetGlobalLoss(req.Loss)
+	dep.UseConcurrentRuntime(req.Concurrent)
+	switch strings.ToLower(req.Aggregate) {
+	case "", "count":
+		return td.NewCountSession(dep, scheme, req.Seed)
+	case "sum":
+		return td.NewSumSession(dep, scheme, req.Seed,
+			func(_, node int) float64 { return float64(node % 50) })
+	}
+	return nil, fmt.Errorf("unknown aggregate %q (want count or sum)", req.Aggregate)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *server) create(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("id is required"))
+		return
+	}
+	if req.Sensors == 0 {
+		req.Sensors = 300
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	sess, err := buildSession(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.pool.Add(req.ID, sess); err != nil {
+		sess.Close()
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	st, _ := s.pool.Status(req.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	ids := s.pool.IDs()
+	out := make([]td.DeploymentStatus, 0, len(ids))
+	for _, id := range ids {
+		if st, ok := s.pool.Status(id); ok {
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.pool.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) run(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req runRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	if req.Rounds <= 0 {
+		req.Rounds = 1
+	}
+	if req.Rounds > 100000 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d too large", req.Rounds))
+		return
+	}
+	results, err := s.pool.RunDeployment(id, req.Rounds)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *server) remove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.Remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func main() {
+	addr := flag.String("addr", ":8473", "listen address")
+	workers := flag.Int("workers", 0, "concurrent deployment budget (0 = GOMAXPROCS)")
+	flag.Parse()
+	srv := newServer(td.NewPool(*workers))
+	log.Printf("tdserve listening on %s (worker budget %d)", *addr, srv.pool.Workers())
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}

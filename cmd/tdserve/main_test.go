@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	td "tributarydelta"
+)
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestServeLifecycle(t *testing.T) {
+	pool := td.NewPool(2)
+	defer pool.Close()
+	h := newServer(pool).routes()
+
+	// Create two deployments, one on the concurrent runtime.
+	w := doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"a","sensors":150,"seed":1,"loss":0.25,"scheme":"TD","aggregate":"count"}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create a: %d %s", w.Code, w.Body)
+	}
+	w = doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"b","sensors":150,"seed":2,"loss":0.1,"scheme":"SD","aggregate":"sum","concurrent":true}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create b: %d %s", w.Code, w.Body)
+	}
+
+	// Duplicate ids conflict; malformed specs are rejected.
+	if w = doJSON(t, h, "POST", "/v1/deployments", `{"id":"a"}`); w.Code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", w.Code)
+	}
+	if w = doJSON(t, h, "POST", "/v1/deployments", `{"id":"x","scheme":"bogus"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad scheme: %d", w.Code)
+	}
+	if w = doJSON(t, h, "POST", "/v1/deployments", `{"sensors":10}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing id: %d", w.Code)
+	}
+
+	// Advance deployment a and check the results and status line up.
+	w = doJSON(t, h, "POST", "/v1/deployments/a/run", `{"rounds":5}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run a: %d %s", w.Code, w.Body)
+	}
+	var results []td.Result
+	if err := json.Unmarshal(w.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || results[4].Epoch != 4 {
+		t.Fatalf("results = %+v", results)
+	}
+	w = doJSON(t, h, "GET", "/v1/deployments/a", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("get a: %d", w.Code)
+	}
+	var st td.DeploymentStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs != 5 || st.Last != results[4] || st.TotalBytes <= 0 {
+		t.Fatalf("status = %+v, want 5 epochs ending %+v", st, results[4])
+	}
+
+	// The concurrent-runtime deployment answers like the simulator would.
+	w = doJSON(t, h, "POST", "/v1/deployments/b/run", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("run b: %d %s", w.Code, w.Body)
+	}
+
+	// List shows both; delete removes; 404s after.
+	w = doJSON(t, h, "GET", "/v1/deployments", "")
+	var all []td.DeploymentStatus
+	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].ID != "a" || all[1].ID != "b" {
+		t.Fatalf("list = %+v", all)
+	}
+	if w = doJSON(t, h, "DELETE", "/v1/deployments/b", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete b: %d", w.Code)
+	}
+	if w = doJSON(t, h, "DELETE", "/v1/deployments/b", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", w.Code)
+	}
+	if w = doJSON(t, h, "POST", "/v1/deployments/b/run", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("run deleted: %d", w.Code)
+	}
+	if w = doJSON(t, h, "GET", "/v1/deployments/b", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("get deleted: %d", w.Code)
+	}
+}

@@ -1,0 +1,99 @@
+// Command doclint enforces the documentation contract CI runs over the
+// public facade: every exported top-level symbol (funcs, methods, types,
+// consts, vars) in the listed package directories must carry a doc
+// comment, either on its own spec or on the enclosing declaration group,
+// and every package must have a package comment on at least one file.
+// Directories are scanned non-recursively; _test.go files are skipped.
+//
+//	go run ./internal/doclint . ./cmd/tdserve ./internal/transport
+//
+// Exit status 1 lists every offending symbol as file:line: name.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"strings"
+)
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"."}
+	}
+	bad := 0
+	for _, dir := range dirs {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported symbol(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir reports the number of undocumented exported symbols in one
+// directory's packages.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Fprintf(os.Stderr, "%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+		for name, f := range pkg.Files {
+			bad += lintFile(fset, name, f)
+		}
+	}
+	return bad
+}
+
+// lintFile reports undocumented exported top-level symbols of one file.
+func lintFile(fset *token.FileSet, name string, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, sym string) {
+		fmt.Fprintf(os.Stderr, "%s: exported %s is missing a doc comment\n", fset.Position(pos), sym)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Pos(), d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						if id.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(id.Pos(), id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}

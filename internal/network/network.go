@@ -13,6 +13,7 @@ package network
 
 import (
 	"math"
+	"sync"
 
 	"tributarydelta/internal/topo"
 	"tributarydelta/internal/wire"
@@ -174,11 +175,32 @@ func (n *Net) Delivered(epoch, attempt, from, to int) bool {
 // loads. Bytes are measured from real encoded frames (see internal/wire);
 // Words and PacketsSent are derived from them, so the accounting can never
 // drift from what was actually transmitted.
+//
+// All Add* methods and aggregate accessors are safe for concurrent use —
+// the concurrent transport backends record receive-side accounting from
+// many node goroutines at once. The exported counter slices may be read
+// directly only once the writers have quiesced (e.g. after an epoch
+// barrier or a completed run).
 type Stats struct {
+	mu            sync.Mutex
 	Transmissions []int64 // radio sends (one per broadcast or unicast attempt)
 	Words         []int64 // 32-bit words of payload transmitted
 	Bytes         []int64 // encoded payload bytes transmitted
 	PacketsSent   []int64 // 48-byte TinyDB packets transmitted
+	// Losses[v] counts delivery attempts by sender v that did not reach
+	// their receiver — medium losses drawn from the failure model, plus any
+	// backend-side drops (each broadcast receiver that misses a frame counts
+	// as one loss by the sender).
+	Losses []int64
+	// InboxDrops[v] counts frames that survived the medium but were
+	// discarded because receiver v's bounded inbox was full — the
+	// radio-buffer overflow of a concurrent transport backend. InboxDrops
+	// are the backend-side subset of the sender-side Losses accounting.
+	InboxDrops []int64
+	// RxFrames[v] and RxBytes[v] count the frames (and their encoded bytes)
+	// actually processed by receiver v's runtime.
+	RxFrames []int64
+	RxBytes  []int64
 	// LevelBytes[l] is the total encoded bytes transmitted by senders
 	// scheduled at level l (ring level, or tree depth in pure-tree mode).
 	// The slice grows on demand as levels are observed.
@@ -194,6 +216,10 @@ func NewStats(n int) *Stats {
 		Words:         make([]int64, n),
 		Bytes:         make([]int64, n),
 		PacketsSent:   make([]int64, n),
+		Losses:        make([]int64, n),
+		InboxDrops:    make([]int64, n),
+		RxFrames:      make([]int64, n),
+		RxBytes:       make([]int64, n),
 	}
 }
 
@@ -202,6 +228,7 @@ func NewStats(n int) *Stats {
 // derived from the byte length.
 func (s *Stats) AddTxBytes(v, level, byteLen int) {
 	words := wire.Words(byteLen)
+	s.mu.Lock()
 	s.Transmissions[v]++
 	s.Words[v] += int64(words)
 	s.Bytes[v] += int64(byteLen)
@@ -214,63 +241,88 @@ func (s *Stats) AddTxBytes(v, level, byteLen int) {
 		s.LevelBytes[level] += int64(byteLen)
 		s.LevelWords[level] += int64(words)
 	}
+	s.mu.Unlock()
+}
+
+// AddLoss records one failed delivery attempt by sender v.
+func (s *Stats) AddLoss(v int) {
+	s.mu.Lock()
+	s.Losses[v]++
+	s.mu.Unlock()
+}
+
+// AddInboxDrop records a frame that reached receiver v but overflowed its
+// bounded inbox.
+func (s *Stats) AddInboxDrop(v int) {
+	s.mu.Lock()
+	s.InboxDrops[v]++
+	s.mu.Unlock()
+}
+
+// AddRxBytes records one frame of byteLen encoded bytes processed by
+// receiver v's runtime.
+func (s *Stats) AddRxBytes(v, byteLen int) {
+	s.mu.Lock()
+	s.RxFrames[v]++
+	s.RxBytes[v] += int64(byteLen)
+	s.mu.Unlock()
+}
+
+func (s *Stats) sum(xs []int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func (s *Stats) max(xs []int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // TotalWords returns the total words transmitted by all nodes.
-func (s *Stats) TotalWords() int64 {
-	var t int64
-	for _, w := range s.Words {
-		t += w
-	}
-	return t
-}
+func (s *Stats) TotalWords() int64 { return s.sum(s.Words) }
 
 // TotalBytes returns the total encoded payload bytes transmitted by all
 // nodes.
-func (s *Stats) TotalBytes() int64 {
-	var t int64
-	for _, b := range s.Bytes {
-		t += b
-	}
-	return t
-}
+func (s *Stats) TotalBytes() int64 { return s.sum(s.Bytes) }
+
+// TotalLosses returns the total failed delivery attempts across all senders.
+func (s *Stats) TotalLosses() int64 { return s.sum(s.Losses) }
+
+// TotalInboxDrops returns the total bounded-inbox overflow drops across all
+// receivers.
+func (s *Stats) TotalInboxDrops() int64 { return s.sum(s.InboxDrops) }
+
+// TotalRxFrames returns the total frames processed by all receivers.
+func (s *Stats) TotalRxFrames() int64 { return s.sum(s.RxFrames) }
 
 // MaxBytes returns the largest per-node byte count — the byte-denominated
 // "maximum load" of Figure 8.
-func (s *Stats) MaxBytes() int64 {
-	var m int64
-	for _, b := range s.Bytes {
-		if b > m {
-			m = b
-		}
-	}
-	return m
-}
+func (s *Stats) MaxBytes() int64 { return s.max(s.Bytes) }
 
 // TotalPackets returns the total packets transmitted by all nodes.
-func (s *Stats) TotalPackets() int64 {
-	var t int64
-	for _, p := range s.PacketsSent {
-		t += p
-	}
-	return t
-}
+func (s *Stats) TotalPackets() int64 { return s.sum(s.PacketsSent) }
 
 // MaxWords returns the largest per-node word count — the "maximum load" of
 // Figure 8.
-func (s *Stats) MaxWords() int64 {
-	var m int64
-	for _, w := range s.Words {
-		if w > m {
-			m = w
-		}
-	}
-	return m
-}
+func (s *Stats) MaxWords() int64 { return s.max(s.Words) }
 
 // AvgWords returns the mean per-node word count over nodes 1..n−1 (the
 // sensors; the base station transmits nothing).
 func (s *Stats) AvgWords() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.Words) <= 1 {
 		return 0
 	}

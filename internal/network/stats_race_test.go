@@ -1,0 +1,70 @@
+package network
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsConcurrentHammer drives every Stats mutator and aggregate
+// accessor from many goroutines at once. Under `go test -race` this proves
+// the accounting is data-race free; the post-join assertions prove no
+// increment was lost.
+func TestStatsConcurrentHammer(t *testing.T) {
+	const (
+		nodes      = 8
+		goroutines = 16
+		iters      = 500
+	)
+	s := NewStats(nodes)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := g % nodes
+			for i := 0; i < iters; i++ {
+				s.AddTxBytes(v, i%5, 9)
+				s.AddLoss(v)
+				s.AddInboxDrop(v)
+				s.AddRxBytes(v, 9)
+				if i%50 == 0 {
+					// Aggregate reads race the writers; they only need to
+					// be consistent, not exact, mid-flight.
+					_ = s.TotalBytes()
+					_ = s.TotalLosses()
+					_ = s.MaxWords()
+					_ = s.AvgWords()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * iters
+	if got := s.TotalBytes(); got != total*9 {
+		t.Fatalf("TotalBytes = %d, want %d", got, total*9)
+	}
+	if got := s.TotalLosses(); got != total {
+		t.Fatalf("TotalLosses = %d, want %d", got, total)
+	}
+	if got := s.TotalInboxDrops(); got != total {
+		t.Fatalf("TotalInboxDrops = %d, want %d", got, total)
+	}
+	if got := s.TotalRxFrames(); got != total {
+		t.Fatalf("TotalRxFrames = %d, want %d", got, total)
+	}
+	var tx int64
+	for _, c := range s.Transmissions {
+		tx += c
+	}
+	if tx != total {
+		t.Fatalf("transmissions = %d, want %d", tx, total)
+	}
+	var lvl int64
+	for _, b := range s.LevelBytes {
+		lvl += b
+	}
+	if lvl != total*9 {
+		t.Fatalf("level bytes = %d, want %d", lvl, total*9)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tributarydelta/internal/network"
+	"tributarydelta/internal/sketch"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden answer file")
@@ -31,14 +32,21 @@ type goldenRun struct {
 const goldenEpochs = 30
 
 // goldenRuns executes the reference workloads: Count and Sum across all four
-// schemes for seeds 1–3 under 25% global loss.
-func goldenRuns(t *testing.T) []goldenRun {
+// schemes for seeds 1–3 under 25% global loss. newTransport, when non-nil,
+// substitutes a Transport built over the runner's own Net — the lever that
+// lets the same golden file pin alternative delivery backends.
+func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport) []goldenRun {
 	t.Helper()
 	var out []goldenRun
 	for seed := uint64(1); seed <= 3; seed++ {
 		f := newFixture(seed, 300)
 		for _, mode := range []Mode{ModeTree, ModeMultipath, ModeTDCoarse, ModeTD} {
-			cr := countRunner(t, f, mode, network.Global{P: 0.25}, seed)
+			cr := countRunner(t, f, mode, network.Global{P: 0.25}, seed,
+				func(cfg *Config[struct{}, int64, *sketch.Sketch, float64]) {
+					if newTransport != nil {
+						cfg.Transport = newTransport(cfg.Net)
+					}
+				})
 			run := goldenRun{Agg: "Count", Mode: mode.String(), Seed: seed}
 			for _, res := range cr.Run(goldenEpochs) {
 				run.Epochs = append(run.Epochs, goldenEpoch{
@@ -49,7 +57,12 @@ func goldenRuns(t *testing.T) []goldenRun {
 			}
 			out = append(out, run)
 
-			sr := sumRunner(t, f, mode, network.Global{P: 0.25}, seed)
+			sr := sumRunner(t, f, mode, network.Global{P: 0.25}, seed,
+				func(cfg *Config[float64, float64, *sketch.Sketch, float64]) {
+					if newTransport != nil {
+						cfg.Transport = newTransport(cfg.Net)
+					}
+				})
 			srun := goldenRun{Agg: "Sum", Mode: mode.String(), Seed: seed}
 			for _, res := range sr.Run(goldenEpochs) {
 				srun.Epochs = append(srun.Epochs, goldenEpoch{
@@ -69,7 +82,7 @@ func goldenRuns(t *testing.T) []goldenRun {
 // lossless, so transmitting real bytes must not move a single answer.
 func TestGoldenAnswers(t *testing.T) {
 	path := filepath.Join("testdata", "golden_answers.json")
-	got := goldenRuns(t)
+	got := goldenRuns(t, nil)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -84,7 +97,13 @@ func TestGoldenAnswers(t *testing.T) {
 		t.Logf("golden file updated: %s", path)
 		return
 	}
-	data, err := os.ReadFile(path)
+	compareGolden(t, got)
+}
+
+// compareGolden checks got against the pinned golden file.
+func compareGolden(t *testing.T, got []goldenRun) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_answers.json"))
 	if err != nil {
 		t.Fatalf("golden file missing (run with -update to create): %v", err)
 	}

@@ -167,8 +167,10 @@ type Runner[V, P, S, R any] struct {
 	// lastContributors is the ground-truth bitset of the most recent epoch,
 	// exposed for diagnostics and tests.
 	lastContributors []uint64
-	// transport carries encoded frames (the simulator unless overridden).
+	// transport carries encoded frames (the simulator unless overridden);
+	// marker is its optional epoch-barrier extension, resolved once.
 	transport Transport
+	marker    EpochMarker
 	// encBuf, payloadBuf and contribBuf are the dispatch scratch buffers:
 	// dispatch runs sequentially, so one set of buffers serves every
 	// transmission with zero steady-state allocation.
@@ -223,11 +225,27 @@ func (p *contribSketchPool) get() *sketch.Sketch {
 // carries an already-encoded frame and reports whether it reached the
 // receiver. The in-process implementation consults the loss model; a
 // networked backend would put the frame on a real socket.
+//
+// The runner calls Deliver from a single dispatch goroutine, level by level
+// (deepest first) and, for tree unicasts, once per retransmission attempt
+// in increasing attempt order. Returning false means the frame was lost
+// whole — there is no partial delivery — and the runner records the failed
+// attempt in Stats.Losses.
 type Transport interface {
 	// Deliver reports whether the attempt-th transmission of frame by
 	// `from` during `epoch` reached `to`. Implementations must not retain
 	// frame — the runner reuses the buffer.
 	Deliver(epoch, attempt, from, to int, frame []byte) bool
+}
+
+// EpochMarker is an optional Transport extension: the runner brackets every
+// collection round with BeginEpoch/EndEpoch so concurrent backends can
+// maintain an epoch barrier — every frame delivered during epoch e is fully
+// processed by its receiver's runtime before EndEpoch(e) returns, and hence
+// before epoch e+1 begins.
+type EpochMarker interface {
+	BeginEpoch(epoch int)
+	EndEpoch(epoch int)
 }
 
 // simTransport adapts network.Net to the Transport seam: delivery is a pure
@@ -328,6 +346,7 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 	if r.transport == nil {
 		r.transport = simTransport{net: cfg.Net}
 	}
+	r.marker, _ = r.transport.(EpochMarker)
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
 	}
@@ -461,6 +480,10 @@ func insertTopK(dst []int, v, cap int) []int {
 // RunEpoch executes one collection round and, on adaptation periods, one
 // adaptation decision.
 func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
+	if r.marker != nil {
+		r.marker.BeginEpoch(epoch)
+		defer r.marker.EndEpoch(epoch)
+	}
 	n := r.cfg.Graph.N()
 	if r.inbox == nil {
 		r.inbox = make([][]envelope[P, S], n)
@@ -757,6 +780,7 @@ func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [
 				recv.contributors = env.contributors
 				break
 			}
+			r.Stats.AddLoss(v)
 		}
 		return
 	}
@@ -774,6 +798,8 @@ func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [
 				decoded = true
 			}
 			inbox[u] = append(inbox[u], recv)
+		} else {
+			r.Stats.AddLoss(v)
 		}
 	}
 }

@@ -48,16 +48,20 @@ func countRunner(t *testing.T, f fixture, mode Mode, model network.Model, seed u
 }
 
 // sumRunner builds a Sum runner with per-node readings node*1.0.
-func sumRunner(t *testing.T, f fixture, mode Mode, model network.Model, seed uint64) *Runner[float64, float64, *sketch.Sketch, float64] {
+func sumRunner(t *testing.T, f fixture, mode Mode, model network.Model, seed uint64, opts ...func(*Config[float64, float64, *sketch.Sketch, float64])) *Runner[float64, float64, *sketch.Sketch, float64] {
 	t.Helper()
-	r, err := New(Config[float64, float64, *sketch.Sketch, float64]{
+	cfg := Config[float64, float64, *sketch.Sketch, float64]{
 		Graph: f.g, Rings: f.r, Tree: f.tr,
 		Net:   network.New(f.g, model, seed),
 		Agg:   aggregate.NewSum(seed),
 		Value: func(_, node int) float64 { return float64(node % 50) },
 		Mode:  mode,
 		Seed:  seed,
-	})
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	r, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,211 @@
+// Package transport provides concurrent delivery backends for the runner's
+// Transport seam.
+//
+// The default in-process simulator answers "did this frame arrive?" from
+// the deterministic loss model and nothing actually moves. Chan is the
+// first backend with a real node runtime behind the seam: every node runs a
+// worker goroutine draining a bounded inbox channel of copied frames, a
+// delivery is a message send, and an epoch barrier guarantees that every
+// frame of epoch e has been processed by its receiver before epoch e+1
+// begins. Medium losses still come from the same deterministic network
+// model, so in Deterministic mode (blocking enqueue — a delivery is never
+// refused by a full inbox) answers are bit-identical to the simulator; the
+// runner's golden tests pin this. In free-running mode an enqueue races the
+// receiver's drain: a full inbox drops the frame whole — the radio-buffer
+// overflow of a real mote — and the drop is reported through network.Stats
+// next to the medium losses.
+//
+// A networked backend (UDP, TCP) would keep exactly this shape: Deliver
+// serializes nothing (frames arrive already encoded and self-describing),
+// puts the frame on a socket, and the per-node worker becomes the remote
+// node's receive loop. See DESIGN.md §5.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/wire"
+)
+
+// DefaultInboxCap is the per-node inbox bound used when Options.InboxCap is
+// unset: a handful of frames, like a mote's radio receive queue.
+const DefaultInboxCap = 64
+
+// Options configure a Chan transport.
+type Options struct {
+	// InboxCap bounds each node's inbox channel; <= 0 means
+	// DefaultInboxCap. In free-running mode a frame arriving at a full
+	// inbox is dropped whole.
+	InboxCap int
+	// Deterministic makes enqueues blocking: a delivery waits for inbox
+	// space instead of dropping, so the only losses are the seeded medium
+	// losses and results are bit-identical to the in-process simulator.
+	Deterministic bool
+	// Stats, if non-nil, receives the backend-side accounting: processed
+	// frames via AddRxBytes and inbox overflows via AddInboxDrop. The
+	// transport keeps its own counters either way (Processed, Drops). Note
+	// that the runner's ResetStats replaces its Stats object, so share a
+	// Stats here only when the run does not reset it mid-flight.
+	Stats *network.Stats
+	// OnFrame, if set, runs on the receiving node's worker goroutine for
+	// every processed frame — the hook where per-node application logic
+	// (or a test) observes the decoded envelope. It must not retain env or
+	// its byte slices; the backing buffer is recycled after the call.
+	OnFrame func(to int, env *wire.Envelope)
+}
+
+// Chan is a goroutine-per-node concurrent transport over buffered channels.
+// Construct with New; Close releases the node goroutines. Deliver follows
+// the runner.Transport contract (single dispatch goroutine); BeginEpoch and
+// EndEpoch implement the runner.EpochMarker barrier.
+type Chan struct {
+	net     *network.Net
+	opts    Options
+	inboxes []chan delivery
+	done    []chan struct{}
+	// pending counts frames enqueued but not yet processed; EndEpoch waits
+	// for it to drain, which is the epoch barrier.
+	pending sync.WaitGroup
+	// bufPool recycles frame copies between deliveries.
+	bufPool   sync.Pool
+	processed []atomic.Int64
+	drops     atomic.Int64
+	epoch     atomic.Int64
+	closeOnce sync.Once
+}
+
+// delivery is one in-flight frame copy.
+type delivery struct {
+	epoch, from int
+	frame       []byte
+}
+
+// New starts one worker goroutine per node of net's graph and returns the
+// transport. The caller must Close it to stop the workers.
+func New(net *network.Net, opts Options) *Chan {
+	if opts.InboxCap <= 0 {
+		opts.InboxCap = DefaultInboxCap
+	}
+	n := net.Graph.N()
+	c := &Chan{
+		net:       net,
+		opts:      opts,
+		inboxes:   make([]chan delivery, n),
+		done:      make([]chan struct{}, n),
+		processed: make([]atomic.Int64, n),
+	}
+	c.bufPool.New = func() any { b := make([]byte, 0, 256); return &b }
+	for v := 0; v < n; v++ {
+		c.inboxes[v] = make(chan delivery, opts.InboxCap)
+		c.done[v] = make(chan struct{})
+		go c.run(v)
+	}
+	return c
+}
+
+// run is node v's runtime: drain the inbox until it closes, processing each
+// frame in arrival order.
+func (c *Chan) run(v int) {
+	defer close(c.done[v])
+	for d := range c.inboxes[v] {
+		c.process(v, d)
+		c.pending.Done()
+	}
+}
+
+// process validates and accounts one received frame. The transport carries
+// only frames the runner encoded itself, so a decode failure is a codec or
+// corruption bug and panics rather than silently dropping data.
+func (c *Chan) process(v int, d delivery) {
+	env, err := wire.DecodeEnvelope(d.frame)
+	if err != nil {
+		panic(fmt.Sprintf("transport: node %d received corrupt frame from %d: %v", v, d.from, err))
+	}
+	if int(env.From) != d.from {
+		panic(fmt.Sprintf("transport: node %d frame claims sender %d, delivered by %d", v, env.From, d.from))
+	}
+	if c.opts.OnFrame != nil {
+		c.opts.OnFrame(v, &env)
+	}
+	c.processed[v].Add(1)
+	if c.opts.Stats != nil {
+		c.opts.Stats.AddRxBytes(v, len(d.frame))
+	}
+	c.bufPool.Put(&d.frame)
+}
+
+// Deliver implements runner.Transport: consult the deterministic loss
+// model, and on survival hand a copy of the frame to the receiver's worker.
+// In free-running mode a full inbox refuses the frame (drop-on-full); in
+// Deterministic mode the enqueue blocks until the worker makes room, so the
+// return value depends only on the seeded loss model. Deliver must not be
+// called after Close.
+func (c *Chan) Deliver(epoch, attempt, from, to int, frame []byte) bool {
+	if !c.net.Delivered(epoch, attempt, from, to) {
+		return false
+	}
+	bp := c.bufPool.Get().(*[]byte)
+	d := delivery{epoch: epoch, from: from, frame: append((*bp)[:0], frame...)}
+	c.pending.Add(1)
+	if c.opts.Deterministic {
+		c.inboxes[to] <- d
+		return true
+	}
+	select {
+	case c.inboxes[to] <- d:
+		return true
+	default:
+		c.pending.Done()
+		c.bufPool.Put(&d.frame)
+		c.drops.Add(1)
+		if c.opts.Stats != nil {
+			c.opts.Stats.AddInboxDrop(to)
+		}
+		return false
+	}
+}
+
+// BeginEpoch implements runner.EpochMarker.
+func (c *Chan) BeginEpoch(epoch int) { c.epoch.Store(int64(epoch)) }
+
+// EndEpoch implements runner.EpochMarker: it blocks until every frame
+// delivered so far has been processed by its receiver's worker — the epoch
+// barrier separating round e from round e+1.
+func (c *Chan) EndEpoch(int) { c.pending.Wait() }
+
+// Epoch returns the most recent epoch begun (diagnostics).
+func (c *Chan) Epoch() int { return int(c.epoch.Load()) }
+
+// Processed returns the number of frames node v's worker has handled. Only
+// quiescent reads (after EndEpoch or Close) are exact.
+func (c *Chan) Processed(v int) int64 { return c.processed[v].Load() }
+
+// TotalProcessed returns the frames handled across all nodes.
+func (c *Chan) TotalProcessed() int64 {
+	var t int64
+	for i := range c.processed {
+		t += c.processed[i].Load()
+	}
+	return t
+}
+
+// Drops returns the number of frames refused by full inboxes (always zero
+// in Deterministic mode).
+func (c *Chan) Drops() int64 { return c.drops.Load() }
+
+// Close drains outstanding deliveries and stops every node goroutine. It is
+// idempotent; Deliver must not be called afterwards.
+func (c *Chan) Close() {
+	c.closeOnce.Do(func() {
+		c.pending.Wait()
+		for _, in := range c.inboxes {
+			close(in)
+		}
+		for _, d := range c.done {
+			<-d
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package tributarydelta
+
+// The Pool is the multi-deployment host: where a Session is one
+// deployment's collection loop, a Pool runs many independent deployments
+// concurrently under a shared worker budget — the "many concurrent users"
+// direction of the roadmap. Each deployment's epochs stay strictly ordered
+// (sessions are not concurrent-safe), but distinct deployments advance in
+// parallel, so aggregate epoch throughput scales with cores up to the
+// budget. cmd/tdserve exposes a Pool over HTTP.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Pool hosts many independent scalar sessions — one per deployment — and
+// advances them concurrently under a shared worker budget. All methods are
+// safe for concurrent use. The pool owns the sessions added to it: Remove
+// (and removing via RunEpochs' callers) closes them.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+}
+
+// poolEntry serializes access to one hosted session. closed marks the
+// session as released: a run goroutine that snapshotted the entry before a
+// concurrent Remove must not touch the closed session.
+type poolEntry struct {
+	mu     sync.Mutex
+	s      *Session
+	next   int // next epoch number
+	last   Result
+	closed bool
+}
+
+// DeploymentStatus is a point-in-time snapshot of one hosted deployment.
+type DeploymentStatus struct {
+	// ID is the deployment's pool identifier.
+	ID string
+	// Epochs is the number of collection rounds completed so far.
+	Epochs int
+	// Sensors is the number of participating sensors.
+	Sensors int
+	// Last is the most recent round's result (zero until the first round).
+	Last Result
+	// TotalBytes and TotalWords are the deployment's cumulative encoded
+	// transmission cost.
+	TotalBytes int64
+	// TotalWords is the 32-bit-word denomination of TotalBytes.
+	TotalWords int64
+}
+
+// NewPool returns a pool that runs at most workers deployments at once;
+// workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		entries: make(map[string]*poolEntry),
+	}
+}
+
+// Workers returns the pool's worker budget.
+func (p *Pool) Workers() int { return p.workers }
+
+// Add registers session s under id. The pool takes ownership of the
+// session; it is an error to keep running it directly.
+func (p *Pool) Add(id string, s *Session) error {
+	if s == nil {
+		return fmt.Errorf("tributarydelta: pool: nil session")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[id]; ok {
+		return fmt.Errorf("tributarydelta: pool: deployment %q already exists", id)
+	}
+	p.entries[id] = &poolEntry{s: s}
+	return nil
+}
+
+// Remove unregisters and closes the deployment; it reports whether id was
+// present. It blocks until any in-flight rounds of that deployment finish.
+func (p *Pool) Remove(id string) bool {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	delete(p.entries, id)
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.mu.Lock() // wait out an in-flight run
+	e.closed = true
+	e.s.Close()
+	e.mu.Unlock()
+	return true
+}
+
+// IDs returns the registered deployment ids, sorted.
+func (p *Pool) IDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]string, 0, len(p.entries))
+	for id := range p.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of hosted deployments.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Status reports a snapshot of one deployment.
+func (p *Pool) Status(id string) (DeploymentStatus, bool) {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	p.mu.Unlock()
+	if !ok {
+		return DeploymentStatus{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return DeploymentStatus{
+		ID:         id,
+		Epochs:     e.next,
+		Sensors:    e.s.Sensors(),
+		Last:       e.last,
+		TotalBytes: e.s.TotalBytes(),
+		TotalWords: e.s.TotalWords(),
+	}, true
+}
+
+// runLocked advances one deployment by rounds epochs. Caller holds e.mu.
+func (e *poolEntry) runLocked(rounds int) []Result {
+	out := make([]Result, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		res := e.s.RunEpoch(e.next)
+		e.next++
+		e.last = res
+		out = append(out, res)
+	}
+	return out
+}
+
+// RunDeployment advances one deployment by rounds epochs (continuing from
+// its last round) under the worker budget and returns the results.
+func (p *Pool) RunDeployment(id string, rounds int) ([]Result, error) {
+	p.mu.Lock()
+	e, ok := p.entries[id]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tributarydelta: pool: no deployment %q", id)
+	}
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("tributarydelta: pool: deployment %q was removed", id)
+	}
+	return e.runLocked(rounds), nil
+}
+
+// RunEpochs advances every hosted deployment by rounds epochs, running
+// deployments concurrently under the worker budget, and returns the
+// per-deployment results. Each deployment's rounds execute in epoch order;
+// only distinct deployments overlap.
+func (p *Pool) RunEpochs(rounds int) map[string][]Result {
+	p.mu.Lock()
+	snapshot := make(map[string]*poolEntry, len(p.entries))
+	for id, e := range p.entries {
+		snapshot[id] = e
+	}
+	p.mu.Unlock()
+
+	results := make(map[string][]Result, len(snapshot))
+	var rmu sync.Mutex
+	var wg sync.WaitGroup
+	for id, e := range snapshot {
+		wg.Add(1)
+		go func(id string, e *poolEntry) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			defer func() { <-p.sem }()
+			e.mu.Lock()
+			if e.closed { // removed after the snapshot
+				e.mu.Unlock()
+				return
+			}
+			out := e.runLocked(rounds)
+			e.mu.Unlock()
+			rmu.Lock()
+			results[id] = out
+			rmu.Unlock()
+		}(id, e)
+	}
+	wg.Wait()
+	return results
+}
+
+// Close removes and closes every hosted deployment.
+func (p *Pool) Close() {
+	for _, id := range p.IDs() {
+		p.Remove(id)
+	}
+}

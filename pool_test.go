@@ -1,0 +1,143 @@
+package tributarydelta_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	td "tributarydelta"
+)
+
+func poolCountSession(t testing.TB, seed uint64, n int, concurrent bool) *td.Session {
+	t.Helper()
+	dep := td.NewSyntheticDeployment(seed, n)
+	dep.SetGlobalLoss(0.25)
+	dep.UseConcurrentRuntime(concurrent)
+	s, err := td.NewCountSession(dep, td.SchemeTD, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPoolRunEpochsMatchesSolo pins the pool's core contract: hosting a
+// deployment changes nothing about its answers — epoch numbering continues
+// across RunEpochs calls and every result equals a solo session's.
+func TestPoolRunEpochsMatchesSolo(t *testing.T) {
+	p := td.NewPool(4)
+	defer p.Close()
+	const deployments = 3
+	for i := 0; i < deployments; i++ {
+		if err := p.Add(fmt.Sprintf("d%d", i), poolCountSession(t, uint64(i+1), 150, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := p.RunEpochs(4)
+	second := p.RunEpochs(3)
+	if len(first) != deployments || len(second) != deployments {
+		t.Fatalf("result sets: %d then %d deployments, want %d", len(first), len(second), deployments)
+	}
+	for i := 0; i < deployments; i++ {
+		id := fmt.Sprintf("d%d", i)
+		solo := poolCountSession(t, uint64(i+1), 150, false)
+		got := append(append([]td.Result(nil), first[id]...), second[id]...)
+		for e, res := range got {
+			want := solo.RunEpoch(e)
+			if res != want {
+				t.Fatalf("%s epoch %d: pooled %+v, solo %+v", id, e, res, want)
+			}
+		}
+		st, ok := p.Status(id)
+		if !ok || st.Epochs != 7 || st.Last != got[6] {
+			t.Fatalf("%s status = %+v ok=%v, want 7 epochs ending %+v", id, st, ok, got[6])
+		}
+		if st.TotalBytes <= 0 || st.Sensors <= 0 {
+			t.Fatalf("%s status missing accounting: %+v", id, st)
+		}
+	}
+}
+
+// TestPoolConcurrentRuntimeSessions hosts sessions that themselves run the
+// goroutine-per-node transport: nested concurrency must still reproduce the
+// simulator answers.
+func TestPoolConcurrentRuntimeSessions(t *testing.T) {
+	p := td.NewPool(2)
+	defer p.Close()
+	if err := p.Add("conc", poolCountSession(t, 9, 150, true)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.RunDeployment("conc", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := poolCountSession(t, 9, 150, false)
+	for e, res := range got {
+		if want := solo.RunEpoch(e); res != want {
+			t.Fatalf("epoch %d: concurrent-runtime %+v, simulator %+v", e, res, want)
+		}
+	}
+}
+
+// TestPoolLifecycle exercises Add/Remove/IDs error paths and concurrent use
+// of the pool's public surface.
+func TestPoolLifecycle(t *testing.T) {
+	p := td.NewPool(0) // GOMAXPROCS default
+	if p.Workers() < 1 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	s := poolCountSession(t, 1, 120, false)
+	if err := p.Add("a", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("a", poolCountSession(t, 2, 120, false)); err == nil {
+		t.Fatal("duplicate Add should fail")
+	}
+	if err := p.Add("nil", nil); err == nil {
+		t.Fatal("nil session Add should fail")
+	}
+	if _, err := p.RunDeployment("ghost", 1); err == nil {
+		t.Fatal("RunDeployment on unknown id should fail")
+	}
+	if _, ok := p.Status("ghost"); ok {
+		t.Fatal("Status on unknown id should report absence")
+	}
+	if got := p.IDs(); len(got) != 1 || got[0] != "a" || p.Len() != 1 {
+		t.Fatalf("ids = %v len = %d", got, p.Len())
+	}
+
+	// Hammer the pool from several goroutines: runs, status and removals
+	// must interleave safely (-race is the real assertion here). The
+	// concurrent-runtime sessions make a Remove racing a snapshotted
+	// RunEpochs fatal if the pool ever runs a closed session — its inbox
+	// channels are closed, so a late RunEpoch would panic.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("g%d", g)
+			if err := p.Add(id, poolCountSession(t, uint64(10+g), 120, true)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := p.RunDeployment(id, 2); err != nil {
+				t.Error(err)
+			}
+			p.RunEpochs(1)
+			if _, ok := p.Status(id); !ok {
+				t.Errorf("%s vanished", id)
+			}
+			p.Remove(id)
+			if _, err := p.RunDeployment(id, 1); err == nil {
+				t.Errorf("%s: run after remove should fail", id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !p.Remove("a") || p.Remove("a") {
+		t.Fatal("Remove should succeed once then report absence")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("pool not empty: %v", p.IDs())
+	}
+}

@@ -19,82 +19,99 @@ import (
 // idempotent, so multi-path aggregation introduces no approximation error
 // (§5) — the answer is exact whenever the reading's node contributes.
 func NewMinSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.Min{},
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.Min{},
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d}, nil
+	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d, stop: stop}, nil
 }
 
 // NewMaxSession builds a session tracking the maximum reading; see
 // NewMinSession.
 func NewMaxSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.Max{},
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.Max{},
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d}, nil
+	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d, stop: stop}, nil
 }
 
 // NewAverageSession builds a session computing the mean reading as
 // Sum/Count (both exact in the tributaries, sketched in the delta).
 func NewAverageSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, aggregate.AvgPartial, aggregate.AvgSynopsis, float64]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.NewAverage(seed),
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.NewAverage(seed),
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &Session{run: scalarAdapter[float64, aggregate.AvgPartial, aggregate.AvgSynopsis]{r}, deps: d}, nil
+	return &Session{run: scalarAdapter[float64, aggregate.AvgPartial, aggregate.AvgSynopsis]{r}, deps: d, stop: stop}, nil
 }
 
 // MomentsResult is one collection round's outcome for the Moments session.
 type MomentsResult struct {
-	Epoch       int
-	Value       aggregate.MomentsValue
+	// Epoch is the round number.
+	Epoch int
+	// Value holds the estimated mean, variance and skewness.
+	Value aggregate.MomentsValue
+	// TrueContrib is the exact number of sensors represented in Value.
 	TrueContrib int
-	DeltaSize   int
+	// DeltaSize is the current size of the multi-path delta region.
+	DeltaSize int
 }
 
 // MomentsSession computes mean, variance and skewness (§5's statistical
 // moments, via duplicate-insensitive power sums).
 type MomentsSession struct {
-	r *runner.Runner[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]
+	r    *runner.Runner[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]
+	stop func()
 }
 
 // NewMomentsSession builds a Moments session over non-negative readings.
 func NewMomentsSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*MomentsSession, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.NewMoments(seed),
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.NewMoments(seed),
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &MomentsSession{r: r}, nil
+	return &MomentsSession{r: r, stop: stop}, nil
 }
 
 // RunEpoch executes one collection round.
@@ -113,17 +130,30 @@ func (s *MomentsSession) ExactValue(epoch int) aggregate.MomentsValue {
 	return s.r.ExactAnswer(epoch)
 }
 
+// Close releases the session's concurrent runtime, if enabled; see
+// Session.Close.
+func (s *MomentsSession) Close() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
 // SampleResult is one collection round's outcome for the sampling session.
 type SampleResult struct {
-	Epoch       int
-	Sample      *sample.Sample
+	// Epoch is the round number.
+	Epoch int
+	// Sample is the collected bottom-k uniform sample.
+	Sample *sample.Sample
+	// TrueContrib is the exact number of sensors represented in Sample.
 	TrueContrib int
 }
 
 // SampleSession maintains a duplicate-insensitive uniform sample of k
 // readings (§5), usable for quantiles and other order statistics.
 type SampleSession struct {
-	r *runner.Runner[float64, *sample.Sample, *sample.Sample, *sample.Sample]
+	r    *runner.Runner[float64, *sample.Sample, *sample.Sample, *sample.Sample]
+	stop func()
 }
 
 // NewSampleSession builds a bottom-k sampling session.
@@ -131,24 +161,36 @@ func NewSampleSession(d *Deployment, scheme Scheme, seed uint64, k int, value fu
 	if k <= 0 {
 		return nil, fmt.Errorf("tributarydelta: sample capacity must be positive, got %d", k)
 	}
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, *sample.Sample, *sample.Sample, *sample.Sample]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.NewUniformSample(seed, k),
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.NewUniformSample(seed, k),
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &SampleSession{r: r}, nil
+	return &SampleSession{r: r, stop: stop}, nil
 }
 
 // RunEpoch executes one collection round.
 func (s *SampleSession) RunEpoch(epoch int) SampleResult {
 	res := s.r.RunEpoch(epoch)
 	return SampleResult{Epoch: epoch, Sample: res.Answer, TrueContrib: res.TrueContrib}
+}
+
+// Close releases the session's concurrent runtime, if enabled; see
+// Session.Close.
+func (s *SampleSession) Close() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
 }
 
 // treeFor picks the aggregation tree for a scheme: the TAG construction for

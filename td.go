@@ -16,8 +16,16 @@
 //   - Session runs collection rounds for a chosen aggregate and scheme
 //     (TAG, SD, TD-Coarse or TD) and reports per-epoch answers, the
 //     contributing-node counts and energy statistics.
+//   - Pool hosts many independent deployments and advances them
+//     concurrently under a shared worker budget (cmd/tdserve exposes a
+//     Pool over HTTP).
 //   - Frequent items and quantiles expose the §6 algorithms directly for
 //     in-tree computation with precision gradients.
+//
+// Deployment.UseConcurrentRuntime swaps the synchronous in-process
+// simulator for the goroutine-per-node concurrent transport
+// (internal/transport) in its deterministic mode — answers stay
+// bit-identical; see DESIGN.md §5 for the concurrency model.
 //
 // A minimal session:
 //
@@ -47,6 +55,7 @@ import (
 	"tributarydelta/internal/runner"
 	"tributarydelta/internal/sketch"
 	"tributarydelta/internal/topo"
+	"tributarydelta/internal/transport"
 	"tributarydelta/internal/workload"
 )
 
@@ -69,8 +78,9 @@ const (
 // the rings decomposition, the restricted aggregation tree (links ⊆ rings,
 // §4.1) and a TAG tree for the pure-tree baseline.
 type Deployment struct {
-	scenario *workload.Scenario
-	model    network.Model
+	scenario   *workload.Scenario
+	model      network.Model
+	concurrent bool
 }
 
 // NewSyntheticDeployment places n sensors uniformly in the paper's 20×20
@@ -117,6 +127,26 @@ func (d *Deployment) DominationFactor() float64 {
 	return topo.TreeDominationFactor(d.scenario.Tree, 0.05)
 }
 
+// UseConcurrentRuntime selects the frame-delivery backend for sessions
+// subsequently built from this deployment. When enabled, every session runs
+// the goroutine-per-node concurrent runtime (one worker per sensor draining
+// a bounded inbox of frames, with an epoch barrier between rounds) in its
+// deterministic mode, so answers are bit-identical to the in-process
+// simulator. Sessions built with the concurrent runtime own node goroutines
+// and should be released with Close when done.
+func (d *Deployment) UseConcurrentRuntime(on bool) { d.concurrent = on }
+
+// newTransport returns the delivery backend for a session over net: nil
+// (the synchronous in-process simulator) unless the concurrent runtime is
+// enabled, plus the release hook Session.Close runs.
+func (d *Deployment) newTransport(net *network.Net) (runner.Transport, func()) {
+	if !d.concurrent {
+		return nil, nil
+	}
+	ch := transport.New(net, transport.Options{Deterministic: true})
+	return ch, ch.Close
+}
+
 // Scenario exposes the underlying workload scenario for advanced use
 // together with the internal packages.
 func (d *Deployment) Scenario() *workload.Scenario { return d.scenario }
@@ -139,9 +169,11 @@ type Result struct {
 }
 
 // Session runs collection rounds of a scalar aggregate over a deployment.
+// Sessions are not safe for concurrent use; Pool coordinates many of them.
 type Session struct {
 	run  scalarRunner
 	deps *Deployment
+	stop func()
 }
 
 // scalarRunner erases the runner's generic parameters for the facade.
@@ -178,39 +210,64 @@ func (a scalarAdapter[V, P, S]) totalBytes() int64   { return a.r.Stats.TotalByt
 // NewCountSession builds a session counting the contributing sensors — the
 // paper's running example aggregate.
 func NewCountSession(d *Deployment, scheme Scheme, seed uint64) (*Session, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.NewCount(seed),
-		Value: func(int, int) struct{} { return struct{}{} },
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.NewCount(seed),
+		Value:     func(int, int) struct{} { return struct{}{} },
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &Session{run: scalarAdapter[struct{}, int64, *sketch.Sketch]{r}, deps: d}, nil
+	return &Session{run: scalarAdapter[struct{}, int64, *sketch.Sketch]{r}, deps: d, stop: stop}, nil
 }
 
 // NewSumSession builds a session summing per-node readings supplied by
 // value(epoch, node). Readings must be non-negative.
 func NewSumSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[float64, float64, *sketch.Sketch, float64]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   aggregate.NewSum(seed),
-		Value: value,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       aggregate.NewSum(seed),
+		Value:     value,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &Session{run: scalarAdapter[float64, float64, *sketch.Sketch]{r}, deps: d}, nil
+	return &Session{run: scalarAdapter[float64, float64, *sketch.Sketch]{r}, deps: d, stop: stop}, nil
+}
+
+// closeOnErr releases a just-built transport when session construction
+// fails, and wraps the error with the facade prefix.
+func closeOnErr(stop func(), err error) error {
+	if stop != nil {
+		stop()
+	}
+	return fmt.Errorf("tributarydelta: %w", err)
 }
 
 // RunEpoch executes one collection round.
 func (s *Session) RunEpoch(epoch int) Result { return s.run.epoch(epoch) }
+
+// Close releases resources owned by the session — the concurrent runtime's
+// node goroutines when the deployment enabled it. It is a no-op for
+// simulator-backed sessions and safe to call more than once.
+func (s *Session) Close() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
 
 // Run executes rounds collection rounds starting at startEpoch.
 func (s *Session) Run(startEpoch, rounds int) []Result {
@@ -256,6 +313,7 @@ type FrequentItemsSession struct {
 	r       *runner.Runner[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]
 	support float64
 	epsilon float64
+	stop    func()
 }
 
 // NewFrequentItemsSession builds a frequent items session: items(epoch,
@@ -278,18 +336,21 @@ func NewFrequentItemsSession(d *Deployment, scheme Scheme, seed uint64,
 		freq.MinTotalLoad{Epsilon: epsilon / 2, D: dfac},
 		epsilon/2,
 		freq.DefaultParams(seed, epsilon/2, logN))
+	net := network.New(d.scenario.Graph, d.model, seed)
+	tr, stop := d.newTransport(net)
 	r, err := runner.New(runner.Config[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]{
 		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: tree,
-		Net:   network.New(d.scenario.Graph, d.model, seed),
-		Agg:   agg,
-		Value: items,
-		Mode:  scheme,
-		Seed:  seed,
+		Net:       net,
+		Agg:       agg,
+		Value:     items,
+		Mode:      scheme,
+		Seed:      seed,
+		Transport: tr,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("tributarydelta: %w", err)
+		return nil, closeOnErr(stop, err)
 	}
-	return &FrequentItemsSession{r: r, support: support, epsilon: epsilon}, nil
+	return &FrequentItemsSession{r: r, support: support, epsilon: epsilon, stop: stop}, nil
 }
 
 // RunEpoch executes one frequent items round.
@@ -301,6 +362,15 @@ func (s *FrequentItemsSession) RunEpoch(epoch int) FrequentItemsResult {
 		Estimates:   res.Answer.Estimates,
 		NEst:        res.Answer.NEst,
 		TrueContrib: res.TrueContrib,
+	}
+}
+
+// Close releases the session's concurrent runtime, if enabled; see
+// Session.Close.
+func (s *FrequentItemsSession) Close() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
 	}
 }
 
