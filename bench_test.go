@@ -1,4 +1,4 @@
-package tributarydelta
+package tributarydelta_test
 
 // One benchmark per table and figure of the paper's evaluation (§7), each
 // regenerating its artifact through the experiments harness in Quick mode
@@ -8,6 +8,8 @@ package tributarydelta
 
 import (
 	"testing"
+
+	td "tributarydelta"
 
 	"tributarydelta/internal/experiments"
 	"tributarydelta/internal/freq"
@@ -45,11 +47,11 @@ func BenchmarkLabData(b *testing.B) { benchExperiment(b, "labdata") }
 // BenchmarkEpochCount measures one full 600-node Count collection round per
 // scheme — the simulator's core loop.
 func BenchmarkEpochCount(b *testing.B) {
-	for _, scheme := range []Scheme{SchemeTAG, SchemeSD, SchemeTD} {
+	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD, td.SchemeTD} {
 		b.Run(scheme.String(), func(b *testing.B) {
-			dep := NewSyntheticDeployment(1, 600)
+			dep := td.NewSyntheticDeployment(1, 600)
 			dep.SetGlobalLoss(0.2)
-			s, err := NewCountSession(dep, scheme, 1)
+			s, err := td.NewCountSession(dep, scheme, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -125,9 +127,9 @@ func BenchmarkQuantileMergePrune(b *testing.B) {
 // BenchmarkAdaptationDecision measures one TD controller decision over a
 // 600-node labeled graph.
 func BenchmarkAdaptationDecision(b *testing.B) {
-	dep := NewSyntheticDeployment(1, 600)
+	dep := td.NewSyntheticDeployment(1, 600)
 	dep.SetGlobalLoss(0.3)
-	s, err := NewCountSession(dep, SchemeTD, 1)
+	s, err := td.NewCountSession(dep, td.SchemeTD, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

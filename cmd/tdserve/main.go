@@ -1,17 +1,23 @@
 // Command tdserve hosts many independent Tributary-Delta deployments
 // behind a small HTTP API — the multi-tenant direction of the roadmap:
 // many concurrent collection sessions sharing one worker budget, not one
-// big tree. Deployments are started, advanced, queried and stopped over
-// JSON:
+// big tree. Every deployment is a QuerySet: one or more aggregate queries
+// advancing in lock-step over a shared loss realization. Deployments are
+// started, advanced, queried and stopped over JSON:
 //
-//	POST   /v1/deployments            {"id":"a","sensors":300,"seed":1,"loss":0.25,"scheme":"TD","aggregate":"count"}
+//	POST   /v1/deployments            {"id":"a","sensors":300,"seed":1,"loss":0.25,"scheme":"TD","aggregates":["count","sum","quantiles"]}
 //	GET    /v1/deployments            list all deployment statuses
 //	GET    /v1/deployments/{id}       one deployment's status
-//	POST   /v1/deployments/{id}/run   {"rounds":10} → per-epoch results
+//	POST   /v1/deployments/{id}/run   {"rounds":10} → per-epoch, per-query results
 //	DELETE /v1/deployments/{id}       stop and release the deployment
 //
-// Set "concurrent": true in the create request to run that deployment on
-// the goroutine-per-node chan transport (deterministic mode — answers are
+// The legacy single-aggregate form {"aggregate":"count"} still works and is
+// equivalent to a one-member set. Supported aggregates: count, sum, min,
+// max, average and quantiles (sum-family queries use the demo reading
+// node%50 — tdserve is a host for synthetic deployments, not a data plane
+// for real sensors; quantile answers report the 25/50/75/90/99th
+// percentiles). Set "concurrent": true to run a deployment on the
+// goroutine-per-node chan transport (deterministic mode — answers are
 // identical to the simulator backend). The flags:
 //
 //	tdserve -addr :8473 -workers 0
@@ -28,6 +34,7 @@ import (
 	"strings"
 
 	td "tributarydelta"
+	"tributarydelta/internal/quantile"
 )
 
 // createRequest is the POST /v1/deployments body.
@@ -38,10 +45,12 @@ type createRequest struct {
 	Loss    float64 `json:"loss"`    // Global(p) loss rate, default 0
 	// Scheme is TAG, SD, TD-Coarse or TD (default TD).
 	Scheme string `json:"scheme"`
-	// Aggregate is count or sum (default count). Sum uses the demo reading
-	// node%50 — tdserve is a host for synthetic deployments, not a data
-	// plane for real sensors.
+	// Aggregate is the legacy single-query form (default count when
+	// Aggregates is empty too).
 	Aggregate string `json:"aggregate"`
+	// Aggregates lists the queries of a multi-query deployment; they
+	// advance in lock-step sharing one loss realization per epoch.
+	Aggregates []string `json:"aggregates"`
 	// Concurrent selects the goroutine-per-node chan transport.
 	Concurrent bool `json:"concurrent"`
 }
@@ -49,6 +58,37 @@ type createRequest struct {
 // runRequest is the POST /v1/deployments/{id}/run body.
 type runRequest struct {
 	Rounds int `json:"rounds"` // default 1
+}
+
+// queryResult is one member query's outcome in one round.
+type queryResult struct {
+	// Query is the member's descriptor name.
+	Query string `json:"query"`
+	// Answer is the query's answer: a number for the scalar aggregates, a
+	// percentile map for quantiles.
+	Answer any `json:"answer"`
+	// TrueContrib is the exact number of sensors represented.
+	TrueContrib int `json:"trueContrib"`
+	// EstContrib is the base station's own contribution estimate.
+	EstContrib float64 `json:"estContrib"`
+	// DeltaSize is the delta region size after the round.
+	DeltaSize int `json:"deltaSize"`
+}
+
+// roundResponse is one lock-step round of a deployment.
+type roundResponse struct {
+	Epoch   int           `json:"epoch"`
+	Results []queryResult `json:"results"`
+}
+
+// statusResponse is a deployment status snapshot.
+type statusResponse struct {
+	ID      string          `json:"id"`
+	Epochs  int             `json:"epochs"`
+	Sensors int             `json:"sensors"`
+	Queries []string        `json:"queries"`
+	Last    *roundResponse  `json:"last,omitempty"`
+	Stats   td.SessionStats `json:"stats"`
 }
 
 // server routes HTTP traffic onto a deployment pool.
@@ -86,27 +126,105 @@ func parseScheme(name string) (td.Scheme, error) {
 	return 0, fmt.Errorf("unknown scheme %q (want TAG, SD, TD-Coarse or TD)", name)
 }
 
-// buildSession assembles the deployment and session a create request asks
+// demoReading is the synthetic per-node reading the sum-family and quantile
+// demo queries aggregate.
+func demoReading(_, node int) float64 { return float64(node % 50) }
+
+// openQuery opens one named aggregate as a member of set.
+func openQuery(dep *td.Deployment, set *td.QuerySet, name string, scheme td.Scheme) error {
+	opts := []td.Option{td.WithScheme(scheme), td.InSet(set)}
+	var err error
+	switch strings.ToLower(name) {
+	case "", "count":
+		_, err = td.Open(dep, td.Count(), opts...)
+	case "sum":
+		_, err = td.Open(dep, td.Sum(demoReading), opts...)
+	case "min":
+		_, err = td.Open(dep, td.Min(demoReading), opts...)
+	case "max":
+		_, err = td.Open(dep, td.Max(demoReading), opts...)
+	case "average", "avg":
+		_, err = td.Open(dep, td.Average(demoReading), opts...)
+	case "quantiles":
+		_, err = td.Open(dep, td.Quantiles(demoReading), opts...)
+	default:
+		return fmt.Errorf("unknown aggregate %q (want count, sum, min, max, average or quantiles)", name)
+	}
+	return err
+}
+
+// buildSet assembles the deployment and query set a create request asks
 // for.
-func buildSession(req createRequest) (*td.Session, error) {
+func buildSet(req createRequest) (*td.QuerySet, error) {
 	scheme, err := parseScheme(req.Scheme)
 	if err != nil {
 		return nil, err
 	}
-	dep := td.NewSyntheticDeployment(req.Seed, req.Sensors)
 	if req.Loss < 0 || req.Loss >= 1 {
 		return nil, fmt.Errorf("loss %v out of [0,1)", req.Loss)
 	}
+	names := req.Aggregates
+	if len(names) == 0 {
+		names = []string{req.Aggregate}
+	}
+	dep := td.NewSyntheticDeployment(req.Seed, req.Sensors)
 	dep.SetGlobalLoss(req.Loss)
 	dep.UseConcurrentRuntime(req.Concurrent)
-	switch strings.ToLower(req.Aggregate) {
-	case "", "count":
-		return td.NewCountSession(dep, scheme, req.Seed)
-	case "sum":
-		return td.NewSumSession(dep, scheme, req.Seed,
-			func(_, node int) float64 { return float64(node % 50) })
+	set := dep.NewQuerySet(req.Seed)
+	for _, name := range names {
+		if err := openQuery(dep, set, name, scheme); err != nil {
+			set.Close()
+			return nil, err
+		}
 	}
-	return nil, fmt.Errorf("unknown aggregate %q (want count or sum)", req.Aggregate)
+	return set, nil
+}
+
+// quantilePercentiles are the ranks quantile answers report.
+var quantilePercentiles = []float64{0.25, 0.5, 0.75, 0.9, 0.99}
+
+// convertRound flattens one SetRound into the wire response shape.
+func convertRound(names []string, round td.SetRound) roundResponse {
+	out := roundResponse{Epoch: round.Epoch, Results: make([]queryResult, 0, len(round.Results))}
+	for i, boxed := range round.Results {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		switch res := boxed.(type) {
+		case td.Result[float64]:
+			out.Results = append(out.Results, queryResult{
+				Query: name, Answer: res.Answer,
+				TrueContrib: res.TrueContrib, EstContrib: res.EstContrib, DeltaSize: res.DeltaSize,
+			})
+		case td.Result[*quantile.Summary]:
+			qs := make(map[string]float64, len(quantilePercentiles))
+			for _, q := range quantilePercentiles {
+				qs[fmt.Sprintf("p%02.0f", q*100)] = res.Answer.Quantile(q)
+			}
+			out.Results = append(out.Results, queryResult{
+				Query: name, Answer: qs,
+				TrueContrib: res.TrueContrib, EstContrib: res.EstContrib, DeltaSize: res.DeltaSize,
+			})
+		}
+	}
+	return out
+}
+
+// convertStatus flattens a pool status into the wire response shape.
+func convertStatus(st td.DeploymentStatus) statusResponse {
+	out := statusResponse{
+		ID:      st.ID,
+		Epochs:  st.Epochs,
+		Sensors: st.Sensors,
+		Queries: st.Queries,
+		Stats:   st.Stats,
+	}
+	if st.Epochs > 0 {
+		last := convertRound(st.Queries, st.Last)
+		out.Last = &last
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -135,26 +253,26 @@ func (s *server) create(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	sess, err := buildSession(req)
+	set, err := buildSet(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.pool.Add(req.ID, sess); err != nil {
-		sess.Close()
+	if err := s.pool.AddSet(req.ID, set); err != nil {
+		set.Close()
 		writeError(w, http.StatusConflict, err)
 		return
 	}
 	st, _ := s.pool.Status(req.ID)
-	writeJSON(w, http.StatusCreated, st)
+	writeJSON(w, http.StatusCreated, convertStatus(st))
 }
 
 func (s *server) list(w http.ResponseWriter, _ *http.Request) {
 	ids := s.pool.IDs()
-	out := make([]td.DeploymentStatus, 0, len(ids))
+	out := make([]statusResponse, 0, len(ids))
 	for _, id := range ids {
 		if st, ok := s.pool.Status(id); ok {
-			out = append(out, st)
+			out = append(out, convertStatus(st))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -167,7 +285,7 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, convertStatus(st))
 }
 
 func (s *server) run(w http.ResponseWriter, r *http.Request) {
@@ -186,12 +304,16 @@ func (s *server) run(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("rounds %d too large", req.Rounds))
 		return
 	}
-	results, err := s.pool.RunDeployment(id, req.Rounds)
+	rounds, names, err := s.pool.RunRounds(id, req.Rounds)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, results)
+	out := make([]roundResponse, 0, len(rounds))
+	for _, round := range rounds {
+		out = append(out, convertRound(names, round))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) remove(w http.ResponseWriter, r *http.Request) {

@@ -45,28 +45,34 @@ func TestServeLifecycle(t *testing.T) {
 	if w = doJSON(t, h, "POST", "/v1/deployments", `{"sensors":10}`); w.Code != http.StatusBadRequest {
 		t.Fatalf("missing id: %d", w.Code)
 	}
+	if w = doJSON(t, h, "POST", "/v1/deployments", `{"id":"x","aggregates":["count","bogus"]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad aggregate: %d", w.Code)
+	}
 
 	// Advance deployment a and check the results and status line up.
 	w = doJSON(t, h, "POST", "/v1/deployments/a/run", `{"rounds":5}`)
 	if w.Code != http.StatusOK {
 		t.Fatalf("run a: %d %s", w.Code, w.Body)
 	}
-	var results []td.Result
+	var results []roundResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &results); err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 || results[4].Epoch != 4 {
+	if len(results) != 5 || results[4].Epoch != 4 || len(results[4].Results) != 1 {
 		t.Fatalf("results = %+v", results)
+	}
+	if q := results[4].Results[0]; q.Query != "Count" || q.TrueContrib <= 0 {
+		t.Fatalf("round = %+v", results[4])
 	}
 	w = doJSON(t, h, "GET", "/v1/deployments/a", "")
 	if w.Code != http.StatusOK {
 		t.Fatalf("get a: %d", w.Code)
 	}
-	var st td.DeploymentStatus
+	var st statusResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Epochs != 5 || st.Last != results[4] || st.TotalBytes <= 0 {
+	if st.Epochs != 5 || st.Last == nil || st.Last.Epoch != 4 || st.Stats.TotalBytes <= 0 {
 		t.Fatalf("status = %+v, want 5 epochs ending %+v", st, results[4])
 	}
 
@@ -78,7 +84,7 @@ func TestServeLifecycle(t *testing.T) {
 
 	// List shows both; delete removes; 404s after.
 	w = doJSON(t, h, "GET", "/v1/deployments", "")
-	var all []td.DeploymentStatus
+	var all []statusResponse
 	if err := json.Unmarshal(w.Body.Bytes(), &all); err != nil {
 		t.Fatal(err)
 	}
@@ -96,5 +102,59 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if w = doJSON(t, h, "GET", "/v1/deployments/b", ""); w.Code != http.StatusNotFound {
 		t.Fatalf("get deleted: %d", w.Code)
+	}
+}
+
+// TestServeMultiQuery creates one deployment running three aggregates in
+// lock-step and checks every round reports all of them, including the
+// quantile percentile map.
+func TestServeMultiQuery(t *testing.T) {
+	pool := td.NewPool(2)
+	defer pool.Close()
+	h := newServer(pool).routes()
+
+	w := doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"m","sensors":150,"seed":3,"loss":0.2,"scheme":"TD","aggregates":["count","sum","quantiles"]}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", w.Code, w.Body)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Queries) != 3 || st.Queries[0] != "Count" || st.Queries[2] != "Quantiles" {
+		t.Fatalf("queries = %v", st.Queries)
+	}
+
+	w = doJSON(t, h, "POST", "/v1/deployments/m/run", `{"rounds":3}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", w.Code, w.Body)
+	}
+	var results []roundResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("rounds = %d", len(results))
+	}
+	for _, round := range results {
+		if len(round.Results) != 3 {
+			t.Fatalf("round %d has %d results", round.Epoch, len(round.Results))
+		}
+		// All members share one loss realization, so the contributing sets
+		// coincide each round.
+		for _, q := range round.Results[1:] {
+			if q.TrueContrib != round.Results[0].TrueContrib {
+				t.Fatalf("round %d: contributions diverge: %+v", round.Epoch, round.Results)
+			}
+		}
+		qm, ok := round.Results[2].Answer.(map[string]any)
+		if !ok {
+			t.Fatalf("quantiles answer is %T", round.Results[2].Answer)
+		}
+		p50, ok := qm["p50"].(float64)
+		if !ok || p50 < 0 || p50 >= 50 {
+			t.Fatalf("p50 = %v (demo readings are node%%50)", qm["p50"])
+		}
 	}
 }

@@ -1,13 +1,92 @@
 package tributarydelta_test
 
 import (
+	"context"
 	"fmt"
 
 	td "tributarydelta"
 )
 
-// The simplest possible use: count the sensors of a lossless field with
-// pure tree aggregation. With no message loss the answer is exact.
+// The simplest possible use of the Query API: open a Count query over a
+// lossless field with pure tree aggregation. With no message loss the
+// answer is exact.
+func ExampleOpen() {
+	dep := td.NewSyntheticDeployment(1, 200)
+	session, err := td.Open(dep, td.Count(), td.WithScheme(td.SchemeTAG), td.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	defer session.Close()
+	res := session.RunEpoch(0)
+	fmt.Println(int(res.Answer) == session.Sensors())
+	// Output: true
+}
+
+// A QuerySet advances several queries over one deployment in lock-step:
+// every member sees the same loss realization each epoch, so their
+// contributing sets coincide round by round.
+func ExampleDeployment_NewQuerySet() {
+	dep := td.NewSyntheticDeployment(2, 200)
+	dep.SetGlobalLoss(0.25)
+	set := dep.NewQuerySet(2)
+	defer set.Close()
+	if _, err := td.Open(dep, td.Count(), td.InSet(set)); err != nil {
+		panic(err)
+	}
+	if _, err := td.Open(dep, td.Sum(func(_, node int) float64 { return 1 }), td.InSet(set)); err != nil {
+		panic(err)
+	}
+	agree := true
+	for _, round := range set.Run(0, 5) {
+		cnt := round.Results[0].(td.Result[float64])
+		sum := round.Results[1].(td.Result[float64])
+		agree = agree && cnt.TrueContrib == sum.TrueContrib
+	}
+	fmt.Println(agree)
+	// Output: true
+}
+
+// Stream delivers rounds over a channel with context cancellation: the
+// consumer paces the producer, and closing the session ends the stream
+// cleanly.
+func ExampleSession_Stream() {
+	dep := td.NewSyntheticDeployment(3, 150)
+	session, err := td.Open(dep, td.Count(), td.WithScheme(td.SchemeTAG), td.WithSeed(3))
+	if err != nil {
+		panic(err)
+	}
+	defer session.Close()
+	epochs := 0
+	for res := range session.Stream(context.Background(), 0, 3) {
+		if res.Epoch == epochs {
+			epochs++
+		}
+	}
+	fmt.Println(epochs)
+	// Output: 3
+}
+
+// Quantiles answers rank queries: tributaries carry mergeable summaries
+// under a precision gradient, the delta a duplicate-insensitive sample.
+// Lossless and pure-tree, the summary covers every sensor exactly.
+func ExampleQuantiles() {
+	dep := td.NewSyntheticDeployment(4, 200)
+	session, err := td.Open(dep, td.Quantiles(func(_, node int) float64 { return float64(node) }),
+		td.WithScheme(td.SchemeTAG), td.WithSeed(4), td.WithEpsilon(0.05))
+	if err != nil {
+		panic(err)
+	}
+	defer session.Close()
+	res := session.RunEpoch(0)
+	fmt.Println(int(res.Answer.N) == session.Sensors())
+	fmt.Println(res.Answer.Eps <= 0.05)
+	// Output:
+	// true
+	// true
+}
+
+// The deprecated constructor surface still works and answers identically —
+// it is a thin shim over Open.
 func ExampleNewCountSession() {
 	dep := td.NewSyntheticDeployment(1, 200)
 	session, err := td.NewCountSession(dep, td.SchemeTAG, 1)

@@ -1,11 +1,13 @@
 // Adaptive monitoring: a Sum query rides through changing network weather —
 // lossless, a regional failure, a global failure, and recovery — while the
 // TD strategy grows and shrinks the delta region (the Figure 6 scenario).
+// Each phase streams its rounds through Session.Stream.
 //
 //	go run ./examples/adaptive
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -19,8 +21,9 @@ func main() {
 
 	reading := func(epoch, node int) float64 { return 50 + float64(node%20) }
 
-	// The facade pins the failure model at session creation, so run four
-	// sessions back to back — one per phase of the Figure 6 scenario.
+	// Open pins the failure model at session creation, so run four sessions
+	// back to back — one per phase of the Figure 6 scenario — each consumed
+	// as a stream of results.
 	fmt.Println("epoch  phase                 rel.err  delta  contributing")
 	epoch := 0
 	for _, ph := range []struct {
@@ -34,20 +37,21 @@ func main() {
 		{"recovered", func() { dep.SetGlobalLoss(0) }, 400},
 	} {
 		ph.set()
-		s, err := td.NewSumSession(dep, td.SchemeTD, seed, reading)
+		s, err := td.Open(dep, td.Sum(reading), td.WithScheme(td.SchemeTD), td.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
-		for ; epoch < ph.until; epoch++ {
-			r := s.RunEpoch(epoch)
-			if epoch%20 == 0 {
-				truth := s.ExactAnswer(epoch)
+		for r := range s.Stream(context.Background(), epoch, ph.until-epoch) {
+			if r.Epoch%20 == 0 {
+				truth := s.ExactAnswer(r.Epoch)
 				rel := math.Abs(r.Answer-truth) / truth
 				bar := strings.Repeat("#", r.DeltaSize/10)
 				fmt.Printf("%5d  %-20s  %6.3f  %5d  %5d/%d %s\n",
-					epoch, ph.name, rel, r.DeltaSize, r.TrueContrib, s.Sensors(), bar)
+					r.Epoch, ph.name, rel, r.DeltaSize, r.TrueContrib, s.Sensors(), bar)
 			}
 		}
+		epoch = ph.until
+		s.Close()
 	}
 	fmt.Println("\nWatch the delta bar: it grows into failures and retreats afterwards.")
 }

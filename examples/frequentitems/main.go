@@ -1,7 +1,7 @@
 // Frequent items: biological/chemical sensing needs a consensus over
 // unreliable individual readings (§5). Each node reports a window of
-// discretised readings; the Tributary-Delta frequent items algorithm (§6)
-// finds the items above a 1% support threshold with ε-deficient counts.
+// discretised readings; the FrequentItems query (§6) finds the items above
+// a 1% support threshold with ε-deficient counts.
 //
 //	go run ./examples/frequentitems
 package main
@@ -37,14 +37,15 @@ func main() {
 		return out
 	}
 
-	session, err := td.NewFrequentItemsSession(dep, td.SchemeTD, seed, items,
-		epsilon, support, float64(nodes*perEpoch))
+	session, err := td.Open(dep, td.FrequentItems(items, support, float64(nodes*perEpoch)),
+		td.WithScheme(td.SchemeTD), td.WithSeed(seed), td.WithEpsilon(epsilon))
 	if err != nil {
 		panic(err)
 	}
+	defer session.Close()
 
 	res := session.RunEpoch(0)
-	fmt.Printf("estimated stream size N = %.0f (true %d)\n", res.NEst, nodes*perEpoch)
+	fmt.Printf("estimated stream size N = %.0f (true %d)\n", res.Answer.NEst, nodes*perEpoch)
 	fmt.Printf("%d sensors contributed; frequent items (>%.1f%% support):\n\n",
 		res.TrueContrib, 100*support)
 
@@ -52,14 +53,14 @@ func main() {
 		item freq.Item
 		est  float64
 	}
-	rows := make([]row, 0, len(res.Frequent))
-	for _, u := range res.Frequent {
-		rows = append(rows, row{u, res.Estimates[u]})
+	rows := make([]row, 0, len(res.Answer.Frequent))
+	for _, u := range res.Answer.Frequent {
+		rows = append(rows, row{u, res.Answer.Estimates[u]})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].est > rows[j].est })
 	fmt.Println("item   est. count   est. share")
 	for _, r := range rows {
-		fmt.Printf("%4d   %10.0f   %9.2f%%\n", r.item, r.est, 100*r.est/res.NEst)
+		fmt.Printf("%4d   %10.0f   %9.2f%%\n", r.item, r.est, 100*r.est/res.Answer.NEst)
 	}
 	fmt.Println("\nGuarantee: no item above support is missed (up to message loss),")
 	fmt.Println("and every report has frequency at least (s−ε)·N.")

@@ -1,6 +1,7 @@
-// Quantiles: the §6.1.4 extension drives Greenwald–Khanna-style mergeable
-// quantile summaries with the paper's precision gradients, bounding total
-// in-tree communication while meeting a rank-error budget at the root.
+// Quantiles: the Quantiles query drives Greenwald–Khanna-style mergeable
+// summaries with the paper's §6.1.4 precision gradients in the tributaries
+// and the duplicate-insensitive bottom-k sample in the delta, meeting a
+// rank-error budget at the base station under real message loss.
 //
 //	go run ./examples/quantiles
 package main
@@ -10,54 +11,51 @@ import (
 	"sort"
 
 	td "tributarydelta"
-	"tributarydelta/internal/quantile"
-	"tributarydelta/internal/topo"
 	"tributarydelta/internal/xrand"
 )
 
 func main() {
 	const seed = 5
+	const eps = 0.02
 	dep := td.NewSyntheticDeployment(seed, 400)
-	sc := dep.Scenario()
-	tree := sc.Tree
-	heights := tree.Heights()
-	h := heights[topo.Base]
+	dep.SetGlobalLoss(0.15)
 
-	// Each node holds a window of temperature-like readings.
-	perNode := make(map[int][]float64)
-	var all []float64
-	src := xrand.NewSource(seed, 0xE6)
-	for v := 1; v < sc.Graph.N(); v++ {
-		if !tree.InTree(v) {
-			continue
-		}
-		vals := make([]float64, 50)
-		for i := range vals {
-			vals[i] = 20 + 5*src.NormFloat64() + float64(v%7)
-		}
-		perNode[v] = vals
-		all = append(all, vals...)
+	// Each node reports one temperature-like reading per epoch.
+	reading := func(epoch, node int) float64 {
+		src := xrand.NewSource(seed, 0xE6, uint64(epoch), uint64(node))
+		return 20 + 5*src.NormFloat64() + float64(node%7)
 	}
 
-	const eps = 0.01
-	res := quantile.RunTree(tree, func(v int) []float64 { return perNode[v] },
-		quantile.Uniform(eps, h))
+	s, err := td.Open(dep, td.Quantiles(reading),
+		td.WithScheme(td.SchemeTD), td.WithSeed(seed),
+		td.WithEpsilon(eps), td.WithSampleK(120))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
 
+	// Let the delta adapt to the loss, then read one settled round.
+	s.Run(0, 60)
+	res := s.RunEpoch(60)
+
+	// Ground truth over every participating sensor's reading.
+	var all []float64
+	for v := 1; v <= dep.Sensors(); v++ {
+		all = append(all, reading(60, v))
+	}
 	sort.Float64s(all)
-	fmt.Printf("population: %d readings across %d nodes; root summary: %d entries, ε=%.3f\n\n",
-		len(all), len(perNode), res.Root.Size(), res.Root.Eps)
+
+	fmt.Printf("%d sensors under 15%% loss; %d contributed; summary: %d entries over ~%d readings\n\n",
+		s.Sensors(), res.TrueContrib, res.Answer.Size(), res.Answer.N)
 	fmt.Println("quantile   estimate   exact")
 	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99} {
 		exact := all[int(q*float64(len(all)-1))]
-		fmt.Printf("  %5.2f    %7.2f   %7.2f\n", q, res.Root.Quantile(q), exact)
+		fmt.Printf("  %5.2f    %7.2f   %7.2f\n", q, res.Answer.Quantile(q), exact)
 	}
 
-	total := 0
-	for _, w := range res.LoadWords {
-		total += w
-	}
-	fmt.Printf("\ntotal communication: %d words (%.1f words per node)\n",
-		total, float64(total)/float64(len(perNode)))
-	fmt.Printf("every answer is within ε·N = %.0f ranks of the true rank\n",
-		eps*float64(len(all)))
+	st := s.Stats()
+	fmt.Printf("\ncommunication so far: %d words (%d bytes), %d losses absorbed\n",
+		st.TotalWords, st.TotalBytes, st.Losses)
+	fmt.Printf("tree-side budget: every tributary answer within ε·N = %.0f ranks\n",
+		eps*float64(res.Answer.N))
 }

@@ -1,6 +1,7 @@
 // Quickstart: count the sensors of a lossy 600-node field with all four
 // aggregation schemes and watch Tributary-Delta combine tree exactness with
-// multi-path robustness.
+// multi-path robustness — using the Query API: a query descriptor, options
+// and Open.
 //
 //	go run ./examples/quickstart
 package main
@@ -21,7 +22,7 @@ func main() {
 	fmt.Println("scheme      answer   contributing  delta size   (truth =", dep.Sensors(), "sensors)")
 
 	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD, td.SchemeTDCoarse, td.SchemeTD} {
-		s, err := td.NewCountSession(dep, scheme, seed)
+		s, err := td.Open(dep, td.Count(), td.WithScheme(scheme), td.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
@@ -29,13 +30,13 @@ func main() {
 		s.Run(0, 250)
 		var answer, contrib float64
 		const rounds = 20
-		for e := 0; e < rounds; e++ {
-			r := s.RunEpoch(250 + e)
+		for _, r := range s.Run(250, rounds) {
 			answer += r.Answer
 			contrib += float64(r.TrueContrib)
 		}
 		fmt.Printf("%-10s  %7.1f  %8.1f      %5d\n",
 			scheme, answer/rounds, contrib/rounds, s.DeltaSize())
+		s.Close()
 	}
 
 	fmt.Println("\nTAG undercounts badly (every lost message drops a subtree);")

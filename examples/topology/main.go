@@ -1,7 +1,8 @@
-// Topology explorer: build rings and trees over a random field, compare the
-// paper's tree construction (restricted links + opportunistic parent
-// switching, §6.1.3) against the standard TAG tree, and see how the
-// domination factor (§6.1.2) governs the Min Total-load guarantee.
+// Topology explorer: build deployments of increasing density through the
+// facade, compare the paper's tree construction (restricted links +
+// opportunistic parent switching, §6.1.3) against the standard TAG tree,
+// and see how the domination factor (§6.1.2) governs the Min Total-load
+// guarantee.
 //
 //	go run ./examples/topology
 package main
@@ -9,6 +10,7 @@ package main
 import (
 	"fmt"
 
+	td "tributarydelta"
 	"tributarydelta/internal/freq"
 	"tributarydelta/internal/topo"
 )
@@ -17,15 +19,11 @@ func main() {
 	const seed = 3
 	for _, density := range []float64{0.4, 0.8, 1.2, 1.6} {
 		n := int(density * 400)
-		g := topo.NewRandomField(seed, n, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
-		r := topo.BuildRings(g)
+		dep := td.NewSyntheticDeployment(seed, n)
+		sc := dep.Scenario()
 
-		ours := topo.BuildRestrictedTree(g, r, seed)
-		topo.OpportunisticImprove(g, r, ours, seed, 8)
-		tag := topo.BuildTAGTree(g, seed)
-
-		dOurs := topo.TreeDominationFactor(ours, 0.05)
-		dTag := topo.TreeDominationFactor(tag, 0.05)
+		dOurs := dep.DominationFactor() // the restricted tree the TD schemes run on
+		dTag := topo.TreeDominationFactor(sc.TAGTree, 0.05)
 
 		// Lemma 3's total-communication bound improves with d.
 		const eps = 0.001
@@ -33,7 +31,7 @@ func main() {
 		boundTag := freq.MinTotalLoad{Epsilon: eps, D: maxf(dTag, 1.05)}.TotalCommBound(n)
 
 		fmt.Printf("density %.1f (%3d nodes, %d rings): our tree d=%.2f (bound %.2gM words), TAG d=%.2f (bound %.2gM words)\n",
-			density, n, r.Max, dOurs, boundOurs/1e6, dTag, boundTag/1e6)
+			density, n, sc.Rings.Max, dOurs, boundOurs/1e6, dTag, boundTag/1e6)
 	}
 
 	// The Table 2 example, straight from the paper.

@@ -3,6 +3,9 @@
 // consts, vars) in the listed package directories must carry a doc
 // comment, either on its own spec or on the enclosing declaration group,
 // and every package must have a package comment on at least one file.
+// Exported fields of exported struct types must carry a doc or line
+// comment too — the query layer's option/result/stats structs are read
+// through their fields, so an undocumented field is an undocumented API.
 // Directories are scanned non-recursively; _test.go files are skipped.
 //
 //	go run ./internal/doclint . ./cmd/tdserve ./internal/transport
@@ -85,6 +88,9 @@ func lintFile(fset *token.FileSet, name string, f *ast.File) int {
 					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
 						report(sp.Pos(), sp.Name.Name)
 					}
+					if st, ok := sp.Type.(*ast.StructType); ok && sp.Name.IsExported() {
+						bad += lintFields(fset, sp.Name.Name, st)
+					}
 				case *ast.ValueSpec:
 					for _, id := range sp.Names {
 						if id.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
@@ -92,6 +98,24 @@ func lintFile(fset *token.FileSet, name string, f *ast.File) int {
 						}
 					}
 				}
+			}
+		}
+	}
+	return bad
+}
+
+// lintFields reports undocumented exported fields of one exported struct.
+func lintFields(fset *token.FileSet, typeName string, st *ast.StructType) int {
+	bad := 0
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				fmt.Fprintf(os.Stderr, "%s: exported field %s.%s is missing a doc comment\n",
+					fset.Position(name.Pos()), typeName, name.Name)
+				bad++
 			}
 		}
 	}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+
+	td "tributarydelta"
+	"tributarydelta/internal/quantile"
+)
+
+// QuerySetExp measures the multi-query serving shape of the facade: a
+// QuerySet advancing {Count, Sum, Quantiles} in lock-step over one lossy
+// deployment, against three standalone sessions each drawing its own loss
+// realization. It reports per-query error and communication under both
+// arrangements — the point being that the set's members agree on what was
+// lost (one realization per epoch), while the standalone trio disagrees —
+// plus the per-member byte costs the runner-layer multiplexer keeps
+// separate.
+func QuerySetExp(o Options) *Table {
+	sensors, epochs := 400, 60
+	if o.Quick {
+		sensors, epochs = 150, 15
+	}
+	value := func(_, node int) float64 { return float64(node%50) + 1 }
+
+	t := &Table{
+		ID:     "queryset",
+		Title:  "multi-query lock-step serving: shared vs independent loss realizations",
+		Header: []string{"arrangement", "query", "rel.err", "contrib spread", "total bytes"},
+	}
+
+	dep := td.NewSyntheticDeployment(o.seed(), sensors)
+	dep.SetGlobalLoss(0.25)
+
+	type obs struct {
+		relErr  float64
+		rounds  int
+		bytes   int64
+		contrib []int
+	}
+	summarize := func(res td.Result[float64], truth float64, ob *obs) {
+		if truth != 0 {
+			ob.relErr += math.Abs(res.Answer-truth) / truth
+		}
+		ob.rounds++
+		ob.contrib = append(ob.contrib, res.TrueContrib)
+	}
+
+	// Lock-step set.
+	set := dep.NewQuerySet(o.seed())
+	cnt, err := td.Open(dep, td.Count(), td.InSet(set))
+	if err != nil {
+		panic(err)
+	}
+	sum, err := td.Open(dep, td.Sum(value), td.InSet(set))
+	if err != nil {
+		panic(err)
+	}
+	qnt, err := td.Open(dep, td.Quantiles(value), td.InSet(set))
+	if err != nil {
+		panic(err)
+	}
+	defer set.Close()
+
+	var setCnt, setSum obs
+	var setMedErr float64
+	spread := 0
+	for _, round := range set.Run(0, epochs) {
+		c := round.Results[0].(td.Result[float64])
+		s := round.Results[1].(td.Result[float64])
+		q := round.Results[2].(td.Result[*quantile.Summary])
+		summarize(c, cnt.ExactAnswer(round.Epoch), &setCnt)
+		summarize(s, sum.ExactAnswer(round.Epoch), &setSum)
+		exactMed := qnt.ExactAnswer(round.Epoch).Quantile(0.5)
+		setMedErr += math.Abs(q.Answer.Quantile(0.5)-exactMed) / exactMed
+		lo, hi := c.TrueContrib, c.TrueContrib
+		for _, x := range []int{s.TrueContrib, q.TrueContrib} {
+			lo, hi = min(lo, x), max(hi, x)
+		}
+		spread = max(spread, hi-lo)
+	}
+	stats := set.MemberStats()
+	t.Addf("queryset", "Count", setCnt.relErr/float64(setCnt.rounds), spread, stats[0].TotalBytes)
+	t.Addf("queryset", "Sum", setSum.relErr/float64(setSum.rounds), spread, stats[1].TotalBytes)
+	t.Addf("queryset", "Quantiles(p50)", setMedErr/float64(epochs), spread, stats[2].TotalBytes)
+
+	// Standalone trio: three independent sessions, three loss realizations.
+	soloCntS, err := td.Open(dep, td.Count(), td.WithSeed(o.seed()+100))
+	if err != nil {
+		panic(err)
+	}
+	soloSumS, err := td.Open(dep, td.Sum(value), td.WithSeed(o.seed()+200))
+	if err != nil {
+		panic(err)
+	}
+	soloQntS, err := td.Open(dep, td.Quantiles(value), td.WithSeed(o.seed()+300))
+	if err != nil {
+		panic(err)
+	}
+	var soloCnt, soloSum obs
+	var soloMedErr float64
+	soloSpread := 0
+	for e := 0; e < epochs; e++ {
+		c := soloCntS.RunEpoch(e)
+		s := soloSumS.RunEpoch(e)
+		q := soloQntS.RunEpoch(e)
+		summarize(c, soloCntS.ExactAnswer(e), &soloCnt)
+		summarize(s, soloSumS.ExactAnswer(e), &soloSum)
+		exactMed := soloQntS.ExactAnswer(e).Quantile(0.5)
+		soloMedErr += math.Abs(q.Answer.Quantile(0.5)-exactMed) / exactMed
+		lo, hi := c.TrueContrib, c.TrueContrib
+		for _, x := range []int{s.TrueContrib, q.TrueContrib} {
+			lo, hi = min(lo, x), max(hi, x)
+		}
+		soloSpread = max(soloSpread, hi-lo)
+	}
+	t.Addf("standalone", "Count", soloCnt.relErr/float64(soloCnt.rounds), soloSpread, soloCntS.Stats().TotalBytes)
+	t.Addf("standalone", "Sum", soloSum.relErr/float64(soloSum.rounds), soloSpread, soloSumS.Stats().TotalBytes)
+	t.Addf("standalone", "Quantiles(p50)", soloMedErr/float64(epochs), soloSpread, soloQntS.Stats().TotalBytes)
+
+	t.Note("%d sensors, Global(0.25) loss, %d epochs, scheme TD", sensors, epochs)
+	t.Note("contrib spread: max per-epoch gap between members' contributing counts —")
+	t.Note("0 for the queryset (one loss realization per epoch), >0 for standalone sessions")
+	return t
+}

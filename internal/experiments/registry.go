@@ -11,19 +11,20 @@ type Runner func(Options) *Table
 // Registry maps experiment ids to their runners — one per table and figure
 // of the paper (see DESIGN.md §3).
 var Registry = map[string]Runner{
-	"table1":  Table1,
-	"table2":  Table2,
-	"fig2":    Fig2,
-	"fig4":    Fig4,
-	"fig5a":   Fig5a,
-	"fig5b":   Fig5b,
-	"fig6":    Fig6,
-	"fig7a":   Fig7a,
-	"fig7b":   Fig7b,
-	"fig8":    Fig8,
-	"fig9a":   Fig9a,
-	"fig9b":   Fig9b,
-	"labdata": LabData,
+	"table1":   Table1,
+	"table2":   Table2,
+	"fig2":     Fig2,
+	"fig4":     Fig4,
+	"fig5a":    Fig5a,
+	"fig5b":    Fig5b,
+	"fig6":     Fig6,
+	"fig7a":    Fig7a,
+	"fig7b":    Fig7b,
+	"fig8":     Fig8,
+	"fig9a":    Fig9a,
+	"fig9b":    Fig9b,
+	"labdata":  LabData,
+	"queryset": QuerySetExp,
 }
 
 // IDs returns the registered experiment ids in order.

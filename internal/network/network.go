@@ -43,6 +43,7 @@ type Model interface {
 // Global is the paper's Global(p) failure model: every link loses messages
 // at rate P.
 type Global struct {
+	// P is the per-link loss probability.
 	P float64
 }
 
@@ -51,6 +52,7 @@ func (m Global) LossRate(int, int, int) float64 { return m.P }
 
 // Rect is an axis-aligned rectangle {(X0,Y0),(X1,Y1)}.
 type Rect struct {
+	// X0, Y0, X1, Y1 are the corner coordinates (X0<=X1, Y0<=Y1).
 	X0, Y0, X1, Y1 float64
 }
 
@@ -63,9 +65,12 @@ func (r Rect) Contains(p topo.Point) bool {
 // messages at rate P1, everyone else at rate P2 (§7.1: the failure region is
 // {(0,0),(10,10)} of the 20×20 deployment).
 type Regional struct {
+	// Region is the failure rectangle senders are tested against.
 	Region Rect
+	// P1 is the loss rate inside Region, P2 outside.
 	P1, P2 float64
-	Pos    []topo.Point
+	// Pos indexes sender positions by node id.
+	Pos []topo.Point
 }
 
 // LossRate implements Model.
@@ -80,8 +85,12 @@ func (m Regional) LossRate(_, from, _ int) float64 {
 // measured link qualities of the LabData deployment: loss grows with
 // distance as Base + Scale·(d/Range)^Gamma, capped at Max.
 type DistanceModel struct {
-	Pos                     []topo.Point
-	Range                   float64
+	// Pos indexes node positions by id.
+	Pos []topo.Point
+	// Range is the radio range the link length is normalized by.
+	Range float64
+	// Base, Scale, Gamma, Max parameterize Base + Scale·(d/Range)^Gamma,
+	// capped at Max.
 	Base, Scale, Gamma, Max float64
 }
 
@@ -104,8 +113,11 @@ func (m DistanceModel) LossRate(_, from, to int) float64 {
 // §1 motivates conserving energy against). Receivers are unaffected — a
 // dead node simply stops producing.
 type NodeFailure struct {
+	// Base is the underlying model for live nodes (nil means lossless).
 	Base Model
+	// Dead marks the failed senders.
 	Dead map[int]bool
+	// From is the first epoch the deaths take effect.
 	From int
 }
 
@@ -123,6 +135,7 @@ func (m NodeFailure) LossRate(epoch, from, to int) float64 {
 // Phase is one segment of a Timeline: Model applies to epochs < Until.
 type Phase struct {
 	Until int // first epoch NOT covered by this phase
+	// Model applies to epochs before Until.
 	Model Model
 }
 
@@ -130,6 +143,7 @@ type Phase struct {
 // (Global(0) → Regional(0.3,0) → Global(0.3) → Global(0)). Epochs beyond the
 // last phase reuse the final model.
 type Timeline struct {
+	// Phases apply in order; the last one covers all remaining epochs.
 	Phases []Phase
 }
 
@@ -150,9 +164,12 @@ func (m Timeline) LossRate(epoch, from, to int) float64 {
 // one question the aggregation engine asks: did this transmission reach that
 // receiver?
 type Net struct {
+	// Graph is the sensor field's connectivity.
 	Graph *topo.Graph
+	// Model draws the per-link losses.
 	Model Model
-	Seed  uint64
+	// Seed namespaces the loss realization.
+	Seed uint64
 }
 
 // New returns a network over the graph with the given model and seed.
@@ -200,7 +217,8 @@ type Stats struct {
 	// RxFrames[v] and RxBytes[v] count the frames (and their encoded bytes)
 	// actually processed by receiver v's runtime.
 	RxFrames []int64
-	RxBytes  []int64
+	// RxBytes is the byte-denominated companion of RxFrames.
+	RxBytes []int64
 	// LevelBytes[l] is the total encoded bytes transmitted by senders
 	// scheduled at level l (ring level, or tree depth in pure-tree mode).
 	// The slice grows on demand as levels are observed.

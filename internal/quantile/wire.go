@@ -29,6 +29,21 @@ func (s *Summary) AppendWire(dst []byte) []byte {
 // DecodeWireSummary parses a summary encoded by AppendWire.
 func DecodeWireSummary(data []byte) (*Summary, error) {
 	r := wire.NewReader(data)
+	s, err := ReadWire(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadWire parses one summary from a reader positioned at its first byte —
+// the form used when a summary is one field of a larger message (the
+// Quantiles aggregate's tree partial). The reader is left positioned after
+// the summary; callers compose further fields or Finish.
+func ReadWire(r *wire.Reader) (*Summary, error) {
 	s := &Summary{
 		N:   int64(r.Uvarint()),
 		Eps: r.Float64(),
@@ -50,7 +65,7 @@ func DecodeWireSummary(data []byte) (*Summary, error) {
 		prevRMin = rmin
 		prevV = v
 	}
-	if err := r.Finish(); err != nil {
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	if s.N < 0 {

@@ -116,6 +116,11 @@ type Config[V, P, S, R any] struct {
 	// over Net — the only mode today; the seam exists so a networked
 	// backend can carry the very same frames later.
 	Transport Transport
+	// Stats, if non-nil, is the accumulator the runner records energy
+	// metrics into; nil allocates a fresh one. Sharing the object with a
+	// transport backend lets its receive-side accounting land next to the
+	// runner's send-side accounting.
+	Stats *network.Stats
 	// Parallel processes each level's nodes on goroutines — one per sensor,
 	// as sensor nodes are naturally concurrent. Results are bit-identical
 	// to the sequential schedule because every stochastic decision is a
@@ -333,11 +338,14 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 	ctrl.TopK = cfg.TopK
 
 	n := cfg.Graph.N()
+	if cfg.Stats == nil {
+		cfg.Stats = network.NewStats(n)
+	}
 	r := &Runner[V, P, S, R]{
 		cfg:        cfg,
 		state:      state,
 		ctrl:       ctrl,
-		Stats:      network.NewStats(n),
+		Stats:      cfg.Stats,
 		lastNC:     make([]int, n),
 		schedLevel: make([]int, n),
 		words:      (n + 63) / 64,

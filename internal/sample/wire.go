@@ -26,10 +26,25 @@ func (s *Sample) AppendWire(dst []byte) []byte {
 // ascending rank order (the canonical form AppendWire emits) and must not
 // exceed the capacity.
 func DecodeWire(data []byte, k int) (*Sample, error) {
+	r := wire.NewReader(data)
+	s, err := ReadWire(r, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadWire parses one sample of capacity k from a reader positioned at its
+// first byte — the form used when a sample is one field of a larger message
+// (the Quantiles aggregate's partial and synopsis). The reader is left
+// positioned after the sample; callers compose further fields or Finish.
+func ReadWire(r *wire.Reader, k int) (*Sample, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("sample: decode with non-positive capacity %d", k)
 	}
-	r := wire.NewReader(data)
 	n := r.Count(10) // rank(8) + node(>=1) + value(>=1)
 	if r.Err() == nil && n > k {
 		return nil, fmt.Errorf("sample: %d items exceed capacity %d: %w", n, k, wire.ErrMalformed)
@@ -48,7 +63,7 @@ func DecodeWire(data []byte, k int) (*Sample, error) {
 		prev = it.Rank
 		s.items = append(s.items, it)
 	}
-	if err := r.Finish(); err != nil {
+	if err := r.Err(); err != nil {
 		return nil, err
 	}
 	return s, nil

@@ -168,6 +168,15 @@ func (c *Chan) Deliver(epoch, attempt, from, to int, frame []byte) bool {
 	}
 }
 
+// SetStats redirects the backend-side accounting (AddRxBytes, AddInboxDrop)
+// to s, implementing runner.StatsSetter so a query-set multiplexer can
+// attribute a shared transport's receive work per member. It must only be
+// called while the transport is quiescent — after EndEpoch (or Close) and
+// before the next Deliver — which is exactly when a mux port swaps members:
+// workers observe the new target through the inbox channel's happens-before
+// edge on the frames delivered afterwards.
+func (c *Chan) SetStats(s *network.Stats) { c.opts.Stats = s }
+
 // BeginEpoch implements runner.EpochMarker.
 func (c *Chan) BeginEpoch(epoch int) { c.epoch.Store(int64(epoch)) }
 

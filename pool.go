@@ -6,7 +6,9 @@ package tributarydelta
 // direction of the roadmap. Each deployment's epochs stay strictly ordered
 // (sessions are not concurrent-safe), but distinct deployments advance in
 // parallel, so aggregate epoch throughput scales with cores up to the
-// budget. cmd/tdserve exposes a Pool over HTTP.
+// budget. A hosted deployment is either one scalar session (Add) or a
+// whole QuerySet (AddSet) — multi-query deployments advance all their
+// queries per round. cmd/tdserve exposes a Pool over HTTP.
 
 import (
 	"fmt"
@@ -15,10 +17,50 @@ import (
 	"sync"
 )
 
-// Pool hosts many independent scalar sessions — one per deployment — and
-// advances them concurrently under a shared worker budget. All methods are
-// safe for concurrent use. The pool owns the sessions added to it: Remove
-// (and removing via RunEpochs' callers) closes them.
+// hosted is what a pool entry advances: one scalar session or a query set,
+// both reporting rounds in the uniform SetRound shape.
+type hosted interface {
+	runEpoch(epoch int) SetRound
+	sensors() int
+	queries() []string
+	poolStats() SessionStats
+	close()
+}
+
+// hostedSession adapts a scalar session to the hosted contract.
+type hostedSession struct{ s *Session[float64] }
+
+func (h hostedSession) runEpoch(epoch int) SetRound {
+	return SetRound{Epoch: epoch, Results: []any{h.s.RunEpoch(epoch)}}
+}
+func (h hostedSession) sensors() int            { return h.s.Sensors() }
+func (h hostedSession) queries() []string       { return []string{h.s.QueryName()} }
+func (h hostedSession) poolStats() SessionStats { return h.s.Stats() }
+func (h hostedSession) close()                  { h.s.Close() }
+
+// hostedSet adapts a query set to the hosted contract.
+type hostedSet struct{ qs *QuerySet }
+
+func (h hostedSet) runEpoch(epoch int) SetRound { return h.qs.RunEpoch(epoch) }
+func (h hostedSet) sensors() int                { return h.qs.d.Sensors() }
+func (h hostedSet) queries() []string           { return h.qs.Names() }
+func (h hostedSet) poolStats() SessionStats {
+	var total SessionStats
+	for _, st := range h.qs.MemberStats() {
+		total.TotalWords += st.TotalWords
+		total.TotalBytes += st.TotalBytes
+		total.Losses += st.Losses
+		total.InboxDrops += st.InboxDrops
+		total.RxFrames += st.RxFrames
+	}
+	return total
+}
+func (h hostedSet) close() { h.qs.Close() }
+
+// Pool hosts many independent deployments — scalar sessions or query sets —
+// and advances them concurrently under a shared worker budget. All methods
+// are safe for concurrent use. The pool owns the sessions and sets added to
+// it: Remove (and Close) closes them.
 type Pool struct {
 	workers int
 	sem     chan struct{}
@@ -26,14 +68,14 @@ type Pool struct {
 	entries map[string]*poolEntry
 }
 
-// poolEntry serializes access to one hosted session. closed marks the
-// session as released: a run goroutine that snapshotted the entry before a
-// concurrent Remove must not touch the closed session.
+// poolEntry serializes access to one hosted deployment. closed marks it as
+// released: a run goroutine that snapshotted the entry before a concurrent
+// Remove must not touch the closed deployment.
 type poolEntry struct {
 	mu     sync.Mutex
-	s      *Session
+	h      hosted
 	next   int // next epoch number
-	last   Result
+	last   SetRound
 	closed bool
 }
 
@@ -45,13 +87,13 @@ type DeploymentStatus struct {
 	Epochs int
 	// Sensors is the number of participating sensors.
 	Sensors int
-	// Last is the most recent round's result (zero until the first round).
-	Last Result
-	// TotalBytes and TotalWords are the deployment's cumulative encoded
-	// transmission cost.
-	TotalBytes int64
-	// TotalWords is the 32-bit-word denomination of TotalBytes.
-	TotalWords int64
+	// Queries names the hosted queries, in registration order.
+	Queries []string
+	// Last is the most recent round's results (zero until the first round).
+	Last SetRound
+	// Stats is the deployment's cumulative communication accounting, summed
+	// over its queries.
+	Stats SessionStats
 }
 
 // NewPool returns a pool that runs at most workers deployments at once;
@@ -70,19 +112,33 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker budget.
 func (p *Pool) Workers() int { return p.workers }
 
-// Add registers session s under id. The pool takes ownership of the
-// session; it is an error to keep running it directly.
-func (p *Pool) Add(id string, s *Session) error {
-	if s == nil {
-		return fmt.Errorf("tributarydelta: pool: nil session")
-	}
+// add registers a hosted deployment under id.
+func (p *Pool) add(id string, h hosted) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.entries[id]; ok {
 		return fmt.Errorf("tributarydelta: pool: deployment %q already exists", id)
 	}
-	p.entries[id] = &poolEntry{s: s}
+	p.entries[id] = &poolEntry{h: h}
 	return nil
+}
+
+// Add registers scalar session s under id. The pool takes ownership of the
+// session; it is an error to keep running it directly.
+func (p *Pool) Add(id string, s *Session[float64]) error {
+	if s == nil {
+		return fmt.Errorf("tributarydelta: pool: nil session")
+	}
+	return p.add(id, hostedSession{s: s})
+}
+
+// AddSet registers query set qs under id — a multi-query deployment whose
+// rounds advance every member in lock-step. The pool takes ownership.
+func (p *Pool) AddSet(id string, qs *QuerySet) error {
+	if qs == nil {
+		return fmt.Errorf("tributarydelta: pool: nil query set")
+	}
+	return p.add(id, hostedSet{qs: qs})
 }
 
 // Remove unregisters and closes the deployment; it reports whether id was
@@ -97,7 +153,7 @@ func (p *Pool) Remove(id string) bool {
 	}
 	e.mu.Lock() // wait out an in-flight run
 	e.closed = true
-	e.s.Close()
+	e.h.close()
 	e.mu.Unlock()
 	return true
 }
@@ -132,20 +188,20 @@ func (p *Pool) Status(id string) (DeploymentStatus, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return DeploymentStatus{
-		ID:         id,
-		Epochs:     e.next,
-		Sensors:    e.s.Sensors(),
-		Last:       e.last,
-		TotalBytes: e.s.TotalBytes(),
-		TotalWords: e.s.TotalWords(),
+		ID:      id,
+		Epochs:  e.next,
+		Sensors: e.h.sensors(),
+		Queries: e.h.queries(),
+		Last:    e.last,
+		Stats:   e.h.poolStats(),
 	}, true
 }
 
 // runLocked advances one deployment by rounds epochs. Caller holds e.mu.
-func (e *poolEntry) runLocked(rounds int) []Result {
-	out := make([]Result, 0, rounds)
+func (e *poolEntry) runLocked(rounds int) []SetRound {
+	out := make([]SetRound, 0, rounds)
 	for i := 0; i < rounds; i++ {
-		res := e.s.RunEpoch(e.next)
+		res := e.h.runEpoch(e.next)
 		e.next++
 		e.last = res
 		out = append(out, res)
@@ -154,29 +210,39 @@ func (e *poolEntry) runLocked(rounds int) []Result {
 }
 
 // RunDeployment advances one deployment by rounds epochs (continuing from
-// its last round) under the worker budget and returns the results.
-func (p *Pool) RunDeployment(id string, rounds int) ([]Result, error) {
+// its last round) under the worker budget and returns the per-round
+// results: one result per round for a scalar deployment, one per member
+// per round for a query set.
+func (p *Pool) RunDeployment(id string, rounds int) ([]SetRound, error) {
+	out, _, err := p.RunRounds(id, rounds)
+	return out, err
+}
+
+// RunRounds is RunDeployment also returning the query names the round
+// results are labeled with, read under the same entry lock — so a
+// concurrent remove-and-recreate of the id cannot mislabel the results.
+func (p *Pool) RunRounds(id string, rounds int) ([]SetRound, []string, error) {
 	p.mu.Lock()
 	e, ok := p.entries[id]
 	p.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("tributarydelta: pool: no deployment %q", id)
+		return nil, nil, fmt.Errorf("tributarydelta: pool: no deployment %q", id)
 	}
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, fmt.Errorf("tributarydelta: pool: deployment %q was removed", id)
+		return nil, nil, fmt.Errorf("tributarydelta: pool: deployment %q was removed", id)
 	}
-	return e.runLocked(rounds), nil
+	return e.runLocked(rounds), e.h.queries(), nil
 }
 
 // RunEpochs advances every hosted deployment by rounds epochs, running
 // deployments concurrently under the worker budget, and returns the
 // per-deployment results. Each deployment's rounds execute in epoch order;
 // only distinct deployments overlap.
-func (p *Pool) RunEpochs(rounds int) map[string][]Result {
+func (p *Pool) RunEpochs(rounds int) map[string][]SetRound {
 	p.mu.Lock()
 	snapshot := make(map[string]*poolEntry, len(p.entries))
 	for id, e := range p.entries {
@@ -184,7 +250,7 @@ func (p *Pool) RunEpochs(rounds int) map[string][]Result {
 	}
 	p.mu.Unlock()
 
-	results := make(map[string][]Result, len(snapshot))
+	results := make(map[string][]SetRound, len(snapshot))
 	var rmu sync.Mutex
 	var wg sync.WaitGroup
 	for id, e := range snapshot {

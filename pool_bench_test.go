@@ -21,8 +21,8 @@ func BenchmarkPoolEpochs(b *testing.B) {
 		roundsPerIter  = 2
 		schemeForBench = td.SchemeTD
 	)
-	newSessions := func(b *testing.B, d int) []*td.Session {
-		ss := make([]*td.Session, d)
+	newSessions := func(b *testing.B, d int) []*td.Session[float64] {
+		ss := make([]*td.Session[float64], d)
 		for i := range ss {
 			dep := td.NewSyntheticDeployment(uint64(i+1), sensors)
 			dep.SetGlobalLoss(0.25)

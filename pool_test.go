@@ -8,7 +8,7 @@ import (
 	td "tributarydelta"
 )
 
-func poolCountSession(t testing.TB, seed uint64, n int, concurrent bool) *td.Session {
+func poolCountSession(t testing.TB, seed uint64, n int, concurrent bool) *td.Session[float64] {
 	t.Helper()
 	dep := td.NewSyntheticDeployment(seed, n)
 	dep.SetGlobalLoss(0.25)
@@ -40,19 +40,22 @@ func TestPoolRunEpochsMatchesSolo(t *testing.T) {
 	for i := 0; i < deployments; i++ {
 		id := fmt.Sprintf("d%d", i)
 		solo := poolCountSession(t, uint64(i+1), 150, false)
-		got := append(append([]td.Result(nil), first[id]...), second[id]...)
-		for e, res := range got {
+		got := append(append([]td.SetRound(nil), first[id]...), second[id]...)
+		for e, round := range got {
 			want := solo.RunEpoch(e)
-			if res != want {
+			if res := scalarOf(t, round); res != want {
 				t.Fatalf("%s epoch %d: pooled %+v, solo %+v", id, e, res, want)
 			}
 		}
 		st, ok := p.Status(id)
-		if !ok || st.Epochs != 7 || st.Last != got[6] {
+		if !ok || st.Epochs != 7 || scalarOf(t, st.Last) != scalarOf(t, got[6]) {
 			t.Fatalf("%s status = %+v ok=%v, want 7 epochs ending %+v", id, st, ok, got[6])
 		}
-		if st.TotalBytes <= 0 || st.Sensors <= 0 {
+		if st.Stats.TotalBytes <= 0 || st.Sensors <= 0 {
 			t.Fatalf("%s status missing accounting: %+v", id, st)
+		}
+		if len(st.Queries) != 1 || st.Queries[0] != "Count" {
+			t.Fatalf("%s queries = %v", id, st.Queries)
 		}
 	}
 }
@@ -71,11 +74,24 @@ func TestPoolConcurrentRuntimeSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	solo := poolCountSession(t, 9, 150, false)
-	for e, res := range got {
-		if want := solo.RunEpoch(e); res != want {
+	for e, round := range got {
+		if res, want := scalarOf(t, round), solo.RunEpoch(e); res != want {
 			t.Fatalf("epoch %d: concurrent-runtime %+v, simulator %+v", e, res, want)
 		}
 	}
+}
+
+// scalarOf extracts the single scalar result of a one-query round.
+func scalarOf(t testing.TB, round td.SetRound) td.Result[float64] {
+	t.Helper()
+	if len(round.Results) != 1 {
+		t.Fatalf("round has %d results, want 1: %+v", len(round.Results), round)
+	}
+	res, ok := round.Results[0].(td.Result[float64])
+	if !ok {
+		t.Fatalf("round result is %T, want Result[float64]", round.Results[0])
+	}
+	return res
 }
 
 // TestPoolLifecycle exercises Add/Remove/IDs error paths and concurrent use

@@ -1,79 +1,40 @@
 package tributarydelta
 
-// Facade sessions for the remaining §5 aggregates: Min, Max, Average,
-// statistical Moments and the duplicate-insensitive Uniform sample. Each
-// wires the corresponding internal aggregate into the collection-round
-// runner exactly like NewCountSession/NewSumSession.
+// Deprecated facade shims for the remaining §5 aggregates: Min, Max,
+// Average, statistical Moments and the duplicate-insensitive Uniform
+// sample. Each delegates to Open with the corresponding Query descriptor;
+// answers are unchanged from the original constructor-per-aggregate
+// surface (the golden parity test pins this).
 
 import (
 	"fmt"
 
-	"tributarydelta/internal/aggregate"
-	"tributarydelta/internal/network"
-	"tributarydelta/internal/runner"
 	"tributarydelta/internal/sample"
-	"tributarydelta/internal/topo"
 )
 
 // NewMinSession builds a session tracking the minimum reading. Min is
 // idempotent, so multi-path aggregation introduces no approximation error
 // (§5) — the answer is exact whenever the reading's node contributes.
-func NewMinSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.Min{},
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
-	if err != nil {
-		return nil, closeOnErr(stop, err)
-	}
-	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d, stop: stop}, nil
+//
+// Deprecated: use Open with Min.
+func NewMinSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session[float64], error) {
+	return Open(d, Min(value), WithScheme(scheme), WithSeed(seed))
 }
 
 // NewMaxSession builds a session tracking the maximum reading; see
 // NewMinSession.
-func NewMaxSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, float64, float64, float64]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.Max{},
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
-	if err != nil {
-		return nil, closeOnErr(stop, err)
-	}
-	return &Session{run: scalarAdapter[float64, float64, float64]{r}, deps: d, stop: stop}, nil
+//
+// Deprecated: use Open with Max.
+func NewMaxSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session[float64], error) {
+	return Open(d, Max(value), WithScheme(scheme), WithSeed(seed))
 }
 
 // NewAverageSession builds a session computing the mean reading as
 // Sum/Count (both exact in the tributaries, sketched in the delta).
-func NewAverageSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, aggregate.AvgPartial, aggregate.AvgSynopsis, float64]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.NewAverage(seed),
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
-	if err != nil {
-		return nil, closeOnErr(stop, err)
-	}
-	return &Session{run: scalarAdapter[float64, aggregate.AvgPartial, aggregate.AvgSynopsis]{r}, deps: d, stop: stop}, nil
+//
+// Deprecated: use Open with Average.
+func NewAverageSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session[float64], error) {
+	return Open(d, Average(value), WithScheme(scheme), WithSeed(seed))
 }
 
 // MomentsResult is one collection round's outcome for the Moments session.
@@ -81,7 +42,7 @@ type MomentsResult struct {
 	// Epoch is the round number.
 	Epoch int
 	// Value holds the estimated mean, variance and skewness.
-	Value aggregate.MomentsValue
+	Value MomentsValue
 	// TrueContrib is the exact number of sensors represented in Value.
 	TrueContrib int
 	// DeltaSize is the current size of the multi-path delta region.
@@ -90,33 +51,27 @@ type MomentsResult struct {
 
 // MomentsSession computes mean, variance and skewness (§5's statistical
 // moments, via duplicate-insensitive power sums).
+//
+// Deprecated: use Open with Moments, which exposes the same rounds through
+// the generic Session API.
 type MomentsSession struct {
-	r    *runner.Runner[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]
-	stop func()
+	s *Session[MomentsValue]
 }
 
 // NewMomentsSession builds a Moments session over non-negative readings.
+//
+// Deprecated: use Open with Moments.
 func NewMomentsSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*MomentsSession, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, aggregate.MomentsPartial, aggregate.MomentsSynopsis, aggregate.MomentsValue]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.NewMoments(seed),
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
+	s, err := Open(d, Moments(value), WithScheme(scheme), WithSeed(seed))
 	if err != nil {
-		return nil, closeOnErr(stop, err)
+		return nil, err
 	}
-	return &MomentsSession{r: r, stop: stop}, nil
+	return &MomentsSession{s: s}, nil
 }
 
 // RunEpoch executes one collection round.
 func (s *MomentsSession) RunEpoch(epoch int) MomentsResult {
-	res := s.r.RunEpoch(epoch)
+	res := s.s.RunEpoch(epoch)
 	return MomentsResult{
 		Epoch:       epoch,
 		Value:       res.Answer,
@@ -126,18 +81,13 @@ func (s *MomentsSession) RunEpoch(epoch int) MomentsResult {
 }
 
 // ExactValue computes the ground-truth moments for an epoch.
-func (s *MomentsSession) ExactValue(epoch int) aggregate.MomentsValue {
-	return s.r.ExactAnswer(epoch)
+func (s *MomentsSession) ExactValue(epoch int) MomentsValue {
+	return s.s.ExactAnswer(epoch)
 }
 
 // Close releases the session's concurrent runtime, if enabled; see
 // Session.Close.
-func (s *MomentsSession) Close() {
-	if s.stop != nil {
-		s.stop()
-		s.stop = nil
-	}
-}
+func (s *MomentsSession) Close() { s.s.Close() }
 
 // SampleResult is one collection round's outcome for the sampling session.
 type SampleResult struct {
@@ -151,53 +101,34 @@ type SampleResult struct {
 
 // SampleSession maintains a duplicate-insensitive uniform sample of k
 // readings (§5), usable for quantiles and other order statistics.
+//
+// Deprecated: use Open with Sample, which exposes the same rounds through
+// the generic Session API (or Quantiles for rank queries with tree-side
+// precision).
 type SampleSession struct {
-	r    *runner.Runner[float64, *sample.Sample, *sample.Sample, *sample.Sample]
-	stop func()
+	s *Session[*sample.Sample]
 }
 
 // NewSampleSession builds a bottom-k sampling session.
+//
+// Deprecated: use Open with Sample.
 func NewSampleSession(d *Deployment, scheme Scheme, seed uint64, k int, value func(epoch, node int) float64) (*SampleSession, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("tributarydelta: sample capacity must be positive, got %d", k)
 	}
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, *sample.Sample, *sample.Sample, *sample.Sample]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.NewUniformSample(seed, k),
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
+	s, err := Open(d, Sample(k, value), WithScheme(scheme), WithSeed(seed))
 	if err != nil {
-		return nil, closeOnErr(stop, err)
+		return nil, err
 	}
-	return &SampleSession{r: r, stop: stop}, nil
+	return &SampleSession{s: s}, nil
 }
 
 // RunEpoch executes one collection round.
 func (s *SampleSession) RunEpoch(epoch int) SampleResult {
-	res := s.r.RunEpoch(epoch)
+	res := s.s.RunEpoch(epoch)
 	return SampleResult{Epoch: epoch, Sample: res.Answer, TrueContrib: res.TrueContrib}
 }
 
 // Close releases the session's concurrent runtime, if enabled; see
 // Session.Close.
-func (s *SampleSession) Close() {
-	if s.stop != nil {
-		s.stop()
-		s.stop = nil
-	}
-}
-
-// treeFor picks the aggregation tree for a scheme: the TAG construction for
-// the pure-tree baseline, the restricted tree otherwise.
-func (d *Deployment) treeFor(scheme Scheme) *topo.Tree {
-	if scheme == SchemeTAG {
-		return d.scenario.TAGTree
-	}
-	return d.scenario.Tree
-}
+func (s *SampleSession) Close() { s.s.Close() }

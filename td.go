@@ -9,36 +9,47 @@
 // the base station — the delta. The boundary between the two adapts at
 // runtime to the observed fraction of contributing nodes.
 //
-// The package is a facade over the internal implementation:
+// The package is a facade over the internal implementation, organized
+// around one Query API:
 //
 //   - Deployment assembles a sensor field, its rings decomposition, the
 //     restricted aggregation tree and a failure model.
-//   - Session runs collection rounds for a chosen aggregate and scheme
-//     (TAG, SD, TD-Coarse or TD) and reports per-epoch answers, the
-//     contributing-node counts and energy statistics.
+//   - A Query[R] describes an aggregate — Count, Sum, Min, Max, Average,
+//     Moments, Sample, FrequentItems or Quantiles — as inert data;
+//     functional options (WithScheme, WithSeed, WithEpsilon, …) tune it.
+//   - Open runs a query over a deployment as a generic Session[R]:
+//     per-epoch answers, contributing-node counts and a Stats snapshot of
+//     the energy accounting, with Run/Stream collection loops.
+//   - QuerySet advances many queries over one deployment in lock-step
+//     rounds sharing a single loss realization per epoch.
 //   - Pool hosts many independent deployments and advances them
 //     concurrently under a shared worker budget (cmd/tdserve exposes a
 //     Pool over HTTP).
-//   - Frequent items and quantiles expose the §6 algorithms directly for
-//     in-tree computation with precision gradients.
-//
-// Deployment.UseConcurrentRuntime swaps the synchronous in-process
-// simulator for the goroutine-per-node concurrent transport
-// (internal/transport) in its deterministic mode — answers stay
-// bit-identical; see DESIGN.md §5 for the concurrency model.
 //
 // A minimal session:
 //
 //	dep := tributarydelta.NewSyntheticDeployment(1, 600)
 //	dep.SetGlobalLoss(0.2)
-//	s, err := tributarydelta.NewCountSession(dep, tributarydelta.SchemeTD, 1)
+//	s, err := tributarydelta.Open(dep, tributarydelta.Count(),
+//		tributarydelta.WithScheme(tributarydelta.SchemeTD))
 //	if err != nil { ... }
+//	defer s.Close()
 //	res := s.RunEpoch(0)
 //	fmt.Println(res.Answer, res.TrueContrib)
 //
+// Deployment.UseConcurrentRuntime swaps the synchronous in-process
+// simulator for the goroutine-per-node concurrent transport
+// (internal/transport) in its deterministic mode — answers stay
+// bit-identical; see DESIGN.md §5 for the concurrency model and §6 for the
+// query layer.
+//
 // Messages travel as real bytes: every partial result and synopsis is
 // serialized by the internal/wire codec layer, and all energy accounting
-// (TotalWords, TotalBytes) is measured from encoded frame lengths.
+// (SessionStats) is measured from encoded frame lengths.
+//
+// The original constructor-per-aggregate surface (NewCountSession,
+// NewSumSession, …) survives as thin deprecated shims over Open with
+// unchanged answers.
 //
 // The cmd/tdbench tool regenerates every table and figure of the paper's
 // evaluation; DESIGN.md covers the architecture, the wire format and the
@@ -49,17 +60,14 @@ import (
 	"fmt"
 	"math"
 
-	"tributarydelta/internal/aggregate"
 	"tributarydelta/internal/freq"
 	"tributarydelta/internal/network"
 	"tributarydelta/internal/runner"
-	"tributarydelta/internal/sketch"
 	"tributarydelta/internal/topo"
-	"tributarydelta/internal/transport"
 	"tributarydelta/internal/workload"
 )
 
-// Scheme selects the aggregation approach of a Session.
+// Scheme selects the aggregation approach of a session.
 type Scheme = runner.Mode
 
 // Aggregation schemes.
@@ -133,19 +141,9 @@ func (d *Deployment) DominationFactor() float64 {
 // a bounded inbox of frames, with an epoch barrier between rounds) in its
 // deterministic mode, so answers are bit-identical to the in-process
 // simulator. Sessions built with the concurrent runtime own node goroutines
-// and should be released with Close when done.
+// and should be released with Close when done. WithConcurrentRuntime
+// overrides the choice per session.
 func (d *Deployment) UseConcurrentRuntime(on bool) { d.concurrent = on }
-
-// newTransport returns the delivery backend for a session over net: nil
-// (the synchronous in-process simulator) unless the concurrent runtime is
-// enabled, plus the release hook Session.Close runs.
-func (d *Deployment) newTransport(net *network.Net) (runner.Transport, func()) {
-	if !d.concurrent {
-		return nil, nil
-	}
-	ch := transport.New(net, transport.Options{Deterministic: true})
-	return ch, ch.Close
-}
 
 // Scenario exposes the underlying workload scenario for advanced use
 // together with the internal packages.
@@ -154,97 +152,13 @@ func (d *Deployment) Scenario() *workload.Scenario { return d.scenario }
 // Model exposes the current failure model.
 func (d *Deployment) Model() network.Model { return d.model }
 
-// Result is one collection round's outcome for scalar aggregates.
-type Result struct {
-	// Epoch is the round number.
-	Epoch int
-	// Answer is the base station's result.
-	Answer float64
-	// TrueContrib is the exact number of sensors represented in Answer.
-	TrueContrib int
-	// EstContrib is the base station's own (approximate) contribution count.
-	EstContrib float64
-	// DeltaSize is the current size of the multi-path delta region.
-	DeltaSize int
-}
-
-// Session runs collection rounds of a scalar aggregate over a deployment.
-// Sessions are not safe for concurrent use; Pool coordinates many of them.
-type Session struct {
-	run  scalarRunner
-	deps *Deployment
-	stop func()
-}
-
-// scalarRunner erases the runner's generic parameters for the facade.
-type scalarRunner interface {
-	epoch(e int) Result
-	exact(e int) float64
-	sensors() int
-	deltaSize() int
-	totalWords() int64
-	totalBytes() int64
-}
-
-type scalarAdapter[V, P, S any] struct {
-	r *runner.Runner[V, P, S, float64]
-}
-
-func (a scalarAdapter[V, P, S]) epoch(e int) Result {
-	res := a.r.RunEpoch(e)
-	return Result{
-		Epoch:       res.Epoch,
-		Answer:      res.Answer,
-		TrueContrib: res.TrueContrib,
-		EstContrib:  res.EstContrib,
-		DeltaSize:   res.DeltaSize,
+// treeFor picks the aggregation tree for a scheme: the TAG construction for
+// the pure-tree baseline, the restricted tree otherwise.
+func (d *Deployment) treeFor(scheme Scheme) *topo.Tree {
+	if scheme == SchemeTAG {
+		return d.scenario.TAGTree
 	}
-}
-
-func (a scalarAdapter[V, P, S]) exact(e int) float64 { return a.r.ExactAnswer(e) }
-func (a scalarAdapter[V, P, S]) sensors() int        { return a.r.Sensors() }
-func (a scalarAdapter[V, P, S]) deltaSize() int      { return a.r.State().DeltaSize() }
-func (a scalarAdapter[V, P, S]) totalWords() int64   { return a.r.Stats.TotalWords() }
-func (a scalarAdapter[V, P, S]) totalBytes() int64   { return a.r.Stats.TotalBytes() }
-
-// NewCountSession builds a session counting the contributing sensors — the
-// paper's running example aggregate.
-func NewCountSession(d *Deployment, scheme Scheme, seed uint64) (*Session, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.NewCount(seed),
-		Value:     func(int, int) struct{} { return struct{}{} },
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
-	if err != nil {
-		return nil, closeOnErr(stop, err)
-	}
-	return &Session{run: scalarAdapter[struct{}, int64, *sketch.Sketch]{r}, deps: d, stop: stop}, nil
-}
-
-// NewSumSession builds a session summing per-node readings supplied by
-// value(epoch, node). Readings must be non-negative.
-func NewSumSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session, error) {
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[float64, float64, *sketch.Sketch, float64]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: d.treeFor(scheme),
-		Net:       net,
-		Agg:       aggregate.NewSum(seed),
-		Value:     value,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
-	if err != nil {
-		return nil, closeOnErr(stop, err)
-	}
-	return &Session{run: scalarAdapter[float64, float64, *sketch.Sketch]{r}, deps: d, stop: stop}, nil
+	return d.scenario.Tree
 }
 
 // closeOnErr releases a just-built transport when session construction
@@ -256,47 +170,25 @@ func closeOnErr(stop func(), err error) error {
 	return fmt.Errorf("tributarydelta: %w", err)
 }
 
-// RunEpoch executes one collection round.
-func (s *Session) RunEpoch(epoch int) Result { return s.run.epoch(epoch) }
-
-// Close releases resources owned by the session — the concurrent runtime's
-// node goroutines when the deployment enabled it. It is a no-op for
-// simulator-backed sessions and safe to call more than once.
-func (s *Session) Close() {
-	if s.stop != nil {
-		s.stop()
-		s.stop = nil
-	}
+// NewCountSession builds a session counting the contributing sensors — the
+// paper's running example aggregate.
+//
+// Deprecated: use Open with Count.
+func NewCountSession(d *Deployment, scheme Scheme, seed uint64) (*Session[float64], error) {
+	return Open(d, Count(), WithScheme(scheme), WithSeed(seed))
 }
 
-// Run executes rounds collection rounds starting at startEpoch.
-func (s *Session) Run(startEpoch, rounds int) []Result {
-	out := make([]Result, 0, rounds)
-	for e := 0; e < rounds; e++ {
-		out = append(out, s.run.epoch(startEpoch+e))
-	}
-	return out
+// NewSumSession builds a session summing per-node readings supplied by
+// value(epoch, node). Readings must be non-negative.
+//
+// Deprecated: use Open with Sum.
+func NewSumSession(d *Deployment, scheme Scheme, seed uint64, value func(epoch, node int) float64) (*Session[float64], error) {
+	return Open(d, Sum(value), WithScheme(scheme), WithSeed(seed))
 }
-
-// ExactAnswer computes the ground-truth answer for an epoch.
-func (s *Session) ExactAnswer(epoch int) float64 { return s.run.exact(epoch) }
-
-// Sensors returns the number of participating sensors.
-func (s *Session) Sensors() int { return s.run.sensors() }
-
-// DeltaSize returns the current delta region size.
-func (s *Session) DeltaSize() int { return s.run.deltaSize() }
-
-// TotalWords returns the total 32-bit payload words transmitted so far,
-// derived from the encoded frame lengths.
-func (s *Session) TotalWords() int64 { return s.run.totalWords() }
-
-// TotalBytes returns the total encoded payload bytes transmitted so far —
-// the byte-exact energy measure underneath TotalWords.
-func (s *Session) TotalBytes() int64 { return s.run.totalBytes() }
 
 // FrequentItemsResult is the outcome of one frequent items round.
 type FrequentItemsResult struct {
+	// Epoch is the round number.
 	Epoch int
 	// Frequent lists the reported items (estimate > (s−ε)·N̂).
 	Frequent []freq.Item
@@ -308,12 +200,13 @@ type FrequentItemsResult struct {
 	TrueContrib int
 }
 
-// FrequentItemsSession runs the §6 Tributary-Delta frequent items algorithm.
+// FrequentItemsSession runs the §6 Tributary-Delta frequent items
+// algorithm.
+//
+// Deprecated: use Open with FrequentItems, which exposes the same rounds
+// through the generic Session API.
 type FrequentItemsSession struct {
-	r       *runner.Runner[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]
-	support float64
-	epsilon float64
-	stop    func()
+	s *Session[FrequentItemsAnswer]
 }
 
 // NewFrequentItemsSession builds a frequent items session: items(epoch,
@@ -321,44 +214,27 @@ type FrequentItemsSession struct {
 // tolerance and support the reporting threshold (s ≫ ε). expectedN is an
 // upper bound on the total item occurrences per epoch (nodes are assumed to
 // know log N, §6.2).
+//
+// Deprecated: use Open with FrequentItems and WithEpsilon.
 func NewFrequentItemsSession(d *Deployment, scheme Scheme, seed uint64,
 	items func(epoch, node int) []freq.Item, epsilon, support float64, expectedN float64) (*FrequentItemsSession, error) {
 	if epsilon <= 0 || support <= epsilon {
 		return nil, fmt.Errorf("tributarydelta: need 0 < epsilon < support, got eps=%v s=%v", epsilon, support)
 	}
-	tree := d.treeFor(scheme)
-	dfac := topo.TreeDominationFactor(tree, 0.05)
-	if dfac < 1.2 {
-		dfac = 1.2
-	}
-	logN := log2(expectedN) + 1
-	agg := freq.NewAgg(tree,
-		freq.MinTotalLoad{Epsilon: epsilon / 2, D: dfac},
-		epsilon/2,
-		freq.DefaultParams(seed, epsilon/2, logN))
-	net := network.New(d.scenario.Graph, d.model, seed)
-	tr, stop := d.newTransport(net)
-	r, err := runner.New(runner.Config[[]freq.Item, *freq.Summary, *freq.Synopsis, freq.Result]{
-		Graph: d.scenario.Graph, Rings: d.scenario.Rings, Tree: tree,
-		Net:       net,
-		Agg:       agg,
-		Value:     items,
-		Mode:      scheme,
-		Seed:      seed,
-		Transport: tr,
-	})
+	s, err := Open(d, FrequentItems(items, support, expectedN),
+		WithScheme(scheme), WithSeed(seed), WithEpsilon(epsilon))
 	if err != nil {
-		return nil, closeOnErr(stop, err)
+		return nil, err
 	}
-	return &FrequentItemsSession{r: r, support: support, epsilon: epsilon, stop: stop}, nil
+	return &FrequentItemsSession{s: s}, nil
 }
 
 // RunEpoch executes one frequent items round.
 func (s *FrequentItemsSession) RunEpoch(epoch int) FrequentItemsResult {
-	res := s.r.RunEpoch(epoch)
+	res := s.s.RunEpoch(epoch)
 	return FrequentItemsResult{
 		Epoch:       epoch,
-		Frequent:    res.Answer.Frequent(s.support, s.epsilon),
+		Frequent:    res.Answer.Frequent,
 		Estimates:   res.Answer.Estimates,
 		NEst:        res.Answer.NEst,
 		TrueContrib: res.TrueContrib,
@@ -367,11 +243,6 @@ func (s *FrequentItemsSession) RunEpoch(epoch int) FrequentItemsResult {
 
 // Close releases the session's concurrent runtime, if enabled; see
 // Session.Close.
-func (s *FrequentItemsSession) Close() {
-	if s.stop != nil {
-		s.stop()
-		s.stop = nil
-	}
-}
+func (s *FrequentItemsSession) Close() { s.s.Close() }
 
 func log2(x float64) float64 { return math.Log2(x) }
