@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	td "tributarydelta"
+)
+
+// Bench mode: the BenchmarkEpochCount workload (one 600-node Count
+// collection round at Global(0.2) loss) timed for TAG/SD/TD across
+// wave-engine worker bounds, written as a committed JSON artifact so the
+// perf trajectory has dated datapoints that survive benchmark-log rot.
+
+// benchNodes and benchLoss mirror BenchmarkEpochCount exactly.
+const (
+	benchNodes = 600
+	benchLoss  = 0.2
+	// benchWarmup epochs grow every pool and buffer (and settle the
+	// adaptive phase gate) before timing starts.
+	benchWarmup = 30
+	// benchSamples batches of benchBatch epochs each are timed; the median
+	// batch is reported, making the artifact robust to scheduler noise.
+	benchSamples = 9
+	benchBatch   = 20
+)
+
+// BenchResult is one (scheme, workers) measurement.
+type BenchResult struct {
+	// Scheme is the aggregation scheme ("TAG", "SD", "TD").
+	Scheme string `json:"scheme"`
+	// Workers is the wave-engine worker bound.
+	Workers int `json:"workers"`
+	// NsPerOp is the median epoch latency in nanoseconds.
+	NsPerOp int64 `json:"nsPerOp"`
+	// AllocsPerOp is the steady-state heap allocations per epoch.
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// BenchArtifact is the BENCH_4.json document.
+type BenchArtifact struct {
+	// GeneratedBy records the producing command.
+	GeneratedBy string `json:"generatedBy"`
+	// Cores is the host's logical CPU count; scaling numbers only mean
+	// something relative to it.
+	Cores int `json:"cores"`
+	// GoMaxProcs is the scheduler bound the run used.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform.
+	GoVersion string `json:"goVersion"`
+	// GOOS is the target operating system.
+	GOOS string `json:"goos"`
+	// GOARCH is the target architecture.
+	GOARCH string `json:"goarch"`
+	// Nodes and Epochs describe the workload shape.
+	Nodes int `json:"nodes"`
+	// Epochs is the timed batch size behind each sample.
+	Epochs int `json:"epochs"`
+	// Results holds the measurement grid.
+	Results []BenchResult `json:"results"`
+}
+
+// benchOne measures one (scheme, workers) cell.
+func benchOne(scheme td.Scheme, workers int) (BenchResult, error) {
+	dep := td.NewSyntheticDeployment(1, benchNodes)
+	dep.SetGlobalLoss(benchLoss)
+	s, err := td.Open(dep, td.Count(), td.WithScheme(scheme), td.WithWorkers(workers))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer s.Close()
+
+	epoch := 0
+	for ; epoch < benchWarmup; epoch++ {
+		s.RunEpoch(epoch)
+	}
+
+	samples := make([]time.Duration, 0, benchSamples)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < benchSamples; i++ {
+		start := time.Now()
+		for j := 0; j < benchBatch; j++ {
+			s.RunEpoch(epoch)
+			epoch++
+		}
+		samples = append(samples, time.Since(start))
+	}
+	runtime.ReadMemStats(&ms1)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	median := samples[len(samples)/2]
+	measured := benchSamples * benchBatch
+	return BenchResult{
+		Scheme:      scheme.String(),
+		Workers:     workers,
+		NsPerOp:     median.Nanoseconds() / benchBatch,
+		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(measured),
+	}, nil
+}
+
+// runBench produces the artifact at path and echoes it to stdout.
+func runBench(path string) error {
+	art := BenchArtifact{
+		GeneratedBy: "cmd/tdbench -bench",
+		Cores:       runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Nodes:       benchNodes,
+		Epochs:      benchBatch,
+	}
+	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD, td.SchemeTD} {
+		for _, workers := range []int{1, 2, 4} {
+			res, err := benchOne(scheme, workers)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s workers=%d  %10d ns/op  %7.1f allocs/op\n",
+				res.Scheme, res.Workers, res.NsPerOp, res.AllocsPerOp)
+			art.Results = append(art.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cores)\n", path, art.Cores)
+	return nil
+}

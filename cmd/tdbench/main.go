@@ -1,13 +1,19 @@
-// Command tdbench regenerates the paper's tables and figures.
+// Command tdbench regenerates the paper's tables and figures, and records
+// the engine's performance trajectory.
 //
 // Usage:
 //
 //	tdbench -exp fig5a            # one experiment, full scale
 //	tdbench -exp all -quick       # everything, reduced scale
 //	tdbench -list                 # list experiment ids
+//	tdbench -bench                # epoch-engine timings -> BENCH_4.json
 //
 // Each experiment prints a table whose rows mirror the series of the
 // corresponding paper artifact; DESIGN.md §4 records the calibration notes.
+// The bench mode times the 600-node Count epoch (the BenchmarkEpochCount
+// workload) for TAG/SD/TD across wave-engine worker bounds 1/2/4 and writes
+// the medians to a JSON artifact, so the repo carries a committed perf
+// datapoint per engine generation (DESIGN.md §7).
 package main
 
 import (
@@ -24,11 +30,21 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workloads for a fast pass")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	bench := flag.Bool("bench", false, "run the epoch-engine benchmark and write -benchout")
+	benchOut := flag.String("benchout", "BENCH_4.json", "bench mode: output artifact path")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *bench {
+		if err := runBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -79,6 +79,25 @@ type Aggregate[V, P, S, R any] interface {
 	Exact(vs []V) R
 }
 
+// SynopsisRecycler is an optional Aggregate extension: aggregates whose
+// synopses can be rebuilt in place implement it, and the epoch engine then
+// recycles synopses through per-worker pools instead of allocating one per
+// Convert and per decoded frame — the difference between thousands of
+// allocations per epoch and none.
+//
+// Semantics: NewSynopsis returns a fresh reusable synopsis; ConvertInto and
+// DecodeSynopsisInto must leave dst bit-identical to what Convert and
+// DecodeSynopsis would have returned (dst's prior contents are fully
+// overwritten, never folded in). The returned synopsis is dst itself.
+type SynopsisRecycler[P, S any] interface {
+	// NewSynopsis allocates one pool entry.
+	NewSynopsis() S
+	// ConvertInto is Convert writing into a recycled synopsis.
+	ConvertInto(epoch, owner int, p P, dst S) S
+	// DecodeSynopsisInto is DecodeSynopsis writing into a recycled synopsis.
+	DecodeSynopsisInto(data []byte, dst S) (S, error)
+}
+
 // PartialWords returns the message size of a tree partial in 32-bit words,
 // measured from its wire encoding — the only sanctioned way to cost a
 // partial.

@@ -1,0 +1,120 @@
+package aggregate
+
+import (
+	"testing"
+
+	"tributarydelta/internal/sketch"
+)
+
+// Compile-time: the sketch-backed simple aggregates offer the recycling
+// fast path the epoch engine pools synopses through.
+var (
+	_ SynopsisRecycler[int64, *sketch.Sketch]   = (*Count)(nil)
+	_ SynopsisRecycler[float64, *sketch.Sketch] = (*Sum)(nil)
+	_ SynopsisRecycler[AvgPartial, AvgSynopsis] = (*Average)(nil)
+)
+
+// TestConvertIntoMatchesConvert pins the recycler contract: ConvertInto
+// into a dirty recycled synopsis must be bit-identical to Convert.
+func TestConvertIntoMatchesConvert(t *testing.T) {
+	t.Run("Count", func(t *testing.T) {
+		a := NewCount(7)
+		dst := a.NewSynopsis()
+		dst.Insert(99, 1) // dirty
+		got := a.ConvertInto(3, 14, 500, dst)
+		want := a.Convert(3, 14, 500)
+		if got.Estimate() != want.Estimate() || sketch.Union(got, want).Estimate() != want.Estimate() {
+			t.Fatal("ConvertInto diverged from Convert")
+		}
+		if !equalWire(a.AppendSynopsis(nil, got), a.AppendSynopsis(nil, want)) {
+			t.Fatal("ConvertInto not bit-identical to Convert")
+		}
+	})
+	t.Run("Sum", func(t *testing.T) {
+		a := NewSum(7)
+		dst := a.NewSynopsis()
+		dst.Insert(99, 1)
+		got := a.ConvertInto(3, 14, 123.5, dst)
+		want := a.Convert(3, 14, 123.5)
+		if !equalWire(a.AppendSynopsis(nil, got), a.AppendSynopsis(nil, want)) {
+			t.Fatal("ConvertInto not bit-identical to Convert")
+		}
+	})
+	t.Run("Average", func(t *testing.T) {
+		a := NewAverage(7)
+		dst := a.NewSynopsis()
+		dst.Sum.Insert(99, 1)
+		dst.Count.Insert(98, 2)
+		p := AvgPartial{Sum: 321.25, Count: 17}
+		got := a.ConvertInto(3, 14, p, dst)
+		want := a.Convert(3, 14, p)
+		if !equalWire(a.AppendSynopsis(nil, got), a.AppendSynopsis(nil, want)) {
+			t.Fatal("ConvertInto not bit-identical to Convert")
+		}
+	})
+}
+
+// TestDecodeSynopsisIntoMatchesDecode pins the decode half of the recycler
+// contract, including the error path on truncated input.
+func TestDecodeSynopsisIntoMatchesDecode(t *testing.T) {
+	t.Run("Count", func(t *testing.T) {
+		a := NewCount(5)
+		enc := a.AppendSynopsis(nil, a.Convert(1, 2, 300))
+		dst := a.NewSynopsis()
+		dst.Insert(1, 1)
+		got, err := a.DecodeSynopsisInto(enc, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalWire(a.AppendSynopsis(nil, got), enc) {
+			t.Fatal("DecodeSynopsisInto not bit-identical")
+		}
+		if _, err := a.DecodeSynopsisInto(enc[:3], a.NewSynopsis()); err == nil {
+			t.Fatal("truncated synopsis accepted")
+		}
+	})
+	t.Run("Average", func(t *testing.T) {
+		a := NewAverage(5)
+		enc := a.AppendSynopsis(nil, a.Convert(1, 2, AvgPartial{Sum: 10, Count: 3}))
+		got, err := a.DecodeSynopsisInto(enc, a.NewSynopsis())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalWire(a.AppendSynopsis(nil, got), enc) {
+			t.Fatal("DecodeSynopsisInto not bit-identical")
+		}
+		if _, err := a.DecodeSynopsisInto(enc[:5], a.NewSynopsis()); err == nil {
+			t.Fatal("truncated synopsis accepted")
+		}
+	})
+}
+
+// TestEvalBaseScratchDoesNotMutateInputs guards the Aggregate contract: the
+// scratch-based EvalBase must leave the synopses it unions untouched.
+func TestEvalBaseScratchDoesNotMutateInputs(t *testing.T) {
+	a := NewCount(9)
+	s1 := a.Convert(0, 1, 100)
+	s2 := a.Convert(0, 2, 200)
+	before1 := a.AppendSynopsis(nil, s1)
+	before2 := a.AppendSynopsis(nil, s2)
+	first := a.EvalBase(nil, []*sketch.Sketch{s1, s2})
+	second := a.EvalBase(nil, []*sketch.Sketch{s1, s2}) // scratch reuse
+	if first != second {
+		t.Fatalf("EvalBase not stable under scratch reuse: %v vs %v", first, second)
+	}
+	if !equalWire(a.AppendSynopsis(nil, s1), before1) || !equalWire(a.AppendSynopsis(nil, s2), before2) {
+		t.Fatal("EvalBase mutated an input synopsis")
+	}
+}
+
+func equalWire(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -32,6 +32,9 @@ type Sum struct {
 	K int
 	// Scale converts readings to sketch units (units of 1/Scale).
 	Scale float64
+
+	// scratch is the EvalBase union accumulator, reused epoch to epoch.
+	scratch *sketch.Sketch
 }
 
 // NewSum returns a Sum aggregate with the paper's defaults.
@@ -76,6 +79,25 @@ func (a *Sum) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
+// NewSynopsis implements SynopsisRecycler.
+func (a *Sum) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
+
+// ConvertInto implements SynopsisRecycler: Convert into a recycled sketch.
+func (a *Sum) ConvertInto(epoch, owner int, p float64, dst *sketch.Sketch) *sketch.Sketch {
+	dst.Reset()
+	units := int64(math.Round(p * a.Scale))
+	dst.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), units)
+	return dst
+}
+
+// DecodeSynopsisInto implements SynopsisRecycler.
+func (a *Sum) DecodeSynopsisInto(data []byte, dst *sketch.Sketch) (*sketch.Sketch, error) {
+	if err := dst.LoadWire(data); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // AppendSynopsis implements Aggregate: the raw K-bitmap FM sketch, exactly
 // K 32-bit words.
 func (a *Sum) AppendSynopsis(dst []byte, s *sketch.Sketch) []byte {
@@ -94,11 +116,11 @@ func (a *Sum) EvalBase(treeParts []float64, syns []*sketch.Sketch) float64 {
 		total += p
 	}
 	if len(syns) > 0 {
-		u := syns[0].Clone()
-		for _, s := range syns[1:] {
-			u.Union(s)
+		if a.scratch == nil {
+			a.scratch = sketch.New(a.K)
 		}
-		total += u.Estimate() / a.Scale
+		sketch.UnionInto(a.scratch, syns...)
+		total += a.scratch.Estimate() / a.Scale
 	}
 	return total
 }
@@ -119,6 +141,9 @@ func (a *Sum) Exact(vs []float64) float64 {
 type Count struct {
 	Seed uint64
 	K    int
+
+	// scratch is the EvalBase union accumulator, reused epoch to epoch.
+	scratch *sketch.Sketch
 }
 
 // NewCount returns a Count aggregate with the paper's defaults.
@@ -162,6 +187,24 @@ func (a *Count) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
+// NewSynopsis implements SynopsisRecycler.
+func (a *Count) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
+
+// ConvertInto implements SynopsisRecycler: Convert into a recycled sketch.
+func (a *Count) ConvertInto(epoch, owner int, p int64, dst *sketch.Sketch) *sketch.Sketch {
+	dst.Reset()
+	dst.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), p)
+	return dst
+}
+
+// DecodeSynopsisInto implements SynopsisRecycler.
+func (a *Count) DecodeSynopsisInto(data []byte, dst *sketch.Sketch) (*sketch.Sketch, error) {
+	if err := dst.LoadWire(data); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // AppendSynopsis implements Aggregate: the raw K-bitmap FM bit vector of
 // Figure 3, exactly K 32-bit words.
 func (a *Count) AppendSynopsis(dst []byte, s *sketch.Sketch) []byte {
@@ -181,11 +224,11 @@ func (a *Count) EvalBase(treeParts []int64, syns []*sketch.Sketch) float64 {
 	}
 	total := float64(exact)
 	if len(syns) > 0 {
-		u := syns[0].Clone()
-		for _, s := range syns[1:] {
-			u.Union(s)
+		if a.scratch == nil {
+			a.scratch = sketch.New(a.K)
 		}
-		total += u.Estimate()
+		sketch.UnionInto(a.scratch, syns...)
+		total += a.scratch.Estimate()
 	}
 	return total
 }
@@ -324,6 +367,10 @@ type Average struct {
 	Seed  uint64
 	K     int
 	Scale float64
+
+	// scratchSum/scratchCount are the EvalBase union accumulators, reused
+	// epoch to epoch.
+	scratchSum, scratchCount *sketch.Sketch
 }
 
 // NewAverage returns an Average aggregate with the paper's defaults. The
@@ -378,6 +425,37 @@ func (a *Average) Fuse(acc, in AvgSynopsis) AvgSynopsis {
 	return acc
 }
 
+// NewSynopsis implements SynopsisRecycler.
+func (a *Average) NewSynopsis() AvgSynopsis {
+	return AvgSynopsis{Sum: sketch.New(a.K), Count: sketch.New(a.K)}
+}
+
+// ConvertInto implements SynopsisRecycler: Convert into a recycled synopsis.
+func (a *Average) ConvertInto(epoch, owner int, p AvgPartial, dst AvgSynopsis) AvgSynopsis {
+	dst.Sum.Reset()
+	dst.Count.Reset()
+	seed := xrand.Hash(a.Seed, uint64(epoch))
+	dst.Sum.AddCount(seed, uint64(owner), int64(math.Round(p.Sum*a.Scale)))
+	dst.Count.AddCount(xrand.Combine(seed, 0xC07), uint64(owner), p.Count)
+	return dst
+}
+
+// DecodeSynopsisInto implements SynopsisRecycler.
+func (a *Average) DecodeSynopsisInto(data []byte, dst AvgSynopsis) (AvgSynopsis, error) {
+	r := wire.NewReader(data)
+	half := sketch.WireBytes(a.K)
+	if d := r.Take(half); d != nil {
+		_ = dst.Sum.LoadWire(d) // length is exact by construction
+	}
+	if d := r.Take(half); d != nil {
+		_ = dst.Count.LoadWire(d)
+	}
+	if err := r.Finish(); err != nil {
+		return AvgSynopsis{}, err
+	}
+	return dst, nil
+}
+
 // AppendSynopsis implements Aggregate: the Sum and Count sketches
 // back-to-back, 2K words.
 func (a *Average) AppendSynopsis(dst []byte, s AvgSynopsis) []byte {
@@ -401,14 +479,18 @@ func (a *Average) EvalBase(treeParts []AvgPartial, syns []AvgSynopsis) float64 {
 		count += float64(p.Count)
 	}
 	if len(syns) > 0 {
-		us := syns[0].Sum.Clone()
-		uc := syns[0].Count.Clone()
-		for _, s := range syns[1:] {
-			us.Union(s.Sum)
-			uc.Union(s.Count)
+		if a.scratchSum == nil {
+			a.scratchSum = sketch.New(a.K)
+			a.scratchCount = sketch.New(a.K)
 		}
-		sum += us.Estimate() / a.Scale
-		count += uc.Estimate()
+		a.scratchSum.CopyFrom(syns[0].Sum)
+		a.scratchCount.CopyFrom(syns[0].Count)
+		for _, s := range syns[1:] {
+			a.scratchSum.Union(s.Sum)
+			a.scratchCount.Union(s.Count)
+		}
+		sum += a.scratchSum.Estimate() / a.Scale
+		count += a.scratchCount.Estimate()
 	}
 	if count == 0 {
 		return 0

@@ -13,7 +13,7 @@ package network
 
 import (
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"tributarydelta/internal/topo"
 	"tributarydelta/internal/wire"
@@ -193,13 +193,25 @@ func (n *Net) Delivered(epoch, attempt, from, to int) bool {
 // Words and PacketsSent are derived from them, so the accounting can never
 // drift from what was actually transmitted.
 //
-// All Add* methods and aggregate accessors are safe for concurrent use —
-// the concurrent transport backends record receive-side accounting from
-// many node goroutines at once. The exported counter slices may be read
-// directly only once the writers have quiesced (e.g. after an epoch
-// barrier or a completed run).
+// Concurrency contract (the mutex that guarded every counter in an earlier
+// revision measurably slowed the TAG hot path, so the accounting is now
+// lock-free and split by writer):
+//
+//   - The transmit-side mutators (AddTxBytes, AddLoss) must be called from
+//     one goroutine at a time — the runner's dispatch goroutine, exactly
+//     mirroring the Transport.Deliver contract. They use plain adds, which
+//     is what keeps per-transmission recording nearly free.
+//   - The receive-side mutators (AddRxBytes, AddInboxDrop) are safe for
+//     concurrent use — transport backends record them from many node
+//     worker goroutines at once — and use atomic adds.
+//   - The exported counter slices and the transmit-side accessors
+//     (TotalWords, TotalBytes, TotalLosses, TotalPackets, Max*, AvgWords)
+//     may be read only once the transmit writer has quiesced (after an
+//     epoch barrier or a completed run). Readers that race a running epoch
+//     — a streaming consumer polling a session's stats — use Snapshot,
+//     which returns the totals Publish atomically published at the last
+//     epoch boundary plus live receive-side sums.
 type Stats struct {
-	mu            sync.Mutex
 	Transmissions []int64 // radio sends (one per broadcast or unicast attempt)
 	Words         []int64 // 32-bit words of payload transmitted
 	Bytes         []int64 // encoded payload bytes transmitted
@@ -221,10 +233,34 @@ type Stats struct {
 	RxBytes []int64
 	// LevelBytes[l] is the total encoded bytes transmitted by senders
 	// scheduled at level l (ring level, or tree depth in pure-tree mode).
-	// The slice grows on demand as levels are observed.
+	// The slice is preallocated to one slot per node — the deepest possible
+	// schedule — so recording never grows it; levels never observed stay
+	// zero.
 	LevelBytes []int64
 	// LevelWords is the word-denominated companion of LevelBytes.
 	LevelWords []int64
+
+	// Plain running totals maintained by the transmit writer alongside the
+	// per-node counters, so Publish is a handful of stores instead of a
+	// sweep.
+	txWords, txBytes, txLosses int64
+	// Published totals: the transmit writer's totals as of the last Publish,
+	// readable at any time.
+	pubWords, pubBytes, pubLosses atomic.Int64
+}
+
+// StatsSnapshot is a race-free point-in-time view of a Stats accumulator's
+// totals: the transmit side as of the last Publish (the runner publishes at
+// every epoch boundary), the receive side live.
+type StatsSnapshot struct {
+	// Words and Bytes total the transmitted payload.
+	Words, Bytes int64
+	// Losses totals failed delivery attempts.
+	Losses int64
+	// InboxDrops totals bounded-inbox overflow drops.
+	InboxDrops int64
+	// RxFrames totals frames processed by receiver runtimes.
+	RxFrames int64
 }
 
 // NewStats returns zeroed stats for n nodes.
@@ -238,57 +274,76 @@ func NewStats(n int) *Stats {
 		InboxDrops:    make([]int64, n),
 		RxFrames:      make([]int64, n),
 		RxBytes:       make([]int64, n),
+		LevelBytes:    make([]int64, n),
+		LevelWords:    make([]int64, n),
 	}
 }
 
 // AddTxBytes records one transmission by node v at schedule level `level`
 // carrying an encoded frame of byteLen bytes. Word and packet counts are
-// derived from the byte length.
+// derived from the byte length. A negative level means "no level" and
+// skips the per-level accounting; a level beyond the preallocated slots
+// panics (a schedule level is always below the node count — losing
+// Figure-8-style per-level tables silently would be worse than crashing).
+// Transmit-side: single writer, see the type docs.
 func (s *Stats) AddTxBytes(v, level, byteLen int) {
 	words := wire.Words(byteLen)
-	s.mu.Lock()
 	s.Transmissions[v]++
 	s.Words[v] += int64(words)
 	s.Bytes[v] += int64(byteLen)
 	s.PacketsSent[v] += int64(Packets(words))
+	s.txWords += int64(words)
+	s.txBytes += int64(byteLen)
 	if level >= 0 {
-		for len(s.LevelBytes) <= level {
-			s.LevelBytes = append(s.LevelBytes, 0)
-			s.LevelWords = append(s.LevelWords, 0)
-		}
 		s.LevelBytes[level] += int64(byteLen)
 		s.LevelWords[level] += int64(words)
 	}
-	s.mu.Unlock()
 }
 
-// AddLoss records one failed delivery attempt by sender v.
+// AddLoss records one failed delivery attempt by sender v. Transmit-side:
+// single writer, see the type docs.
 func (s *Stats) AddLoss(v int) {
-	s.mu.Lock()
 	s.Losses[v]++
-	s.mu.Unlock()
+	s.txLosses++
+}
+
+// Publish atomically publishes the transmit-side totals for Snapshot
+// readers. The runner calls it at every epoch boundary; it must be called
+// by the transmit writer (or once it has quiesced).
+func (s *Stats) Publish() {
+	s.pubWords.Store(s.txWords)
+	s.pubBytes.Store(s.txBytes)
+	s.pubLosses.Store(s.txLosses)
+}
+
+// Snapshot returns the published transmit-side totals and live receive-side
+// sums. It is safe at any time, even while an epoch is in flight; after the
+// transmit writer quiesces (and a final Publish) it is exact.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Words:      s.pubWords.Load(),
+		Bytes:      s.pubBytes.Load(),
+		Losses:     s.pubLosses.Load(),
+		InboxDrops: s.atomicSum(s.InboxDrops),
+		RxFrames:   s.atomicSum(s.RxFrames),
+	}
 }
 
 // AddInboxDrop records a frame that reached receiver v but overflowed its
-// bounded inbox.
+// bounded inbox. Receive-side: safe for concurrent use.
 func (s *Stats) AddInboxDrop(v int) {
-	s.mu.Lock()
-	s.InboxDrops[v]++
-	s.mu.Unlock()
+	atomic.AddInt64(&s.InboxDrops[v], 1)
 }
 
 // AddRxBytes records one frame of byteLen encoded bytes processed by
-// receiver v's runtime.
+// receiver v's runtime. Receive-side: safe for concurrent use.
 func (s *Stats) AddRxBytes(v, byteLen int) {
-	s.mu.Lock()
-	s.RxFrames[v]++
-	s.RxBytes[v] += int64(byteLen)
-	s.mu.Unlock()
+	atomic.AddInt64(&s.RxFrames[v], 1)
+	atomic.AddInt64(&s.RxBytes[v], int64(byteLen))
 }
 
+// sum totals a transmit-side slice; callers hold the quiescence contract.
 func (s *Stats) sum(xs []int64) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
 	for _, x := range xs {
 		t += x
@@ -296,9 +351,16 @@ func (s *Stats) sum(xs []int64) int64 {
 	return t
 }
 
+// atomicSum totals a receive-side slice under concurrent writers.
+func (s *Stats) atomicSum(xs []int64) int64 {
+	var t int64
+	for i := range xs {
+		t += atomic.LoadInt64(&xs[i])
+	}
+	return t
+}
+
 func (s *Stats) max(xs []int64) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var m int64
 	for _, x := range xs {
 		if x > m {
@@ -319,11 +381,12 @@ func (s *Stats) TotalBytes() int64 { return s.sum(s.Bytes) }
 func (s *Stats) TotalLosses() int64 { return s.sum(s.Losses) }
 
 // TotalInboxDrops returns the total bounded-inbox overflow drops across all
-// receivers.
-func (s *Stats) TotalInboxDrops() int64 { return s.sum(s.InboxDrops) }
+// receivers. It is safe under concurrent receive-side writers.
+func (s *Stats) TotalInboxDrops() int64 { return s.atomicSum(s.InboxDrops) }
 
-// TotalRxFrames returns the total frames processed by all receivers.
-func (s *Stats) TotalRxFrames() int64 { return s.sum(s.RxFrames) }
+// TotalRxFrames returns the total frames processed by all receivers. It is
+// safe under concurrent receive-side writers.
+func (s *Stats) TotalRxFrames() int64 { return s.atomicSum(s.RxFrames) }
 
 // MaxBytes returns the largest per-node byte count — the byte-denominated
 // "maximum load" of Figure 8.
@@ -339,14 +402,8 @@ func (s *Stats) MaxWords() int64 { return s.max(s.Words) }
 // AvgWords returns the mean per-node word count over nodes 1..n−1 (the
 // sensors; the base station transmits nothing).
 func (s *Stats) AvgWords() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.Words) <= 1 {
 		return 0
 	}
-	var t int64
-	for _, w := range s.Words[1:] {
-		t += w
-	}
-	return float64(t) / float64(len(s.Words)-1)
+	return float64(s.sum(s.Words[1:])) / float64(len(s.Words)-1)
 }

@@ -183,7 +183,7 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestStatsByteAccounting(t *testing.T) {
-	s := NewStats(3)
+	s := NewStats(4)
 	s.AddTxBytes(1, 2, 9)  // 9 bytes = 3 words = 1 packet
 	s.AddTxBytes(1, 3, 49) // 49 bytes = 13 words = 2 packets
 	s.AddTxBytes(2, 2, 0)  // empty frame still costs a packet
@@ -199,12 +199,24 @@ func TestStatsByteAccounting(t *testing.T) {
 	if s.TotalBytes() != 58 || s.MaxBytes() != 58 {
 		t.Fatalf("total/max bytes = %d/%d, want 58/58", s.TotalBytes(), s.MaxBytes())
 	}
+	// The level slices are preallocated to one slot per node (the deepest
+	// possible schedule level is n−1), never grown by recording.
 	if len(s.LevelBytes) != 4 || s.LevelBytes[2] != 9 || s.LevelBytes[3] != 49 {
 		t.Fatalf("level bytes = %v", s.LevelBytes)
 	}
 	if s.LevelWords[2] != 3 || s.LevelWords[3] != 13 {
 		t.Fatalf("level words = %v", s.LevelWords)
 	}
+	// A level at or beyond the slot count is a caller bug and must be loud,
+	// not silently unaccounted.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range level did not panic")
+			}
+		}()
+		s.AddTxBytes(1, 4, 9)
+	}()
 }
 
 func TestStatsEmpty(t *testing.T) {

@@ -1,0 +1,57 @@
+package network
+
+import "testing"
+
+// preLockingTAGBaselineNS is the dev-box BenchmarkEpochCount/TAG median
+// before PR 2 put a mutex on the Stats mutators (~84.5µs per 600-node
+// epoch); the mutex cost ~6% of it. The atomic rewrite must keep the whole
+// per-epoch accounting bill inside the 5% envelope of that baseline, so the
+// TAG hot path can return to its pre-locking speed.
+const preLockingTAGBaselineNS = 84_500
+
+// statsOpsPerTAGEpoch is the accounting work of one 600-node TAG epoch: one
+// AddTxBytes per sensor transmission plus the losses at Global(0.2).
+const statsOpsPerTAGEpoch = 600
+
+// measureStatsEpochNS times the Stats mutator mix of one TAG epoch.
+func measureStatsEpochNS() float64 {
+	s := NewStats(600)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := 1 + i%599
+			s.AddTxBytes(v, v%20, 15)
+			if i%5 == 0 { // ~20% loss accounting
+				s.AddLoss(v)
+			}
+		}
+	})
+	return float64(res.NsPerOp()) * statsOpsPerTAGEpoch
+}
+
+// TestStatsOverheadWithinTAGBudget is the PR 2 regression guard: the atomic
+// Stats path must cost less per TAG epoch than 5% of the pre-locking
+// 84.5µs/epoch baseline — the accounting is the only thing that changed
+// between the 84.5µs and ~90µs builds, so bounding it bounds the scheme.
+// Like the BenchmarkRunEpoch guard, it skips rather than flakes when the
+// machine is too noisy to time reliably.
+func TestStatsOverheadWithinTAGBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("timing guard skipped under the race detector")
+	}
+	a, b := measureStatsEpochNS(), measureStatsEpochNS()
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > lo*1.5 {
+		t.Skipf("timing too noisy to judge (%.0fns vs %.0fns per epoch)", a, b)
+	}
+	budget := 0.05 * preLockingTAGBaselineNS
+	if lo > budget {
+		t.Fatalf("stats accounting costs %.0fns per 600-node TAG epoch, budget %.0fns (5%% of the pre-locking %dns baseline)",
+			lo, budget, preLockingTAGBaselineNS)
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"testing"
 )
 
-// TestStatsConcurrentHammer drives every Stats mutator and aggregate
-// accessor from many goroutines at once. Under `go test -race` this proves
-// the accounting is data-race free; the post-join assertions prove no
-// increment was lost.
+// TestStatsConcurrentHammer drives the accounting under its documented
+// concurrency contract: one transmit writer recording sends, losses and
+// epoch-boundary Publishes, while many receiver goroutines record
+// receive-side counters and many readers take Snapshots and receive-side
+// sums mid-flight. Under `go test -race` this proves the lock-free split is
+// data-race free; the post-join assertions prove no increment was lost.
 func TestStatsConcurrentHammer(t *testing.T) {
 	const (
 		nodes      = 8
@@ -17,23 +19,40 @@ func TestStatsConcurrentHammer(t *testing.T) {
 	)
 	s := NewStats(nodes)
 	var wg sync.WaitGroup
+
+	// The single transmit writer — the role of the runner's dispatch
+	// goroutine — interleaving recording with Publishes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < goroutines*iters; i++ {
+			s.AddTxBytes(i%nodes, i%5, 9)
+			s.AddLoss(i % nodes)
+			if i%100 == 0 {
+				s.Publish()
+			}
+		}
+		s.Publish()
+	}()
+
+	// Concurrent receiver runtimes and mid-flight readers.
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			v := g % nodes
 			for i := 0; i < iters; i++ {
-				s.AddTxBytes(v, i%5, 9)
-				s.AddLoss(v)
 				s.AddInboxDrop(v)
 				s.AddRxBytes(v, 9)
 				if i%50 == 0 {
-					// Aggregate reads race the writers; they only need to
-					// be consistent, not exact, mid-flight.
-					_ = s.TotalBytes()
-					_ = s.TotalLosses()
-					_ = s.MaxWords()
-					_ = s.AvgWords()
+					// Mid-flight reads race the writers; they only need
+					// to be consistent, not exact.
+					snap := s.Snapshot()
+					if snap.Bytes < 0 || snap.Losses < 0 {
+						t.Error("snapshot went negative")
+					}
+					_ = s.TotalInboxDrops()
+					_ = s.TotalRxFrames()
 				}
 			}
 		}(g)
@@ -52,6 +71,11 @@ func TestStatsConcurrentHammer(t *testing.T) {
 	}
 	if got := s.TotalRxFrames(); got != total {
 		t.Fatalf("TotalRxFrames = %d, want %d", got, total)
+	}
+	// After the final Publish, the snapshot is exact.
+	snap := s.Snapshot()
+	if snap.Bytes != total*9 || snap.Losses != total || snap.InboxDrops != total || snap.RxFrames != total {
+		t.Fatalf("final snapshot = %+v", snap)
 	}
 	var tx int64
 	for _, c := range s.Transmissions {

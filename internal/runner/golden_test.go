@@ -34,8 +34,10 @@ const goldenEpochs = 30
 // goldenRuns executes the reference workloads: Count and Sum across all four
 // schemes for seeds 1–3 under 25% global loss. newTransport, when non-nil,
 // substitutes a Transport built over the runner's own Net — the lever that
-// lets the same golden file pin alternative delivery backends.
-func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport) []goldenRun {
+// lets the same golden file pin alternative delivery backends. workers
+// selects the wave engine's pool bound (0 = the GOMAXPROCS default); the
+// golden file is answer-identical at every setting.
+func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport, workers int) []goldenRun {
 	t.Helper()
 	var out []goldenRun
 	for seed := uint64(1); seed <= 3; seed++ {
@@ -43,6 +45,7 @@ func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport) []golde
 		for _, mode := range []Mode{ModeTree, ModeMultipath, ModeTDCoarse, ModeTD} {
 			cr := countRunner(t, f, mode, network.Global{P: 0.25}, seed,
 				func(cfg *Config[struct{}, int64, *sketch.Sketch, float64]) {
+					cfg.Workers = workers
 					if newTransport != nil {
 						cfg.Transport = newTransport(cfg.Net)
 					}
@@ -59,6 +62,7 @@ func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport) []golde
 
 			sr := sumRunner(t, f, mode, network.Global{P: 0.25}, seed,
 				func(cfg *Config[float64, float64, *sketch.Sketch, float64]) {
+					cfg.Workers = workers
 					if newTransport != nil {
 						cfg.Transport = newTransport(cfg.Net)
 					}
@@ -82,7 +86,7 @@ func goldenRuns(t *testing.T, newTransport func(*network.Net) Transport) []golde
 // lossless, so transmitting real bytes must not move a single answer.
 func TestGoldenAnswers(t *testing.T) {
 	path := filepath.Join("testdata", "golden_answers.json")
-	got := goldenRuns(t, nil)
+	got := goldenRuns(t, nil, 1)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -98,6 +102,20 @@ func TestGoldenAnswers(t *testing.T) {
 		return
 	}
 	compareGolden(t, got)
+}
+
+// TestGoldenAnswersParallel pins the level-parallel wave engine against the
+// same golden file as the sequential runner: all four schemes, seeds 1–3,
+// at three worker-pool bounds, bit-identical — the determinism contract
+// that lets the default engine shard waves across however many cores the
+// host has.
+func TestGoldenAnswersParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden file is updated by TestGoldenAnswers")
+	}
+	for _, workers := range []int{1, 3, 8} {
+		compareGolden(t, goldenRuns(t, nil, workers))
+	}
 }
 
 // compareGolden checks got against the pinned golden file.

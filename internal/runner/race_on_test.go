@@ -1,0 +1,8 @@
+//go:build race
+
+package runner
+
+// raceEnabled reports whether the race detector is instrumenting this build
+// — allocation and timing guards skip under it, since instrumentation
+// allocates and slows what they measure.
+const raceEnabled = true

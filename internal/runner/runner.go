@@ -15,6 +15,15 @@
 // hand-off — but sizes can never drift from reality, and the Transport seam
 // lets a future networked backend replace the in-process simulator.
 //
+// Execution is a level-parallel wave engine: the nodes of one ring level
+// are independent (synopsis diffusion's own observation), so each level's
+// envelope construction and frame decoding shard across a bounded worker
+// pool while delivery — the part whose order defines the schedule — stays
+// on one dispatch goroutine. Every stochastic decision is a pure function
+// of (seed, epoch, ids) split through internal/xrand, so answers are
+// bit-identical across worker counts, including the sequential Workers=1
+// engine.
+//
 // The runner also maintains ground truth: every envelope is accompanied by
 // a bitset of the sensors actually represented in it, so experiments can
 // separate communication error from approximation error (Table 1's error
@@ -27,7 +36,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sync"
+	"runtime"
+	"time"
 
 	"tributarydelta/internal/aggregate"
 	"tributarydelta/internal/network"
@@ -75,7 +85,10 @@ type Config[V, P, S, R any] struct {
 	Tree  *topo.Tree
 	Net   *network.Net
 	Agg   aggregate.Aggregate[V, P, S, R]
-	// Value supplies node readings per epoch (the stream of §2).
+	// Value supplies node readings per epoch (the stream of §2). It must be
+	// safe for concurrent calls with distinct nodes — the wave engine builds
+	// a level's envelopes in parallel. The pure-function workloads used
+	// everywhere satisfy this for free.
 	Value func(epoch, node int) V
 	Mode  Mode
 	// Threshold is the user-specified minimum contributing fraction
@@ -121,11 +134,14 @@ type Config[V, P, S, R any] struct {
 	// transport backend lets its receive-side accounting land next to the
 	// runner's send-side accounting.
 	Stats *network.Stats
-	// Parallel processes each level's nodes on goroutines — one per sensor,
-	// as sensor nodes are naturally concurrent. Results are bit-identical
-	// to the sequential schedule because every stochastic decision is a
-	// pure function of (seed, epoch, ids) — see internal/xrand.
-	Parallel bool
+	// Workers bounds the wave engine's worker pool: each level's
+	// independent nodes shard across up to Workers goroutines for envelope
+	// construction and frame decoding. 0 selects GOMAXPROCS; 1 runs every
+	// wave inline on the calling goroutine (the sequential engine).
+	// Answers are bit-identical across worker counts — every stochastic
+	// decision is a pure function of (seed, epoch, ids), see
+	// internal/xrand.
+	Workers int
 }
 
 // EpochResult is one collection round's outcome.
@@ -170,22 +186,20 @@ type Runner[V, P, S, R any] struct {
 	sensors    int // reachable sensors (the denominator of % contributing)
 	words      int // bitset words per envelope
 	// lastContributors is the ground-truth bitset of the most recent epoch,
-	// exposed for diagnostics and tests.
+	// exposed for diagnostics and tests; it is overwritten by the next
+	// epoch.
 	lastContributors []uint64
 	// transport carries encoded frames (the simulator unless overridden);
 	// marker is its optional epoch-barrier extension, resolved once.
 	transport Transport
 	marker    EpochMarker
-	// encBuf, payloadBuf and contribBuf are the dispatch scratch buffers:
-	// dispatch runs sequentially, so one set of buffers serves every
-	// transmission with zero steady-state allocation.
-	encBuf     []byte
-	payloadBuf []byte
-	contribBuf []byte
+	// rec is the aggregate's optional synopsis-recycling fast path,
+	// resolved once; nil falls back to the allocating Convert/Decode.
+	rec aggregate.SynopsisRecycler[P, S]
 	// contribArena backs every node's ground-truth contributor bitset for
 	// one epoch: node v owns contribArena[v*words:(v+1)*words]. The regions
-	// are disjoint, so the Parallel schedule writes them race-free, and the
-	// arena is cleared (not reallocated) between epochs.
+	// are disjoint, so the parallel build phase writes them race-free, and
+	// the arena is cleared (not reallocated) between epochs.
 	contribArena []uint64
 	// byLevel is the static transmission schedule: the participating nodes
 	// of each level (participation and scheduling levels never change
@@ -195,17 +209,144 @@ type Runner[V, P, S, R any] struct {
 	// kept) so steady-state epochs append envelopes without reallocating.
 	inbox [][]envelope[P, S]
 	// envScratch holds one level's outgoing envelopes; buildEnvelope fully
-	// overwrites each slot, and dispatch copies what receivers keep, so the
-	// buffer is safely recycled level to level.
+	// overwrites each slot, and the fill phase copies what receivers keep,
+	// so the buffer is safely recycled level to level.
 	envScratch []envelope[P, S]
-	// skPool recycles the contributing-Count sketches decoded from frames:
-	// they are runner-owned, consumed within the epoch, and never escape to
-	// aggregates, so a per-epoch pool is safe.
-	skPool contribSketchPool
+	// frames holds one level's encoded outgoing frames and, for frames that
+	// reached at least one receiver, their decoded shared envelope.
+	frames []frameSlot[P, S]
+	// arrivals is the level's delivery record in schedule order — the
+	// deterministic sequence the fill phase appends receiver inboxes in.
+	arrivals []arrival
+
+	// Wave engine state.
+	workers int
+	ws      []*workerState[P, S]
+	// startCh/doneCh coordinate the helper goroutines: a task on startCh
+	// carries the shard closure and a shard id; every completed shard
+	// answers on doneCh. Helpers retire when startCh closes — explicitly
+	// via Close, or through cleanup when an unclosed runner is collected.
+	startCh chan waveTask
+	doneCh  chan struct{}
+	cleanup runtime.Cleanup
+	// shardFn is the one closure binding the helpers to this runner's
+	// phase state, created once.
+	shardFn func(w int)
+	spawned int // live helper goroutines (this epoch)
+	// curPhase/curEpoch/curNodes/curStride describe the engaged phase for
+	// the helpers; written before the startCh sends that publish them.
+	curPhase  int
+	curEpoch  int
+	curNodes  []int
+	curStride int
+	// phaseNS estimates the sequential per-item cost of each parallel phase
+	// (EWMA of measured wall time) — the gate that keeps cheap waves (a TAG
+	// level of trivial integer folds) inline instead of paying wake-up
+	// latency for no win. phaseTick counts parallel engagements per phase:
+	// every probeEvery-th one runs inline instead, so the estimate is
+	// periodically re-anchored to a true sequential measurement (a parallel
+	// measurement scaled by the stride overestimates sequential cost on an
+	// oversubscribed host, where shards serialize anyway).
+	phaseNS   [2]float64
+	phaseTick [2]int
+
+	// Base-station evaluation scratch, reused epoch to epoch so the
+	// steady-state loop allocates nothing.
+	baseCS           *sketch.Sketch
+	baseTreeParts    []P
+	baseSyns         []S
+	baseContrib      []uint64
+	baseChildContrib map[int]int64
+	baseTopNC        []int
+}
+
+// Wave phases.
+const (
+	phaseBuild  = iota // construct + encode a level's envelopes
+	phaseDecode        // decode the level's delivered frames (once per frame)
+)
+
+// minParallelPhaseNS is the estimated sequential phase cost below which a
+// wave runs inline: waking helpers costs a few microseconds, so a phase
+// must have at least this much divisible work before parallelism can win.
+const minParallelPhaseNS = 24000
+
+// probeEvery is how often an engaged phase runs inline anyway, to
+// re-anchor the cost estimate with a true sequential measurement.
+const probeEvery = 64
+
+// arrival records one successful delivery: receiver and the index of the
+// sender's frame in the level's frame table.
+type arrival struct {
+	to, frame int32
+}
+
+// waveTask is one helper engagement: run fn(w), or retire when fn is nil.
+type waveTask struct {
+	fn func(w int)
+	w  int
+}
+
+// waveWorkerLoop is a helper goroutine's body: process shard tasks until
+// the task channel closes. It is a plain function of its channels (not a
+// method), so an idle helper keeps only the channels alive — never the
+// runner — which is what lets a cleanup close the channel and retire the
+// helpers once the runner itself is unreachable.
+func waveWorkerLoop(startCh chan waveTask, doneCh chan struct{}) {
+	for t := range startCh {
+		t.fn(t.w)
+		doneCh <- struct{}{}
+	}
+}
+
+// frameSlot is one sender's encoded frame plus its decoded envelope. A
+// broadcast is decoded once and the envelope struct shared among its
+// receivers — fusion treats inputs as read-only, so this is
+// indistinguishable from per-receiver decoding and keeps decode work linear
+// in frames, not deliveries.
+type frameSlot[P, S any] struct {
+	buf    []byte
+	env    envelope[P, S]
+	needed bool
+}
+
+// workerState is one wave worker's private scratch: the reusable decode
+// arena, the recycled contributing-Count and synopsis pools, the outgoing
+// top-NC buffer and the encode buffers. Workers never share scratch, so the
+// parallel phases run without locks; pools reset each epoch.
+type workerState[P, S any] struct {
+	dec        wire.Decoder
+	skPool     contribSketchPool
+	synPool    []S
+	synNext    int
+	topNC      []int
+	payloadBuf []byte
+	contribBuf []byte
+}
+
+// getSyn hands out a recycled synopsis from the worker's pool.
+func (w *workerState[P, S]) getSyn(rec aggregate.SynopsisRecycler[P, S]) S {
+	if w.synNext < len(w.synPool) {
+		s := w.synPool[w.synNext]
+		w.synNext++
+		return s
+	}
+	s := rec.NewSynopsis()
+	w.synPool = append(w.synPool, s)
+	w.synNext++
+	return s
+}
+
+// resetEpoch prepares the worker's pools for a new epoch.
+func (w *workerState[P, S]) resetEpoch() {
+	w.dec.Reset()
+	w.skPool.reset()
+	w.synNext = 0
 }
 
 // contribSketchPool hands out ContribK-bitmap sketches, recycling them each
-// epoch.
+// epoch. Pool entries are fully overwritten at reuse (LoadWire or Reset),
+// never assumed clean.
 type contribSketchPool struct {
 	k     int
 	items []*sketch.Sketch
@@ -233,9 +374,11 @@ func (p *contribSketchPool) get() *sketch.Sketch {
 //
 // The runner calls Deliver from a single dispatch goroutine, level by level
 // (deepest first) and, for tree unicasts, once per retransmission attempt
-// in increasing attempt order. Returning false means the frame was lost
-// whole — there is no partial delivery — and the runner records the failed
-// attempt in Stats.Losses.
+// in increasing attempt order — the wave engine parallelizes envelope
+// construction and frame decoding around the delivery phase, never the
+// delivery phase itself. Returning false means the frame was lost whole —
+// there is no partial delivery — and the runner records the failed attempt
+// in Stats.Losses.
 type Transport interface {
 	// Deliver reports whether the attempt-th transmission of frame by
 	// `from` during `epoch` reached `to`. Implementations must not retain
@@ -355,6 +498,7 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		r.transport = simTransport{net: cfg.Net}
 	}
 	r.marker, _ = r.transport.(EpochMarker)
+	r.rec, _ = cfg.Agg.(aggregate.SynopsisRecycler[P, S])
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
 	}
@@ -388,8 +532,71 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 			}
 		}
 	}
-	r.skPool.k = cfg.ContribK
+	r.SetWorkers(cfg.Workers)
 	return r, nil
+}
+
+// SetWorkers re-bounds the wave engine's worker pool: n <= 0 selects
+// GOMAXPROCS, 1 the sequential inline engine. Answers do not depend on the
+// worker count. It must not be called while an epoch is in flight (the
+// deployment pool applies its budget between rounds).
+func (r *Runner[V, P, S, R]) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	r.workers = n
+	for len(r.ws) < n {
+		r.ws = append(r.ws, &workerState[P, S]{
+			skPool: contribSketchPool{k: r.cfg.ContribK},
+			topNC:  make([]int, 0, r.topKCap()+1),
+		})
+	}
+	// Retire the current helper generation when it no longer fits: its
+	// channel is too small for a grown bound, or a shrunken bound leaves
+	// surplus helpers idle forever (runPhase can never dispatch more than
+	// workers−1 tasks, so the surplus would just sit on 8KB stacks).
+	// Closing the channel retires all of them; the needed ones respawn
+	// lazily. SetWorkers transitions are rare (pool rebalances).
+	if r.startCh != nil && (cap(r.startCh) < n || r.spawned > n-1) {
+		r.cleanup.Stop()
+		close(r.startCh)
+		r.startCh, r.doneCh, r.spawned = nil, nil, 0
+	}
+	if n > 1 && r.startCh == nil {
+		r.startCh = make(chan waveTask, n)
+		r.doneCh = make(chan struct{}, n)
+		// Helpers persist between epochs (spawning is not free, and the
+		// steady-state loop must not allocate); they hold only the
+		// channels, so this cleanup retires them if an unclosed runner is
+		// collected. Close retires them deterministically.
+		r.cleanup = runtime.AddCleanup(r, func(ch chan waveTask) { close(ch) }, r.startCh)
+	}
+	if r.shardFn == nil {
+		r.shardFn = func(w int) {
+			r.phaseShard(r.curPhase, r.curEpoch, r.curNodes, w, r.curStride)
+		}
+	}
+}
+
+// Workers returns the wave engine's current worker bound.
+func (r *Runner[V, P, S, R]) Workers() int { return r.workers }
+
+// Close retires the wave engine's helper goroutines. It must not overlap a
+// running epoch; it is idempotent, and a closed runner may still run epochs
+// (they fall back to the sequential engine until SetWorkers re-arms the
+// pool). Runners that are simply dropped without Close are also fine — a
+// GC cleanup retires their helpers — but long-lived processes that hold
+// closed sessions should not wait on the collector.
+func (r *Runner[V, P, S, R]) Close() {
+	if r.startCh == nil {
+		return
+	}
+	r.cleanup.Stop()
+	close(r.startCh)
+	r.startCh = nil
+	r.doneCh = nil
+	r.spawned = 0
+	r.workers = 1
 }
 
 // participates reports whether sensor v takes part in aggregation (reachable
@@ -429,9 +636,11 @@ func (r *Runner[V, P, S, R]) ExactAnswer(epoch int) R {
 	return r.cfg.Agg.Exact(vs)
 }
 
-// contribSeed namespaces the piggyback sketch per epoch.
+// contribSeed namespaces the piggyback sketch's hash sub-stream per epoch;
+// per-node disjointness comes from the owner ids folded into every
+// insertion (see xrand.Split).
 func (r *Runner[V, P, S, R]) contribSeed(epoch int) uint64 {
-	return xrand.Hash(r.cfg.Seed, 0xCB, uint64(epoch))
+	return xrand.Split(r.cfg.Seed, 0xCB, uint64(epoch))
 }
 
 // topKCap is how many NC values envelopes carry: at least the controller's
@@ -500,54 +709,82 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 			r.inbox[v] = r.inbox[v][:0]
 		}
 	}
-	inbox := r.inbox
 	if r.contribArena == nil {
 		r.contribArena = make([]uint64, n*r.words)
 	} else {
 		clear(r.contribArena)
 	}
-	r.skPool.reset()
+	for _, ws := range r.ws[:r.workers] {
+		ws.resetEpoch()
+	}
 
 	// Nodes transmit level by level toward the base station, deepest first
-	// (§2). Envelope construction per node only reads the node's own inbox,
-	// so a level's nodes can be processed concurrently; deliveries are
-	// dispatched afterwards to keep inbox appends race-free.
+	// (§2): build+encode the level's envelopes (parallel wave), dispatch
+	// deliveries in schedule order (sequential — order defines the
+	// schedule), decode the delivered frames once each (parallel wave), and
+	// fill receiver inboxes in delivery order.
 	for level := r.maxLevel; level >= 1; level-- {
 		nodes := r.byLevel[level]
+		if len(nodes) == 0 {
+			continue
+		}
 		if cap(r.envScratch) < len(nodes) {
 			r.envScratch = make([]envelope[P, S], len(nodes))
 		}
-		envs := r.envScratch[:len(nodes)]
-		if r.cfg.Parallel {
-			var wg sync.WaitGroup
-			for i, v := range nodes {
-				wg.Add(1)
-				go func(i, v int) {
-					defer wg.Done()
-					r.buildEnvelope(epoch, v, inbox[v], &envs[i])
-				}(i, v)
-			}
-			wg.Wait()
-		} else {
-			for i, v := range nodes {
-				r.buildEnvelope(epoch, v, inbox[v], &envs[i])
-			}
+		if cap(r.frames) < len(nodes) {
+			grown := make([]frameSlot[P, S], len(nodes))
+			copy(grown, r.frames[:cap(r.frames)])
+			r.frames = grown
 		}
+		envs := r.envScratch[:len(nodes)]
+		frames := r.frames[:len(nodes)]
+
+		r.runPhase(phaseBuild, epoch, nodes)
+
+		r.arrivals = r.arrivals[:0]
 		for i, v := range nodes {
-			r.dispatch(epoch, v, &envs[i], inbox)
+			r.deliver(epoch, v, i, &envs[i], frames)
+		}
+
+		r.runPhase(phaseDecode, epoch, nodes)
+
+		for _, a := range r.arrivals {
+			r.inbox[a.to] = append(r.inbox[a.to], frames[a.frame].env)
+		}
+		for i := range frames {
+			frames[i].needed = false
 		}
 	}
 
-	// Base station evaluation (§2's SE; exact combine for tree partials).
-	var treeParts []P
-	var syns []S
+	res := r.evalBase(epoch)
+	r.Stats.Publish()
+	return res
+}
+
+// evalBase is the base station's §2 evaluation (SE; exact combine for tree
+// partials) plus the §4.2 adaptation decision on period boundaries. All its
+// scratch is runner-owned and recycled, so steady-state epochs allocate
+// nothing here.
+func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
+	treeParts := r.baseTreeParts[:0]
+	syns := r.baseSyns[:0]
 	var exactContrib int64
-	cs := sketch.New(r.cfg.ContribK)
-	var topNC []int
+	if r.baseCS == nil {
+		r.baseCS = sketch.New(r.cfg.ContribK)
+		r.baseContrib = make([]uint64, r.words)
+		r.baseChildContrib = make(map[int]int64)
+		r.baseTopNC = make([]int, 0, r.topKCap()+1)
+	}
+	cs := r.baseCS
+	cs.Reset()
+	contributors := r.baseContrib
+	clear(contributors)
+	baseChildContrib := r.baseChildContrib
+	clear(baseChildContrib)
+	topNC := r.baseTopNC[:0]
 	minNC, ncValid := 0, false
-	contributors := make([]uint64, r.words)
-	baseChildContrib := make(map[int]int64)
-	for _, e := range inbox[topo.Base] {
+	for i := range r.inbox[topo.Base] {
+		e := &r.inbox[topo.Base][i]
 		if e.isTree {
 			treeParts = append(treeParts, e.p)
 			exactContrib += e.contribTree
@@ -568,6 +805,8 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 	answer := r.cfg.Agg.EvalBase(treeParts, syns)
 	estContrib := float64(exactContrib) + cs.Estimate()
 	r.lastContributors = contributors
+	r.baseTreeParts = treeParts
+	r.baseSyns = syns
 
 	res := EpochResult[R]{
 		Epoch:       epoch,
@@ -595,6 +834,7 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 		}
 		ncValid = true
 	}
+	r.baseTopNC = topNC[:0]
 
 	// Adaptation period: the base station compares % contributing against
 	// the threshold and broadcasts a switch directive (§4.2).
@@ -624,10 +864,97 @@ func (r *Runner[V, P, S, R]) Run(epochs int) []EpochResult[R] {
 	return out
 }
 
+// runPhase executes one parallel wave phase over the level's nodes: on the
+// calling goroutine alone when the estimated sequential cost is below the
+// wake-up break-even (or Workers is 1), across the helper pool otherwise.
+// The shard assignment (i ≡ w mod stride) depends only on the worker bound
+// and the level width — never on whether helpers were engaged — so each
+// worker state's pools see a stable node subset and reach a fixed
+// steady-state size even as the adaptive gate flips a level between inline
+// and parallel execution. (Results don't depend on the assignment either
+// way: every scratch object is fully overwritten at reuse.)
+func (r *Runner[V, P, S, R]) runPhase(phase, epoch int, nodes []int) {
+	stride := r.workers
+	if stride > len(nodes) {
+		stride = len(nodes)
+	}
+	engage := stride > 1 && r.phaseNS[phase]*float64(len(nodes)) >= minParallelPhaseNS
+	if engage {
+		r.phaseTick[phase]++
+		engage = r.phaseTick[phase]%probeEvery != 0
+	}
+	if !engage {
+		start := time.Now()
+		for w := 0; w < stride; w++ {
+			r.phaseShard(phase, epoch, nodes, w, stride)
+		}
+		r.observePhase(phase, len(nodes), time.Since(start))
+		return
+	}
+	r.ensureWorkers()
+	r.curPhase, r.curEpoch, r.curNodes, r.curStride = phase, epoch, nodes, stride
+	for w := 1; w < stride; w++ {
+		r.startCh <- waveTask{fn: r.shardFn, w: w}
+	}
+	r.phaseShard(phase, epoch, nodes, 0, stride)
+	for w := 1; w < stride; w++ {
+		<-r.doneCh
+	}
+}
+
+// observePhase updates the per-item sequential cost estimate (EWMA). Only
+// inline runs feed it — parallel wall time is not a clean sequential
+// signal (dividing by concurrency assumes the shards actually ran
+// concurrently, which an oversubscribed host does not deliver), so engaged
+// phases refresh the estimate through the periodic inline probe instead.
+func (r *Runner[V, P, S, R]) observePhase(phase, items int, elapsed time.Duration) {
+	per := float64(elapsed.Nanoseconds()) / float64(items)
+	if r.phaseNS[phase] == 0 {
+		r.phaseNS[phase] = per
+		return
+	}
+	r.phaseNS[phase] = 0.75*r.phaseNS[phase] + 0.25*per
+}
+
+// ensureWorkers lazily spawns the helper goroutines (workers−1 of them; the
+// dispatch goroutine is worker 0). Helpers persist until the runner's
+// cleanup closes their task channel.
+func (r *Runner[V, P, S, R]) ensureWorkers() {
+	for r.spawned < r.workers-1 {
+		r.spawned++
+		go waveWorkerLoop(r.startCh, r.doneCh)
+	}
+}
+
+// phaseShard runs worker w's share (i ≡ w mod stride) of a phase.
+func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, w, stride int) {
+	ws := r.ws[w]
+	envs := r.envScratch[:len(nodes)]
+	frames := r.frames[:len(nodes)]
+	switch phase {
+	case phaseBuild:
+		for i := w; i < len(nodes); i += stride {
+			v := nodes[i]
+			r.buildEnvelope(ws, epoch, v, r.inbox[v], &envs[i])
+			r.encodeFrame(ws, epoch, &envs[i], &frames[i])
+		}
+	case phaseDecode:
+		for i := w; i < len(nodes); i += stride {
+			f := &frames[i]
+			if !f.needed {
+				continue
+			}
+			r.decodeFrame(ws, f.buf, &f.env)
+			f.env.contributors = envs[i].contributors
+		}
+	}
+}
+
 // buildEnvelope assembles node v's outgoing partial result from its own
-// reading and its inbox into *out. The contributor bitset lives in the
-// runner's per-epoch arena — node-disjoint, so concurrent levels are safe.
-func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S], out *envelope[P, S]) {
+// reading and its inbox into *out, drawing every recycled object from the
+// calling worker's private scratch. The contributor bitset lives in the
+// runner's per-epoch arena — node-disjoint, so concurrent shards are safe.
+func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, in []envelope[P, S], out *envelope[P, S]) {
 	agg := r.cfg.Agg
 	own := agg.Local(epoch, v, r.cfg.Value(r.valueEpoch(epoch, v), v))
 	contributors := r.contribArena[v*r.words : (v+1)*r.words]
@@ -659,16 +986,17 @@ func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S], ou
 	// Multi-path vertex: start from the conversion of the node's own local
 	// result, fuse incoming synopses, and convert incoming tree partials at
 	// the tributary/delta boundary (§5, Figure 3).
-	s := agg.Convert(epoch, v, own)
-	cs := sketch.New(r.cfg.ContribK)
+	s := r.convert(ws, epoch, v, own)
+	cs := ws.skPool.get()
+	cs.Reset()
 	cs.AddCount(r.contribSeed(epoch), uint64(v), 1)
 	subtreeContrib := int64(1)
-	var topNC []int
+	topNC := ws.topNC[:0]
 	minNC, ncValid := 0, false
 	for i := range in {
 		e := &in[i]
 		if e.isTree {
-			s = agg.Fuse(s, agg.Convert(epoch, e.from, e.p))
+			s = agg.Fuse(s, r.convert(ws, epoch, e.from, e.p))
 			cs.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
 			subtreeContrib += e.contribTree
 		} else {
@@ -705,74 +1033,97 @@ func (r *Runner[V, P, S, R]) buildEnvelope(epoch, v int, in []envelope[P, S], ou
 	}
 }
 
-// encodeFrame serializes v's outgoing envelope into the runner's scratch
-// buffer and returns the framed bytes. The returned slice is valid until
-// the next encodeFrame call.
-func (r *Runner[V, P, S, R]) encodeFrame(epoch int, env *envelope[P, S]) []byte {
+// convert applies the tree→multi-path conversion, through the recycling
+// fast path when the aggregate offers one. The returned synopsis lives
+// until the worker's pools reset at the next epoch.
+func (r *Runner[V, P, S, R]) convert(ws *workerState[P, S], epoch, owner int, p P) S {
+	if r.rec != nil {
+		return r.rec.ConvertInto(epoch, owner, p, ws.getSyn(r.rec))
+	}
+	return r.cfg.Agg.Convert(epoch, owner, p)
+}
+
+// encodeFrame serializes v's outgoing envelope into the level's frame slot
+// using the worker's encode scratch. The slot buffer persists until the
+// level's deliveries and decodes are done.
+func (r *Runner[V, P, S, R]) encodeFrame(ws *workerState[P, S], epoch int, env *envelope[P, S], slot *frameSlot[P, S]) {
 	we := wire.Envelope{Epoch: uint32(epoch), From: uint32(env.from)}
 	if env.isTree {
 		we.Kind = wire.KindTree
 		we.Contrib = env.contribTree
-		r.payloadBuf = r.cfg.Agg.AppendPartial(r.payloadBuf[:0], env.p)
+		ws.payloadBuf = r.cfg.Agg.AppendPartial(ws.payloadBuf[:0], env.p)
 	} else {
 		we.Kind = wire.KindSynopsis
-		r.contribBuf = env.contribSk.AppendWire(r.contribBuf[:0])
-		we.ContribSketch = r.contribBuf
+		ws.contribBuf = env.contribSk.AppendWire(ws.contribBuf[:0])
+		we.ContribSketch = ws.contribBuf
 		we.TopNC = env.topNC
 		we.MinNC = env.minNC
 		we.NCValid = env.ncValid
-		r.payloadBuf = r.cfg.Agg.AppendSynopsis(r.payloadBuf[:0], env.s)
+		ws.payloadBuf = r.cfg.Agg.AppendSynopsis(ws.payloadBuf[:0], env.s)
 	}
-	we.Payload = r.payloadBuf
-	r.encBuf = wire.AppendEnvelope(r.encBuf[:0], &we)
-	return r.encBuf
+	we.Payload = ws.payloadBuf
+	slot.buf = wire.AppendEnvelope(slot.buf[:0], &we)
 }
 
-// decodeFrame reconstructs an envelope from received bytes into *dst. The
-// runner produced the frame itself, so a decode failure is a codec bug, not
-// a network condition — it panics rather than silently dropping data.
-func (r *Runner[V, P, S, R]) decodeFrame(frame []byte, dst *envelope[P, S]) {
-	we, err := wire.DecodeEnvelope(frame)
+// decodeFrame reconstructs an envelope from received bytes into *dst, fully
+// overwriting every field (slots are recycled level to level). The runner
+// produced the frame itself, so a decode failure is a codec bug, not a
+// network condition — it panics rather than silently dropping data.
+func (r *Runner[V, P, S, R]) decodeFrame(ws *workerState[P, S], frame []byte, dst *envelope[P, S]) {
+	we, err := ws.dec.Decode(frame)
 	if err != nil {
 		panic(fmt.Sprintf("runner: corrupt frame: %v", err))
 	}
+	var zeroP P
+	var zeroS S
 	dst.from = int(we.From)
 	switch we.Kind {
 	case wire.KindTree:
-		dst.isTree = true
 		p, err := r.cfg.Agg.DecodePartial(we.Payload)
 		if err != nil {
 			panic(fmt.Sprintf("runner: corrupt tree partial from %d: %v", dst.from, err))
 		}
+		dst.isTree = true
 		dst.p = p
 		dst.contribTree = we.Contrib
+		dst.s = zeroS
+		dst.contribSk = nil
+		dst.topNC = nil
+		dst.minNC = 0
+		dst.ncValid = false
 	case wire.KindSynopsis:
-		s, err := r.cfg.Agg.DecodeSynopsis(we.Payload)
+		var s S
+		if r.rec != nil {
+			s, err = r.rec.DecodeSynopsisInto(we.Payload, ws.getSyn(r.rec))
+		} else {
+			s, err = r.cfg.Agg.DecodeSynopsis(we.Payload)
+		}
 		if err != nil {
 			panic(fmt.Sprintf("runner: corrupt synopsis from %d: %v", dst.from, err))
 		}
-		cs := r.skPool.get()
+		cs := ws.skPool.get()
 		if err := cs.LoadWire(we.ContribSketch); err != nil {
 			panic(fmt.Sprintf("runner: corrupt contributing sketch from %d: %v", dst.from, err))
 		}
+		dst.isTree = false
 		dst.s = s
 		dst.contribSk = cs
 		dst.topNC = we.TopNC
 		dst.minNC = we.MinNC
 		dst.ncValid = we.NCValid
+		dst.p = zeroP
+		dst.contribTree = 0
 	}
 }
 
-// dispatch transmits v's envelope as an encoded frame: unicast with
-// retransmissions toward the tree parent for T vertices, a single broadcast
-// up the rings for M vertices. Energy accounting charges the encoded byte
-// length of every radio transmission; a lost frame is dropped whole, and
-// receivers decode the actual bytes. A broadcast is decoded once and the
-// result shared among its receivers — fusion treats inputs as read-only, so
-// this is indistinguishable from per-receiver decoding and keeps the
-// simulator's hot path linear in deliveries, not in decode work.
-func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [][]envelope[P, S]) {
-	frame := r.encodeFrame(epoch, env)
+// deliver transmits v's already-encoded frame: unicast with retransmissions
+// toward the tree parent for T vertices, a single broadcast up the rings
+// for M vertices. Energy accounting charges the encoded byte length of
+// every radio transmission; a lost frame is dropped whole. Successful
+// deliveries are recorded as arrivals (decoded and filled into receiver
+// inboxes by the following phases, in exactly this order).
+func (r *Runner[V, P, S, R]) deliver(epoch, v, idx int, env *envelope[P, S], frames []frameSlot[P, S]) {
+	frame := frames[idx].buf
 	level := r.schedLevel[v]
 	if env.isTree {
 		parent := r.cfg.Tree.Parent[v]
@@ -782,10 +1133,8 @@ func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [
 		for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
 			r.Stats.AddTxBytes(v, level, len(frame))
 			if r.transport.Deliver(epoch, attempt, v, parent, frame) {
-				inbox[parent] = append(inbox[parent], envelope[P, S]{})
-				recv := &inbox[parent][len(inbox[parent])-1]
-				r.decodeFrame(frame, recv)
-				recv.contributors = env.contributors
+				frames[idx].needed = true
+				r.arrivals = append(r.arrivals, arrival{to: int32(parent), frame: int32(idx)})
 				break
 			}
 			r.Stats.AddLoss(v)
@@ -793,19 +1142,13 @@ func (r *Runner[V, P, S, R]) dispatch(epoch, v int, env *envelope[P, S], inbox [
 		return
 	}
 	r.Stats.AddTxBytes(v, level, len(frame)) // one broadcast, many potential receivers
-	var recv envelope[P, S]
-	decoded := false
 	for _, u := range r.cfg.Rings.Up[v] {
 		if !r.state.IsM(u) {
 			continue // T vertices ignore synopses (Edge Correctness)
 		}
 		if r.transport.Deliver(epoch, 0, v, u, frame) {
-			if !decoded {
-				r.decodeFrame(frame, &recv)
-				recv.contributors = env.contributors
-				decoded = true
-			}
-			inbox[u] = append(inbox[u], recv)
+			frames[idx].needed = true
+			r.arrivals = append(r.arrivals, arrival{to: int32(u), frame: int32(idx)})
 		} else {
 			r.Stats.AddLoss(v)
 		}

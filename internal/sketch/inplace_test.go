@@ -1,0 +1,112 @@
+package sketch
+
+import "testing"
+
+// The in-place APIs (Reset, CopyFrom, UnionInto) are the zero-copy merge
+// substrate of the epoch engine's hot loop: they must be bit-equivalent to
+// the allocating Clone/Union forms and must not allocate.
+
+func TestResetClearsAllBitmaps(t *testing.T) {
+	s := New(16)
+	for i := uint64(0); i < 500; i++ {
+		s.Insert(1, i)
+	}
+	if s.Empty() {
+		t.Fatal("sketch should be populated before Reset")
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Fatal("Reset left bits set")
+	}
+	if s.Estimate() != 0 {
+		t.Fatalf("reset sketch estimates %v, want 0", s.Estimate())
+	}
+}
+
+func TestCopyFromMatchesClone(t *testing.T) {
+	src := New(24)
+	for i := uint64(0); i < 300; i++ {
+		src.Insert(7, i)
+	}
+	dst := New(24)
+	dst.Insert(9, 1) // stale bits that CopyFrom must fully overwrite
+	dst.CopyFrom(src)
+	want := src.Clone()
+	for m := 0; m < 24; m++ {
+		if dst.bitmaps[m] != want.bitmaps[m] {
+			t.Fatalf("bitmap %d: CopyFrom %x != Clone %x", m, dst.bitmaps[m], want.bitmaps[m])
+		}
+	}
+	// Deep copy: mutating dst must not touch src.
+	dst.Insert(11, 99)
+	for m := range src.bitmaps {
+		if src.bitmaps[m] != want.bitmaps[m] {
+			t.Fatal("CopyFrom aliased the source bitmaps")
+		}
+	}
+}
+
+func TestCopyFromPanicsOnMismatchedK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom of mismatched K did not panic")
+		}
+	}()
+	New(8).CopyFrom(New(16))
+}
+
+func TestUnionIntoMatchesCloneUnion(t *testing.T) {
+	mk := func(seed uint64) *Sketch {
+		s := New(40)
+		for i := uint64(0); i < 200; i++ {
+			s.Insert(seed, i)
+		}
+		return s
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	want := a.Clone()
+	want.Union(b)
+	want.Union(c)
+
+	dst := New(40)
+	dst.Insert(5, 5) // stale bits: UnionInto overwrites, it does not fold
+	UnionInto(dst, a, b, c)
+	for m := range want.bitmaps {
+		if dst.bitmaps[m] != want.bitmaps[m] {
+			t.Fatalf("bitmap %d: UnionInto %x != Clone+Union %x", m, dst.bitmaps[m], want.bitmaps[m])
+		}
+	}
+	// Sources must be untouched.
+	check := mk(2)
+	for m := range b.bitmaps {
+		if b.bitmaps[m] != check.bitmaps[m] {
+			t.Fatal("UnionInto mutated a source sketch")
+		}
+	}
+}
+
+func TestUnionIntoDstAmongSources(t *testing.T) {
+	a, b := New(16), New(16)
+	a.Insert(1, 1)
+	b.Insert(2, 2)
+	want := a.Clone()
+	want.Union(b)
+	UnionInto(a, a, b) // dst appears among srcs: fold, don't clear
+	for m := range want.bitmaps {
+		if a.bitmaps[m] != want.bitmaps[m] {
+			t.Fatalf("bitmap %d: in-place fold %x != %x", m, a.bitmaps[m], want.bitmaps[m])
+		}
+	}
+}
+
+func TestUnionIntoZeroAlloc(t *testing.T) {
+	a, b, dst := New(40), New(40), New(40)
+	for i := uint64(0); i < 100; i++ {
+		a.Insert(1, i)
+		b.Insert(2, i)
+	}
+	srcs := []*Sketch{a, b}
+	if n := testing.AllocsPerRun(100, func() { UnionInto(dst, srcs...) }); n != 0 {
+		t.Fatalf("UnionInto allocates %v per run, want 0", n)
+	}
+}

@@ -78,6 +78,23 @@ func (s *Sketch) Clone() *Sketch {
 	return c
 }
 
+// Reset clears every bitmap, returning the sketch to its freshly-constructed
+// state without releasing its storage — the recycling primitive behind the
+// epoch engine's per-worker sketch pools.
+func (s *Sketch) Reset() {
+	clear(s.bitmaps)
+}
+
+// CopyFrom overwrites s's bitmaps with other's without allocating. It panics
+// if the sketches have different K.
+func (s *Sketch) CopyFrom(other *Sketch) {
+	if len(s.bitmaps) != len(other.bitmaps) {
+		panic(fmt.Sprintf("sketch: copy of mismatched sketches (%d vs %d bitmaps)",
+			len(s.bitmaps), len(other.bitmaps)))
+	}
+	copy(s.bitmaps, other.bitmaps)
+}
+
 // Empty reports whether no insertion has touched the sketch.
 func (s *Sketch) Empty() bool {
 	for _, b := range s.bitmaps {
@@ -177,6 +194,30 @@ func Union(a, b *Sketch) *Sketch {
 	c := a.Clone()
 	c.Union(b)
 	return c
+}
+
+// UnionInto overwrites dst with the union of srcs — the zero-copy ⊕ fast
+// path of the epoch hot loop: where Clone-then-Union allocates a sketch per
+// merge chain, UnionInto reuses a caller-owned scratch sketch and ORs the
+// source bitmaps into it word by word. dst may itself appear among srcs (its
+// prior contents are folded in rather than cleared). All sketches must share
+// dst's K; mismatches panic like Union.
+func UnionInto(dst *Sketch, srcs ...*Sketch) {
+	keep := false
+	for _, s := range srcs {
+		if s == dst {
+			keep = true
+			break
+		}
+	}
+	if !keep {
+		dst.Reset()
+	}
+	for _, s := range srcs {
+		if s != dst {
+			dst.Union(s)
+		}
+	}
 }
 
 // lowestZero returns the index of the lowest unset bit of bitmap m (the FM

@@ -107,11 +107,15 @@ func New(net *network.Net, opts Options) *Chan {
 }
 
 // run is node v's runtime: drain the inbox until it closes, processing each
-// frame in arrival order.
+// frame in arrival order. Each worker owns one wire.Decoder, reset per
+// frame — the zero-allocation receive path (OnFrame must not retain the
+// envelope, so the scratch never outlives a frame).
 func (c *Chan) run(v int) {
 	defer close(c.done[v])
+	var dec wire.Decoder
 	for d := range c.inboxes[v] {
-		c.process(v, d)
+		c.process(v, &dec, d)
+		dec.Reset()
 		c.pending.Done()
 	}
 }
@@ -119,8 +123,8 @@ func (c *Chan) run(v int) {
 // process validates and accounts one received frame. The transport carries
 // only frames the runner encoded itself, so a decode failure is a codec or
 // corruption bug and panics rather than silently dropping data.
-func (c *Chan) process(v int, d delivery) {
-	env, err := wire.DecodeEnvelope(d.frame)
+func (c *Chan) process(v int, dec *wire.Decoder, d delivery) {
+	env, err := dec.Decode(d.frame)
 	if err != nil {
 		panic(fmt.Sprintf("transport: node %d received corrupt frame from %d: %v", v, d.from, err))
 	}

@@ -75,8 +75,37 @@ func AppendEnvelope(dst []byte, e *Envelope) []byte {
 
 // DecodeEnvelope parses a frame produced by AppendEnvelope. The returned
 // envelope's byte fields alias data. Trailing bytes, unknown versions and
-// unknown kinds are errors.
+// unknown kinds are errors. Each call allocates the TopNC slice afresh; hot
+// receive loops decode through a reusable Decoder instead.
 func DecodeEnvelope(data []byte) (Envelope, error) {
+	var d Decoder
+	return d.Decode(data)
+}
+
+// Decoder decodes envelopes with reusable scratch: the TopNC values of every
+// decoded envelope are carved out of one growing arena instead of a fresh
+// allocation per frame, so a steady-state receive loop decodes with zero
+// allocations. The zero value is ready to use; a Decoder must not be shared
+// between goroutines (the epoch engine keeps one per worker).
+//
+// Lifetime contract: the TopNC slices (and the byte fields, which alias the
+// input data) of every envelope returned since the last Reset stay valid
+// until the next Reset — the arena only ever grows between Resets, and
+// growth copies, leaving earlier views intact.
+type Decoder struct {
+	topNC []int
+}
+
+// Reset releases the decoder's scratch for reuse. Envelopes decoded before
+// the Reset must no longer be read.
+func (d *Decoder) Reset() {
+	d.topNC = d.topNC[:0]
+}
+
+// Decode parses a frame produced by AppendEnvelope, drawing TopNC storage
+// from the decoder's arena. See the Decoder type docs for the lifetime
+// contract; errors match DecodeEnvelope's.
+func (d *Decoder) Decode(data []byte) (Envelope, error) {
 	r := NewReader(data)
 	var e Envelope
 	if v := r.Byte(); r.Err() == nil && v != Version {
@@ -99,10 +128,11 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 		if e.NCValid {
 			n := r.Count(1)
 			if n > 0 {
-				e.TopNC = make([]int, n)
-				for i := range e.TopNC {
-					e.TopNC[i] = int(r.Varint())
+				base := len(d.topNC)
+				for i := 0; i < n; i++ {
+					d.topNC = append(d.topNC, int(r.Varint()))
 				}
+				e.TopNC = d.topNC[base:]
 			}
 			e.MinNC = int(r.Varint())
 		}

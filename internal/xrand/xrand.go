@@ -40,6 +40,18 @@ func Hash(seed uint64, ids ...uint64) uint64 {
 	return h
 }
 
+// Split derives the seed of a statistically independent sub-stream from a
+// parent seed and the identifiers of the entity owning the sub-stream — the
+// splittable-RNG discipline that makes the level-parallel epoch engine
+// deterministic: every node (and every epoch) draws from its own
+// (seed, ids...) sub-stream, so the bits a node consumes are a pure function
+// of identity, never of scheduling order or worker count. Split(seed, ids...)
+// is Hash(seed, ids...) by definition; the separate name documents intent
+// (namespacing a stream) versus Hash's (consuming one value).
+func Split(seed uint64, ids ...uint64) uint64 {
+	return Hash(seed, ids...)
+}
+
 // Float64 maps a hash to the half-open interval [0, 1).
 func Float64(h uint64) float64 {
 	return float64(h>>11) / (1 << 53)

@@ -1,0 +1,69 @@
+package tributarydelta_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	td "tributarydelta"
+)
+
+// measureEpochNS times one steady-state 600-node Count epoch for the given
+// scheme and wave-engine worker bound.
+func measureEpochNS(b testing.TB, scheme td.Scheme, workers int) float64 {
+	dep := td.NewSyntheticDeployment(1, 600)
+	dep.SetGlobalLoss(0.2)
+	s, err := td.Open(dep, td.Count(), td.WithScheme(scheme), td.WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	epoch := 0
+	for ; epoch < 20; epoch++ { // warm pools, buffers and the phase gate
+		s.RunEpoch(epoch)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.RunEpoch(epoch)
+			epoch++
+		}
+	})
+	return float64(res.NsPerOp())
+}
+
+// TestParallelOverheadGuard is the CI smoke check that parallelism never
+// silently rots: the wave engine at Workers=4 must stay within 10% of the
+// sequential engine even on a starved host (CI runners may have one usable
+// core, where workers cost wake-ups and buy nothing — the adaptive phase
+// gate is what keeps that affordable). On multi-core hosts the same bound
+// holds trivially, since workers then win outright. Opt-in via
+// TD_BENCH_SMOKE=1 (it costs seconds); skips when timing is too noisy to
+// judge, like the other perf guards.
+func TestParallelOverheadGuard(t *testing.T) {
+	if os.Getenv("TD_BENCH_SMOKE") == "" {
+		t.Skip("set TD_BENCH_SMOKE=1 to run the benchmark smoke guard")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD} {
+		// Interleave two samples of each configuration and judge on the
+		// minima — both sides get the same protection against a one-off GC
+		// pause or scheduler hiccup inflating a sample.
+		seq1 := measureEpochNS(t, scheme, 1)
+		par1 := measureEpochNS(t, scheme, 4)
+		seq2 := measureEpochNS(t, scheme, 1)
+		par2 := measureEpochNS(t, scheme, 4)
+		if hi, lo := math.Max(seq1, seq2), math.Min(seq1, seq2); hi > lo*1.3 {
+			t.Logf("%v: timing too noisy to judge (%.0f vs %.0f ns/op sequential), skipping", scheme, seq1, seq2)
+			continue
+		}
+		base := math.Min(seq1, seq2)
+		par := math.Min(par1, par2)
+		t.Logf("%v: sequential %.0f ns/op, workers=4 %.0f ns/op (ratio %.3f)", scheme, base, par, par/base)
+		if par > base*1.10 {
+			t.Errorf("%v: workers=4 epoch %.0f ns/op exceeds sequential %.0f ns/op by more than 10%%",
+				scheme, par, base)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // hosted is what a pool entry advances: one scalar session or a query set,
@@ -24,6 +25,7 @@ type hosted interface {
 	sensors() int
 	queries() []string
 	poolStats() SessionStats
+	setWorkers(n int)
 	close()
 }
 
@@ -36,6 +38,7 @@ func (h hostedSession) runEpoch(epoch int) SetRound {
 func (h hostedSession) sensors() int            { return h.s.Sensors() }
 func (h hostedSession) queries() []string       { return []string{h.s.QueryName()} }
 func (h hostedSession) poolStats() SessionStats { return h.s.Stats() }
+func (h hostedSession) setWorkers(n int)        { h.s.SetWorkers(n) }
 func (h hostedSession) close()                  { h.s.Close() }
 
 // hostedSet adapts a query set to the hosted contract.
@@ -55,12 +58,21 @@ func (h hostedSet) poolStats() SessionStats {
 	}
 	return total
 }
-func (h hostedSet) close() { h.qs.Close() }
+func (h hostedSet) setWorkers(n int) { h.qs.SetWorkers(n) }
+func (h hostedSet) close()           { h.qs.Close() }
 
 // Pool hosts many independent deployments — scalar sessions or query sets —
 // and advances them concurrently under a shared worker budget. All methods
 // are safe for concurrent use. The pool owns the sessions and sets added to
 // it: Remove (and Close) closes them.
+//
+// The budget governs two levels of parallelism: at most Workers deployments
+// advance at once, and each hosted deployment's intra-epoch wave engine
+// (see WithWorkers) is re-bounded to max(1, Workers/deployments) — so one
+// hosted deployment on an idle pool keeps full per-epoch parallelism,
+// while a full pool degrades every deployment to the sequential engine
+// instead of oversubscribing the machine. Rebalanced bounds apply at each
+// deployment's next round; answers never depend on them.
 type Pool struct {
 	workers int
 	sem     chan struct{}
@@ -77,6 +89,11 @@ type poolEntry struct {
 	next   int // next epoch number
 	last   SetRound
 	closed bool
+	// workers is the pool-assigned wave-engine bound (the shared budget
+	// divided across hosted deployments); runLocked applies a change at the
+	// next round, so rebalancing never blocks on an in-flight run.
+	workers        atomic.Int64
+	appliedWorkers int
 }
 
 // DeploymentStatus is a point-in-time snapshot of one hosted deployment.
@@ -120,7 +137,24 @@ func (p *Pool) add(id string, h hosted) error {
 		return fmt.Errorf("tributarydelta: pool: deployment %q already exists", id)
 	}
 	p.entries[id] = &poolEntry{h: h}
+	p.rebalanceLocked()
 	return nil
+}
+
+// rebalanceLocked re-divides the worker budget across the hosted
+// deployments. Caller holds p.mu; the new bounds are applied lazily by each
+// entry's next round.
+func (p *Pool) rebalanceLocked() {
+	if len(p.entries) == 0 {
+		return
+	}
+	per := p.workers / len(p.entries)
+	if per < 1 {
+		per = 1
+	}
+	for _, e := range p.entries {
+		e.workers.Store(int64(per))
+	}
 }
 
 // Add registers scalar session s under id. The pool takes ownership of the
@@ -147,6 +181,7 @@ func (p *Pool) Remove(id string) bool {
 	p.mu.Lock()
 	e, ok := p.entries[id]
 	delete(p.entries, id)
+	p.rebalanceLocked()
 	p.mu.Unlock()
 	if !ok {
 		return false
@@ -199,6 +234,10 @@ func (p *Pool) Status(id string) (DeploymentStatus, bool) {
 
 // runLocked advances one deployment by rounds epochs. Caller holds e.mu.
 func (e *poolEntry) runLocked(rounds int) []SetRound {
+	if w := int(e.workers.Load()); w > 0 && w != e.appliedWorkers {
+		e.h.setWorkers(w)
+		e.appliedWorkers = w
+	}
 	out := make([]SetRound, 0, rounds)
 	for i := 0; i < rounds; i++ {
 		res := e.h.runEpoch(e.next)

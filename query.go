@@ -57,6 +57,7 @@ type openConfig struct {
 	retransmits   int
 	topK          int
 	pipelined     bool
+	workers       int
 	set           *QuerySet
 }
 
@@ -112,6 +113,15 @@ func WithTopK(k int) Option { return func(c *openConfig) { c.topK = k } }
 // WithPipelined runs the §2 pipelined collection: one result per level slot
 // once the pipeline fills, mixing readings across a window of epochs.
 func WithPipelined(on bool) Option { return func(c *openConfig) { c.pipelined = on } }
+
+// WithWorkers bounds the session's level-parallel wave engine: each epoch
+// level's independent nodes shard across up to n goroutines for envelope
+// construction and frame decoding. n <= 0 (and the default) selects
+// GOMAXPROCS; 1 selects the sequential engine. Answers are bit-identical
+// across worker counts — parallelism is purely a throughput knob. Sessions
+// hosted in a Pool have their bound re-divided by the pool's budget; see
+// Pool.
+func WithWorkers(n int) Option { return func(c *openConfig) { c.workers = n } }
 
 // InSet opens the session as a member of set: it shares the set's
 // network — one loss realization per epoch across every member — and the
@@ -203,14 +213,19 @@ func (e runnerEngine[V, P, S, A, R]) runEpoch(epoch int) Result[R] {
 func (e runnerEngine[V, P, S, A, R]) exact(epoch int) R { return e.conv(e.r.ExactAnswer(epoch)) }
 func (e runnerEngine[V, P, S, A, R]) sensors() int      { return e.r.Sensors() }
 func (e runnerEngine[V, P, S, A, R]) deltaSize() int    { return e.r.State().DeltaSize() }
+func (e runnerEngine[V, P, S, A, R]) setWorkers(n int)  { e.r.SetWorkers(n) }
+func (e runnerEngine[V, P, S, A, R]) close()            { e.r.Close() }
 func (e runnerEngine[V, P, S, A, R]) stats() SessionStats {
-	st := e.r.Stats
+	// Snapshot is the race-free view: transmit-side totals as published at
+	// the last epoch boundary, receive side live — safe to call while a
+	// stream is producing.
+	snap := e.r.Stats.Snapshot()
 	return SessionStats{
-		TotalWords: st.TotalWords(),
-		TotalBytes: st.TotalBytes(),
-		Losses:     st.TotalLosses(),
-		InboxDrops: st.TotalInboxDrops(),
-		RxFrames:   st.TotalRxFrames(),
+		TotalWords: snap.Words,
+		TotalBytes: snap.Bytes,
+		Losses:     snap.Losses,
+		InboxDrops: snap.InboxDrops,
+		RxFrames:   snap.RxFrames,
 	}
 }
 
@@ -236,6 +251,7 @@ func buildEngine[V, P, S, A, R any](env *openEnv, agg aggregate.Aggregate[V, P, 
 		Seed:            env.cfg.seed,
 		Transport:       env.tr,
 		Stats:           env.stats,
+		Workers:         env.cfg.workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,94 @@
+package tributarydelta_test
+
+import (
+	"testing"
+
+	td "tributarydelta"
+)
+
+// TestQuerySetParallelWorkers drives a 4-query set over the level-parallel
+// wave engine with an oversized worker pool for 50 epochs — the facade-level
+// race workout of the engine (run under -race in CI) — and pins that the
+// answers match a Workers=1 set run over the same deployment and seed.
+func TestQuerySetParallelWorkers(t *testing.T) {
+	run := func(workers int) []td.SetRound {
+		dep := td.NewSyntheticDeployment(1, 250)
+		dep.SetGlobalLoss(0.2)
+		qs := dep.NewQuerySet(7)
+		defer qs.Close()
+		val := func(_, node int) float64 { return float64(node % 50) }
+		if _, err := td.Open(dep, td.Count(), td.InSet(qs), td.WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := td.Open(dep, td.Sum(val), td.InSet(qs), td.WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := td.Open(dep, td.Average(val), td.InSet(qs), td.WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := td.Open(dep, td.Min(val), td.InSet(qs), td.WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return qs.Run(0, 50)
+	}
+	seq := run(1)
+	par := run(8)
+	if len(par) != 50 || len(seq) != 50 {
+		t.Fatalf("rounds: %d parallel, %d sequential", len(par), len(seq))
+	}
+	for e := range par {
+		for m := range par[e].Results {
+			ps := par[e].Results[m].(td.Result[float64])
+			ss := seq[e].Results[m].(td.Result[float64])
+			if ps.Answer != ss.Answer || ps.TrueContrib != ss.TrueContrib {
+				t.Fatalf("epoch %d member %d: Workers=8 diverged from Workers=1 (%v vs %v)",
+					e, m, ps.Answer, ss.Answer)
+			}
+		}
+	}
+}
+
+// TestPoolDividesWorkerBudget pins the pool/wave-engine interaction: a
+// hosted deployment's intra-epoch parallelism is re-bounded to the pool
+// budget divided by the number of deployments, applied at its next round —
+// and the rebounds never move answers.
+func TestPoolDividesWorkerBudget(t *testing.T) {
+	mkSession := func(seed uint64) *td.Session[float64] {
+		dep := td.NewSyntheticDeployment(seed, 150)
+		dep.SetGlobalLoss(0.1)
+		s, err := td.Open(dep, td.Count(), td.WithScheme(td.SchemeTD), td.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Reference: the same deployment run standalone.
+	ref := mkSession(3)
+	want := ref.Run(0, 8)
+	ref.Close()
+
+	p := td.NewPool(4)
+	defer p.Close()
+	if err := p.Add("a", mkSession(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunDeployment("a", 4); err != nil { // sole deployment: full budget
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		if err := p.Add(id, mkSession(uint64(len(id))+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rounds, err := p.RunDeployment("a", 4) // budget now divided 4 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rounds {
+		got := r.Results[0].(td.Result[float64])
+		if got.Answer != want[4+i].Answer {
+			t.Fatalf("epoch %d: answer moved after budget rebalance (%v vs %v)",
+				4+i, got.Answer, want[4+i].Answer)
+		}
+	}
+}
