@@ -20,9 +20,11 @@ import (
 const (
 	benchNodes = 600
 	benchLoss  = 0.2
-	// benchWarmup epochs grow every pool and buffer (and settle the
-	// adaptive phase gate) before timing starts.
-	benchWarmup = 30
+	// benchWarmup epochs grow every pool and buffer, settle the adaptive
+	// phase gate AND let the TD delta reach its oscillating equilibrium
+	// (expansions before that relabel vertices and legitimately grow frame
+	// buffers, which would read as steady-state allocation).
+	benchWarmup = 200
 	// benchSamples batches of benchBatch epochs each are timed; the median
 	// batch is reported, making the artifact robust to scheduler noise.
 	benchSamples = 9
@@ -39,9 +41,13 @@ type BenchResult struct {
 	NsPerOp int64 `json:"nsPerOp"`
 	// AllocsPerOp is the steady-state heap allocations per epoch.
 	AllocsPerOp float64 `json:"allocsPerOp"`
+	// BytesPerEpoch is the mean radio bytes transmitted per epoch (from the
+	// session's wire-derived accounting), so the artifact tracks energy cost
+	// next to latency.
+	BytesPerEpoch float64 `json:"bytesPerEpoch"`
 }
 
-// BenchArtifact is the BENCH_4.json document.
+// BenchArtifact is the BENCH_5.json document.
 type BenchArtifact struct {
 	// GeneratedBy records the producing command.
 	GeneratedBy string `json:"generatedBy"`
@@ -81,6 +87,7 @@ func benchOne(scheme td.Scheme, workers int) (BenchResult, error) {
 
 	samples := make([]time.Duration, 0, benchSamples)
 	var ms0, ms1 runtime.MemStats
+	bytes0 := s.Stats().TotalBytes
 	runtime.ReadMemStats(&ms0)
 	for i := 0; i < benchSamples; i++ {
 		start := time.Now()
@@ -91,14 +98,16 @@ func benchOne(scheme td.Scheme, workers int) (BenchResult, error) {
 		samples = append(samples, time.Since(start))
 	}
 	runtime.ReadMemStats(&ms1)
+	bytes1 := s.Stats().TotalBytes
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	median := samples[len(samples)/2]
 	measured := benchSamples * benchBatch
 	return BenchResult{
-		Scheme:      scheme.String(),
-		Workers:     workers,
-		NsPerOp:     median.Nanoseconds() / benchBatch,
-		AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(measured),
+		Scheme:        scheme.String(),
+		Workers:       workers,
+		NsPerOp:       median.Nanoseconds() / benchBatch,
+		AllocsPerOp:   float64(ms1.Mallocs-ms0.Mallocs) / float64(measured),
+		BytesPerEpoch: float64(bytes1-bytes0) / float64(measured),
 	}, nil
 }
 
@@ -120,8 +129,8 @@ func runBench(path string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-10s workers=%d  %10d ns/op  %7.1f allocs/op\n",
-				res.Scheme, res.Workers, res.NsPerOp, res.AllocsPerOp)
+			fmt.Printf("%-10s workers=%d  %10d ns/op  %7.1f allocs/op  %9.0f bytes/epoch\n",
+				res.Scheme, res.Workers, res.NsPerOp, res.AllocsPerOp, res.BytesPerEpoch)
 			art.Results = append(art.Results, res)
 		}
 	}

@@ -98,6 +98,29 @@ type SynopsisRecycler[P, S any] interface {
 	DecodeSynopsisInto(data []byte, dst S) (S, error)
 }
 
+// SynopsisMemoizer is an optional extension alongside SynopsisRecycler:
+// aggregates whose conversion is a pure function of (seed, owner, partial)
+// within a hash-reseeding window implement it, and the epoch engine then
+// caches each node's converted base synopsis across epochs, skipping the
+// sketch insertion work (for Sum, the Considine binomial simulation)
+// entirely while the node's partial holds still.
+//
+// Semantics: SynopsisEpochKey(e1) == SynopsisEpochKey(e2) must guarantee
+// that Convert(e1, o, p) and Convert(e2, o, p) are bit-identical for every
+// (o, p); PartialEqual(a, b) must guarantee Convert(e, o, a) and
+// Convert(e, o, b) are bit-identical; CopySynopsisInto must leave dst
+// bit-identical to src (fully overwritten) and return dst. Local must be
+// epoch-independent for the engine's own-reading cache to be sound.
+type SynopsisMemoizer[P, S any] interface {
+	// SynopsisEpochKey identifies the epoch's hash-reseeding window; cached
+	// conversions are invalidated when it changes.
+	SynopsisEpochKey(epoch int) uint64
+	// PartialEqual reports whether two partials convert identically.
+	PartialEqual(a, b P) bool
+	// CopySynopsisInto overwrites dst with src and returns dst.
+	CopySynopsisInto(dst, src S) S
+}
+
 // PartialWords returns the message size of a tree partial in 32-bit words,
 // measured from its wire encoding — the only sanctioned way to cost a
 // partial.

@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"tributarydelta/internal/sample"
+	"tributarydelta/internal/wire"
 )
 
 // UniformSample adapts the bottom-k duplicate-insensitive sample of
@@ -54,6 +55,28 @@ func (a *UniformSample) DecodePartial(data []byte) (*sample.Sample, error) {
 // not alias the tree partial, which its producer may keep).
 func (a *UniformSample) Convert(_, _ int, p *sample.Sample) *sample.Sample {
 	return p.Clone()
+}
+
+// NewSynopsis implements SynopsisRecycler.
+func (a *UniformSample) NewSynopsis() *sample.Sample { return sample.New(a.SampleK) }
+
+// ConvertInto implements SynopsisRecycler: the identity conversion into a
+// recycled sample.
+func (a *UniformSample) ConvertInto(_, _ int, p *sample.Sample, dst *sample.Sample) *sample.Sample {
+	dst.CopyFrom(p)
+	return dst
+}
+
+// DecodeSynopsisInto implements SynopsisRecycler.
+func (a *UniformSample) DecodeSynopsisInto(data []byte, dst *sample.Sample) (*sample.Sample, error) {
+	r := wire.NewReader(data)
+	if err := sample.ReadWireInto(r, dst); err != nil {
+		return nil, err
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // Fuse implements Aggregate.

@@ -21,6 +21,14 @@ func decodeFloatPartial(data []byte) (float64, error) {
 // ~12% approximation error visible in Figure 2.
 const DefaultSketchK = 40
 
+// DefaultReseedEvery is the default synopsis hash reseeding period of the
+// sketch-backed aggregates, matching the §4.2 default adaptation period: the
+// hash is fixed within a period (so base synopses are pure functions of
+// (seed, owner, reading) and memoizable across its epochs) and re-drawn
+// between periods (so long-run averages — the adaptation mean, an
+// experiment's RMS error — still see independent FM realizations).
+const DefaultReseedEvery = 10
+
 // Sum aggregates non-negative numeric readings: exact float64 partial sums
 // in the tree, FM count sketches in the delta. Readings are scaled by Scale
 // and rounded before sketch insertion, so the multi-path side carries
@@ -32,13 +40,29 @@ type Sum struct {
 	K int
 	// Scale converts readings to sketch units (units of 1/Scale).
 	Scale float64
+	// ReseedEvery is the hash reseeding period in epochs: within a period
+	// the sketch hash is fixed — Considine-style, installed with the query —
+	// making conversions memoizable; between periods it is re-drawn so
+	// epoch averages de-correlate. 0 never reseeds (one hash for the whole
+	// run).
+	ReseedEvery int
 
 	// scratch is the EvalBase union accumulator, reused epoch to epoch.
 	scratch *sketch.Sketch
 }
 
 // NewSum returns a Sum aggregate with the paper's defaults.
-func NewSum(seed uint64) *Sum { return &Sum{Seed: seed, K: DefaultSketchK, Scale: 1} }
+func NewSum(seed uint64) *Sum {
+	return &Sum{Seed: seed, K: DefaultSketchK, Scale: 1, ReseedEvery: DefaultReseedEvery}
+}
+
+// seedEpochKey maps an epoch to its hash-reseeding period.
+func seedEpochKey(epoch, reseedEvery int) uint64 {
+	if reseedEvery <= 0 {
+		return 0
+	}
+	return uint64(epoch / reseedEvery)
+}
 
 // Name implements Aggregate.
 func (a *Sum) Name() string { return "Sum" }
@@ -66,11 +90,15 @@ func (a *Sum) DecodePartial(data []byte) (float64, error) {
 // Convert implements Aggregate: a subtree sum p becomes round(p·Scale)
 // distinct sketch insertions owned by the converting sender, which is
 // exactly the synopsis the multi-path scheme equates with p.
+//
+// The sketch hash is fixed within a reseeding period (see ReseedEvery), not
+// re-randomized per epoch — as in Considine et al., where every node applies
+// the same hash function h installed with the query. Within a period the
+// synopsis is a pure function of (seed, owner, p), which is what lets the
+// epoch engine memoize base synopses across epochs while a reading holds
+// still.
 func (a *Sum) Convert(epoch, owner int, p float64) *sketch.Sketch {
-	s := sketch.New(a.K)
-	units := int64(math.Round(p * a.Scale))
-	s.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), units)
-	return s
+	return a.ConvertInto(epoch, owner, p, sketch.New(a.K))
 }
 
 // Fuse implements Aggregate.
@@ -86,7 +114,26 @@ func (a *Sum) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
 func (a *Sum) ConvertInto(epoch, owner int, p float64, dst *sketch.Sketch) *sketch.Sketch {
 	dst.Reset()
 	units := int64(math.Round(p * a.Scale))
-	dst.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), units)
+	dst.AddCount(a.sketchSeed(epoch), uint64(owner), units)
+	return dst
+}
+
+// sketchSeed is the hash seed of the Sum synopsis domain for the epoch's
+// reseeding period.
+func (a *Sum) sketchSeed(epoch int) uint64 {
+	return xrand.Hash(a.Seed, 0xF14, seedEpochKey(epoch, a.ReseedEvery))
+}
+
+// SynopsisEpochKey implements SynopsisMemoizer: conversions are stable
+// while the reseeding period is.
+func (a *Sum) SynopsisEpochKey(epoch int) uint64 { return seedEpochKey(epoch, a.ReseedEvery) }
+
+// PartialEqual implements SynopsisMemoizer.
+func (a *Sum) PartialEqual(x, y float64) bool { return x == y }
+
+// CopySynopsisInto implements SynopsisMemoizer.
+func (a *Sum) CopySynopsisInto(dst, src *sketch.Sketch) *sketch.Sketch {
+	dst.CopyFrom(src)
 	return dst
 }
 
@@ -141,13 +188,17 @@ func (a *Sum) Exact(vs []float64) float64 {
 type Count struct {
 	Seed uint64
 	K    int
+	// ReseedEvery is the hash reseeding period in epochs; see Sum.
+	ReseedEvery int
 
 	// scratch is the EvalBase union accumulator, reused epoch to epoch.
 	scratch *sketch.Sketch
 }
 
 // NewCount returns a Count aggregate with the paper's defaults.
-func NewCount(seed uint64) *Count { return &Count{Seed: seed, K: DefaultSketchK} }
+func NewCount(seed uint64) *Count {
+	return &Count{Seed: seed, K: DefaultSketchK, ReseedEvery: DefaultReseedEvery}
+}
 
 // Name implements Aggregate.
 func (a *Count) Name() string { return "Count" }
@@ -174,11 +225,11 @@ func (a *Count) DecodePartial(data []byte) (int64, error) {
 	return p, r.Finish()
 }
 
-// Convert implements Aggregate.
+// Convert implements Aggregate. Like Sum's, the sketch hash is fixed within
+// a reseeding period — the synopsis is a pure function of (seed, owner, p) —
+// so converted partials are memoizable across the period's epochs.
 func (a *Count) Convert(epoch, owner int, p int64) *sketch.Sketch {
-	s := sketch.New(a.K)
-	s.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), p)
-	return s
+	return a.ConvertInto(epoch, owner, p, sketch.New(a.K))
 }
 
 // Fuse implements Aggregate.
@@ -193,7 +244,25 @@ func (a *Count) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
 // ConvertInto implements SynopsisRecycler: Convert into a recycled sketch.
 func (a *Count) ConvertInto(epoch, owner int, p int64, dst *sketch.Sketch) *sketch.Sketch {
 	dst.Reset()
-	dst.AddCount(xrand.Hash(a.Seed, uint64(epoch)), uint64(owner), p)
+	dst.AddCount(a.sketchSeed(epoch), uint64(owner), p)
+	return dst
+}
+
+// sketchSeed is the hash seed of the Count synopsis domain for the epoch's
+// reseeding period.
+func (a *Count) sketchSeed(epoch int) uint64 {
+	return xrand.Hash(a.Seed, 0xF14, seedEpochKey(epoch, a.ReseedEvery))
+}
+
+// SynopsisEpochKey implements SynopsisMemoizer.
+func (a *Count) SynopsisEpochKey(epoch int) uint64 { return seedEpochKey(epoch, a.ReseedEvery) }
+
+// PartialEqual implements SynopsisMemoizer.
+func (a *Count) PartialEqual(x, y int64) bool { return x == y }
+
+// CopySynopsisInto implements SynopsisMemoizer.
+func (a *Count) CopySynopsisInto(dst, src *sketch.Sketch) *sketch.Sketch {
+	dst.CopyFrom(src)
 	return dst
 }
 
@@ -367,6 +436,8 @@ type Average struct {
 	Seed  uint64
 	K     int
 	Scale float64
+	// ReseedEvery is the hash reseeding period in epochs; see Sum.
+	ReseedEvery int
 
 	// scratchSum/scratchCount are the EvalBase union accumulators, reused
 	// epoch to epoch.
@@ -377,7 +448,7 @@ type Average struct {
 // two sketches halve the bitmap budget each so the synopsis still fits one
 // TinyDB packet.
 func NewAverage(seed uint64) *Average {
-	return &Average{Seed: seed, K: DefaultSketchK / 2, Scale: 1}
+	return &Average{Seed: seed, K: DefaultSketchK / 2, Scale: 1, ReseedEvery: DefaultReseedEvery}
 }
 
 // Name implements Aggregate.
@@ -409,13 +480,11 @@ func (a *Average) DecodePartial(data []byte) (AvgPartial, error) {
 	return p, r.Finish()
 }
 
-// Convert implements Aggregate.
+// Convert implements Aggregate. Both sketch hashes are fixed within a
+// reseeding period (see Sum.Convert), so the synopsis is a pure function of
+// (seed, owner, p).
 func (a *Average) Convert(epoch, owner int, p AvgPartial) AvgSynopsis {
-	seed := xrand.Hash(a.Seed, uint64(epoch))
-	syn := AvgSynopsis{Sum: sketch.New(a.K), Count: sketch.New(a.K)}
-	syn.Sum.AddCount(seed, uint64(owner), int64(math.Round(p.Sum*a.Scale)))
-	syn.Count.AddCount(xrand.Combine(seed, 0xC07), uint64(owner), p.Count)
-	return syn
+	return a.ConvertInto(epoch, owner, p, a.NewSynopsis())
 }
 
 // Fuse implements Aggregate.
@@ -434,9 +503,28 @@ func (a *Average) NewSynopsis() AvgSynopsis {
 func (a *Average) ConvertInto(epoch, owner int, p AvgPartial, dst AvgSynopsis) AvgSynopsis {
 	dst.Sum.Reset()
 	dst.Count.Reset()
-	seed := xrand.Hash(a.Seed, uint64(epoch))
+	seed := a.sketchSeed(epoch)
 	dst.Sum.AddCount(seed, uint64(owner), int64(math.Round(p.Sum*a.Scale)))
 	dst.Count.AddCount(xrand.Combine(seed, 0xC07), uint64(owner), p.Count)
+	return dst
+}
+
+// sketchSeed is the hash seed of the Average synopsis domain for the epoch's
+// reseeding period.
+func (a *Average) sketchSeed(epoch int) uint64 {
+	return xrand.Hash(a.Seed, 0xF14, seedEpochKey(epoch, a.ReseedEvery))
+}
+
+// SynopsisEpochKey implements SynopsisMemoizer.
+func (a *Average) SynopsisEpochKey(epoch int) uint64 { return seedEpochKey(epoch, a.ReseedEvery) }
+
+// PartialEqual implements SynopsisMemoizer.
+func (a *Average) PartialEqual(x, y AvgPartial) bool { return x == y }
+
+// CopySynopsisInto implements SynopsisMemoizer.
+func (a *Average) CopySynopsisInto(dst, src AvgSynopsis) AvgSynopsis {
+	dst.Sum.CopyFrom(src.Sum)
+	dst.Count.CopyFrom(src.Count)
 	return dst
 }
 

@@ -88,6 +88,20 @@ func (a *Agg) Fuse(acc, in *Synopsis) *Synopsis {
 	return acc
 }
 
+// NewSynopsis implements aggregate.SynopsisRecycler.
+func (a *Agg) NewSynopsis() *Synopsis { return NewSynopsis() }
+
+// ConvertInto implements aggregate.SynopsisRecycler: the §6.3 conversion
+// into a recycled synopsis.
+func (a *Agg) ConvertInto(epoch, owner int, p *Summary, dst *Synopsis) *Synopsis {
+	return ConvertSummaryInto(p, epoch, owner, a.MP, dst)
+}
+
+// DecodeSynopsisInto implements aggregate.SynopsisRecycler.
+func (a *Agg) DecodeSynopsisInto(data []byte, dst *Synopsis) (*Synopsis, error) {
+	return DecodeWireSynopsisInto(data, a.MP, dst)
+}
+
 // AppendSynopsis implements aggregate.Aggregate.
 func (a *Agg) AppendSynopsis(dst []byte, s *Synopsis) []byte { return s.AppendWire(dst, a.MP) }
 

@@ -63,26 +63,85 @@ func newClassSynopsis(class int, p Params) *ClassSynopsis {
 	}
 }
 
-func (cs *ClassSynopsis) clone() *ClassSynopsis {
-	c := &ClassSynopsis{
-		Class:        cs.Class,
-		NTotal:       cs.NTotal.Clone(),
-		ItemSketches: make(map[Item]*sketch.Sketch, len(cs.ItemSketches)),
-	}
-	for u, sk := range cs.ItemSketches {
-		c.ItemSketches[u] = sk.Clone()
-	}
-	return c
-}
-
 // Synopsis is a multi-path partial result: at most one class synopsis per
 // class (§6.2's synopsis fusion invariant).
+//
+// A synopsis recycles its own storage: Reset strips the class synopses and
+// item sketches onto internal freelists, and subsequent generation, fusion
+// and decoding draw from them — a pooled synopsis reaches a steady state
+// where a whole convert-or-decode-then-fuse cycle allocates nothing.
 type Synopsis struct {
 	ByClass map[int]*ClassSynopsis
+
+	// spareClasses/spareItems are the freelists Reset fills. Item sketches
+	// are always KItem bitmaps; class synopses keep their KTotal ñ sketch.
+	spareClasses []*ClassSynopsis
+	spareItems   []*sketch.Sketch
 }
 
 // NewSynopsis returns an empty synopsis.
 func NewSynopsis() *Synopsis { return &Synopsis{ByClass: make(map[int]*ClassSynopsis)} }
+
+// Reset empties the synopsis for reuse, keeping class synopses and item
+// sketches on freelists.
+func (s *Synopsis) Reset() {
+	for c, cs := range s.ByClass {
+		for u, sk := range cs.ItemSketches {
+			s.spareItems = append(s.spareItems, sk)
+			delete(cs.ItemSketches, u)
+		}
+		s.spareClasses = append(s.spareClasses, cs)
+		delete(s.ByClass, c)
+	}
+}
+
+// getClass hands out an empty class synopsis for the given class, recycled
+// when possible.
+func (s *Synopsis) getClass(class int, p Params) *ClassSynopsis {
+	if n := len(s.spareClasses); n > 0 {
+		cs := s.spareClasses[n-1]
+		s.spareClasses = s.spareClasses[:n-1]
+		cs.Class = class
+		cs.NTotal.Reset()
+		return cs
+	}
+	return newClassSynopsis(class, p)
+}
+
+// getItemSketch hands out an empty KItem-bitmap sketch, recycled when
+// possible.
+func (s *Synopsis) getItemSketch(p Params) *sketch.Sketch {
+	if n := len(s.spareItems); n > 0 {
+		sk := s.spareItems[n-1]
+		s.spareItems = s.spareItems[:n-1]
+		sk.Reset()
+		return sk
+	}
+	return sketch.New(p.KItem)
+}
+
+// reclaimClass returns an s-owned class synopsis (and its item sketches) to
+// the freelists. The caller must have copied out anything it still needs.
+func (s *Synopsis) reclaimClass(cs *ClassSynopsis) {
+	for u, sk := range cs.ItemSketches {
+		s.spareItems = append(s.spareItems, sk)
+		delete(cs.ItemSketches, u)
+	}
+	s.spareClasses = append(s.spareClasses, cs)
+}
+
+// cloneClassInto copies src into a class synopsis owned by s (drawn from its
+// freelists).
+func (s *Synopsis) cloneClassInto(src *ClassSynopsis, p Params) *ClassSynopsis {
+	cs := s.getClass(src.Class, p)
+	cs.NTotal.CopyFrom(src.NTotal)
+	for u, sk := range src.ItemSketches {
+		cp := s.getItemSketch(p)
+		cp.CopyFrom(sk)
+		cs.ItemSketches[u] = cp
+	}
+	return cs
+}
 
 // Generate is the synopsis generation (SG) function of §6.2: count local
 // item frequencies, discard items with frequency at most i·n′·ε/log N where
@@ -116,17 +175,19 @@ func Generate(items []Item, epoch, owner int, p Params) *Synopsis {
 	return out
 }
 
-// fuseSame implements Algorithm 2 on an owned accumulator and a read-only
-// input of the same class: ⊕ the totals and the per-item counts; when the
-// fused ñ exceeds 2^{i+1}, promote the class and drop items with
-// ε·ñ/log N ≥ η·c̃(u).
-func fuseSame(dst, src *ClassSynopsis, p Params) {
+// fuseSame implements Algorithm 2 on an accumulator class owned by s and a
+// read-only input of the same class: ⊕ the totals and the per-item counts;
+// when the fused ñ exceeds 2^{i+1}, promote the class and drop items with
+// ε·ñ/log N ≥ η·c̃(u). Copies and drops flow through s's freelists.
+func (s *Synopsis) fuseSame(dst, src *ClassSynopsis, p Params) {
 	dst.NTotal.Union(src.NTotal)
 	for u, sk := range src.ItemSketches {
 		if own, ok := dst.ItemSketches[u]; ok {
 			own.Union(sk)
 		} else {
-			dst.ItemSketches[u] = sk.Clone()
+			cp := s.getItemSketch(p)
+			cp.CopyFrom(sk)
+			dst.ItemSketches[u] = cp
 		}
 	}
 	nEst := dst.NTotal.Estimate()
@@ -135,6 +196,7 @@ func fuseSame(dst, src *ClassSynopsis, p Params) {
 		cut := p.Epsilon * nEst / (p.Eta * p.LogN)
 		for u, sk := range dst.ItemSketches {
 			if sk.Estimate() <= cut {
+				s.spareItems = append(s.spareItems, sk)
 				delete(dst.ItemSketches, u)
 			}
 		}
@@ -155,11 +217,11 @@ func (s *Synopsis) Fuse(in *Synopsis, p Params) {
 		var pending *ClassSynopsis
 		existing, ok := s.ByClass[c]
 		if !ok {
-			s.ByClass[c] = in.ByClass[c].clone()
+			s.ByClass[c] = s.cloneClassInto(in.ByClass[c], p)
 			continue
 		}
 		delete(s.ByClass, c)
-		fuseSame(existing, in.ByClass[c], p)
+		s.fuseSame(existing, in.ByClass[c], p)
 		pending = existing
 		// Cascade: a promotion may collide with a synopsis already at the
 		// next class.
@@ -171,7 +233,8 @@ func (s *Synopsis) Fuse(in *Synopsis, p Params) {
 			}
 			delete(s.ByClass, pending.Class)
 			before := pending.Class
-			fuseSame(pending, other, p)
+			s.fuseSame(pending, other, p)
+			s.reclaimClass(other) // fuseSame copied, never aliased, other's items
 			if pending.Class == before {
 				s.ByClass[pending.Class] = pending
 				break
@@ -247,14 +310,20 @@ func (s *Synopsis) Evaluate(p Params) (map[Item]float64, float64) {
 // insensitive. The total frequent items error becomes at most the sum of
 // the tree's εa and the multi-path's εb.
 func ConvertSummary(sum *Summary, epoch, owner int, p Params) *Synopsis {
-	out := NewSynopsis()
+	return ConvertSummaryInto(sum, epoch, owner, p, NewSynopsis())
+}
+
+// ConvertSummaryInto is ConvertSummary writing into a recycled synopsis: out
+// is fully overwritten, drawing class and item storage from its freelists.
+func ConvertSummaryInto(sum *Summary, epoch, owner int, p Params, out *Synopsis) *Synopsis {
+	out.Reset()
 	n := sum.N
 	if n <= 0 {
 		return out
 	}
 	class := int(math.Floor(math.Log2(float64(n))))
 	thresh := float64(class) * float64(n) * p.Epsilon / p.LogN
-	cs := newClassSynopsis(class, p)
+	cs := out.getClass(class, p)
 	cs.NTotal.AddCount(p.totalSeed(epoch), uint64(owner), n)
 	for u, est := range sum.Counts {
 		if est <= thresh {
@@ -264,7 +333,7 @@ func ConvertSummary(sum *Summary, epoch, owner int, p Params) *Synopsis {
 		if c <= 0 {
 			continue
 		}
-		sk := sketch.New(p.KItem)
+		sk := out.getItemSketch(p)
 		sk.AddCount(p.itemSeed(epoch, u), uint64(owner), c)
 		cs.ItemSketches[u] = sk
 	}

@@ -102,11 +102,18 @@ func (s *Synopsis) AppendWire(dst []byte, p Params) []byte {
 // DecodeWireSynopsis parses a synopsis encoded by AppendWire under the same
 // Params.
 func DecodeWireSynopsis(data []byte, p Params) (*Synopsis, error) {
+	return DecodeWireSynopsisInto(data, p, NewSynopsis())
+}
+
+// DecodeWireSynopsisInto is DecodeWireSynopsis decoding into a recycled
+// synopsis: out is fully overwritten, drawing class and item storage from
+// its freelists (out's contents are unspecified after an error).
+func DecodeWireSynopsisInto(data []byte, p Params, out *Synopsis) (*Synopsis, error) {
 	if p.KItem <= 0 || p.KTotal <= 0 {
 		return nil, fmt.Errorf("freq: decode with non-positive sketch sizes (KItem=%d KTotal=%d)", p.KItem, p.KTotal)
 	}
 	r := wire.NewReader(data)
-	out := NewSynopsis()
+	out.Reset()
 	nClasses := r.Count(1 + sketch.WireBytes(p.KTotal) + 1)
 	prevClass := -1
 	for i := 0; i < nClasses; i++ {
@@ -115,8 +122,14 @@ func DecodeWireSynopsis(data []byte, p Params) (*Synopsis, error) {
 			return nil, fmt.Errorf("freq: classes out of order: %w", wire.ErrMalformed)
 		}
 		prevClass = c
-		cs := newClassSynopsis(c, p)
-		cs.NTotal = sketch.ReadWire(r, p.KTotal)
+		cs := out.getClass(c, p)
+		// The in-flight class goes into ByClass before any early return, so
+		// a malformed frame never strands it (or its item sketches) outside
+		// both the synopsis and the freelists — the next Reset reclaims it.
+		out.ByClass[c] = cs
+		if d := r.Take(sketch.WireBytes(p.KTotal)); d != nil {
+			_ = cs.NTotal.LoadWire(d) // length is exact by construction
+		}
 		nItems := r.Count(1 + sketch.WireBytes(p.KItem))
 		prev := Item(0)
 		for j := 0; j < nItems; j++ {
@@ -124,10 +137,13 @@ func DecodeWireSynopsis(data []byte, p Params) (*Synopsis, error) {
 			if r.Err() == nil && j > 0 && u <= prev { // duplicate or delta overflow
 				return nil, fmt.Errorf("freq: items out of order in class %d: %w", c, wire.ErrMalformed)
 			}
-			cs.ItemSketches[u] = sketch.ReadWire(r, p.KItem)
+			sk := out.getItemSketch(p)
+			cs.ItemSketches[u] = sk
+			if d := r.Take(sketch.WireBytes(p.KItem)); d != nil {
+				_ = sk.LoadWire(d)
+			}
 			prev = u
 		}
-		out.ByClass[c] = cs
 	}
 	if err := r.Finish(); err != nil {
 		return nil, err

@@ -182,8 +182,32 @@ func New(g *topo.Graph, m Model, seed uint64) *Net {
 // independent losses (the paper's per-link loss semantics); distinct
 // attempts (retransmissions) are independent too.
 func (n *Net) Delivered(epoch, attempt, from, to int) bool {
-	p := n.Model.LossRate(epoch, from, to)
-	h := xrand.Hash(n.Seed, 0xDE11, uint64(epoch), uint64(attempt), uint64(from), uint64(to))
+	return n.Epoch(epoch).Delivered(attempt, from, to)
+}
+
+// EpochView is a single-epoch view of the network with the epoch's hash
+// prefix pre-folded: a delivery loop that tests thousands of links of one
+// epoch pays the (seed, epoch) half of the hash chain once instead of per
+// link. The view is a pure value — Delivered answers are bit-identical to
+// Net.Delivered — so holding one is always safe; it just goes stale in
+// usefulness, never in correctness, when the epoch moves on.
+type EpochView struct {
+	net    *Net
+	epoch  int
+	prefix uint64
+}
+
+// Epoch returns the delivery view of one epoch.
+func (n *Net) Epoch(epoch int) EpochView {
+	return EpochView{net: n, epoch: epoch, prefix: xrand.Hash(n.Seed, 0xDE11, uint64(epoch))}
+}
+
+// Delivered is Net.Delivered for the view's epoch: the remaining
+// (attempt, from, to) identifiers fold onto the cached prefix exactly as
+// the full hash chain would.
+func (v EpochView) Delivered(attempt, from, to int) bool {
+	p := v.net.Model.LossRate(v.epoch, from, to)
+	h := xrand.Combine(xrand.Combine(xrand.Combine(v.prefix, uint64(attempt)), uint64(from)), uint64(to))
 	return !xrand.Bernoulli(h, p)
 }
 

@@ -149,6 +149,35 @@ func (a *Agg) Fuse(acc, in *Synopsis) *Synopsis {
 	return acc
 }
 
+// NewSynopsis implements aggregate.SynopsisRecycler.
+func (a *Agg) NewSynopsis() *Synopsis {
+	return &Synopsis{Smp: sample.New(a.K), Cnt: sketch.New(a.CountK)}
+}
+
+// ConvertInto implements aggregate.SynopsisRecycler: Convert into a recycled
+// synopsis.
+func (a *Agg) ConvertInto(epoch, owner int, p *Partial, dst *Synopsis) *Synopsis {
+	dst.Smp.CopyFrom(p.Smp)
+	dst.Cnt.Reset()
+	dst.Cnt.AddCount(a.countSeed(epoch), uint64(owner), p.Sum.N)
+	return dst
+}
+
+// DecodeSynopsisInto implements aggregate.SynopsisRecycler.
+func (a *Agg) DecodeSynopsisInto(data []byte, dst *Synopsis) (*Synopsis, error) {
+	r := wire.NewReader(data)
+	if err := sample.ReadWireInto(r, dst.Smp); err != nil {
+		return nil, err
+	}
+	if d := r.Take(sketch.WireBytes(a.CountK)); d != nil {
+		_ = dst.Cnt.LoadWire(d) // length is exact by construction
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // AppendSynopsis implements aggregate.Aggregate.
 func (a *Agg) AppendSynopsis(dst []byte, s *Synopsis) []byte {
 	dst = s.Smp.AppendWire(dst)

@@ -142,6 +142,10 @@ type Config[V, P, S, R any] struct {
 	// decision is a pure function of (seed, epoch, ids), see
 	// internal/xrand.
 	Workers int
+	// NoMemo disables the epoch-over-epoch synopsis memoization (see
+	// memo.go) even when the aggregate supports it — the A/B lever behind
+	// the bench guards. Answers are bit-identical either way.
+	NoMemo bool
 }
 
 // EpochResult is one collection round's outcome.
@@ -196,6 +200,19 @@ type Runner[V, P, S, R any] struct {
 	// rec is the aggregate's optional synopsis-recycling fast path,
 	// resolved once; nil falls back to the allocating Convert/Decode.
 	rec aggregate.SynopsisRecycler[P, S]
+	// memo is the aggregate's optional cross-epoch memoization extension
+	// (resolved once); memoState carries the per-node caches and memoOn
+	// whether the current epoch runs with memoization engaged. See memo.go.
+	memo      aggregate.SynopsisMemoizer[P, S]
+	memoState []nodeMemo[P, S]
+	memoOn    bool
+	// keysStable reports that neither hash-reseeding period rolled over
+	// since the last epoch; memoPrimed that prevAggKey/prevContribKey hold
+	// a recorded epoch's keys.
+	keysStable     bool
+	memoPrimed     bool
+	prevAggKey     uint64
+	prevContribKey uint64
 	// contribArena backs every node's ground-truth contributor bitset for
 	// one epoch: node v owns contribArena[v*words:(v+1)*words]. The regions
 	// are disjoint, so the parallel build phase writes them race-free, and
@@ -205,15 +222,25 @@ type Runner[V, P, S, R any] struct {
 	// of each level (participation and scheduling levels never change
 	// within a run).
 	byLevel [][]int
-	// inbox buffers are retained across epochs (lengths reset, capacity
-	// kept) so steady-state epochs append envelopes without reallocating.
-	inbox [][]envelope[P, S]
-	// envScratch holds one level's outgoing envelopes; buildEnvelope fully
-	// overwrites each slot, and the fill phase copies what receivers keep,
-	// so the buffer is safely recycled level to level.
-	envScratch []envelope[P, S]
-	// frames holds one level's encoded outgoing frames and, for frames that
-	// reached at least one receiver, their decoded shared envelope.
+	// levelOff maps a level to the offset of its first slot in the
+	// epoch-wide envs/frames arenas; level l's senders occupy slots
+	// [levelOff[l], levelOff[l]+len(byLevel[l])). Static, like byLevel.
+	levelOff []int
+	// inbox holds each receiver's arrivals as slot indices into the
+	// epoch-wide arenas — an inbox entry is a 4-byte reference, not an
+	// envelope copy, so a broadcast delivered to many parents shares one
+	// decoded envelope. Buffers are retained across epochs (lengths reset,
+	// capacity kept).
+	inbox [][]int32
+	// envs is the epoch-wide arena of outgoing envelopes, one slot per
+	// participating sender, laid out level-major (see levelOff).
+	// buildEnvelope fully overwrites each slot every epoch.
+	envs []envelope[P, S]
+	// frames is the parallel arena of encoded outgoing frames and, for
+	// frames that reached at least one receiver, their decoded shared
+	// envelope. Each sender's buffer persists across epochs (recycled via
+	// buf[:0]), which is also what the epoch-over-epoch frame memoization
+	// reuses.
 	frames []frameSlot[P, S]
 	// arrivals is the level's delivery record in schedule order — the
 	// deterministic sequence the fill phase appends receiver inboxes in.
@@ -233,11 +260,13 @@ type Runner[V, P, S, R any] struct {
 	// phase state, created once.
 	shardFn func(w int)
 	spawned int // live helper goroutines (this epoch)
-	// curPhase/curEpoch/curNodes/curStride describe the engaged phase for
-	// the helpers; written before the startCh sends that publish them.
+	// curPhase/curEpoch/curNodes/curOff/curStride describe the engaged
+	// phase for the helpers; written before the startCh sends that publish
+	// them.
 	curPhase  int
 	curEpoch  int
 	curNodes  []int
+	curOff    int
 	curStride int
 	// phaseNS estimates the sequential per-item cost of each parallel phase
 	// (EWMA of measured wall time) — the gate that keeps cheap waves (a TAG
@@ -308,6 +337,9 @@ type frameSlot[P, S any] struct {
 	buf    []byte
 	env    envelope[P, S]
 	needed bool
+	// epochLen is the byte width of the epoch uvarint in buf — what lets a
+	// memoized frame patch its epoch header in place (see patchFrameEpoch).
+	epochLen uint8
 }
 
 // workerState is one wave worker's private scratch: the reusable decode
@@ -398,12 +430,24 @@ type EpochMarker interface {
 
 // simTransport adapts network.Net to the Transport seam: delivery is a pure
 // function of (seed, epoch, attempt, from, to); the frame travels by
-// staying in memory.
-type simTransport struct{ net *network.Net }
+// staying in memory. The per-epoch delivery view caches the epoch half of
+// the loss hash chain; Deliver is dispatch-goroutine-only per the Transport
+// contract, so the plain fields are race-free.
+type simTransport struct {
+	net     *network.Net
+	view    network.EpochView
+	viewSet bool
+	viewEpo int
+}
 
 // Deliver implements Transport.
-func (t simTransport) Deliver(epoch, attempt, from, to int, _ []byte) bool {
-	return t.net.Delivered(epoch, attempt, from, to)
+func (t *simTransport) Deliver(epoch, attempt, from, to int, _ []byte) bool {
+	if !t.viewSet || t.viewEpo != epoch {
+		t.view = t.net.Epoch(epoch)
+		t.viewSet = true
+		t.viewEpo = epoch
+	}
+	return t.view.Delivered(attempt, from, to)
 }
 
 type envelope[P, S any] struct {
@@ -495,10 +539,20 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		transport:  cfg.Transport,
 	}
 	if r.transport == nil {
-		r.transport = simTransport{net: cfg.Net}
+		r.transport = &simTransport{net: cfg.Net}
 	}
 	r.marker, _ = r.transport.(EpochMarker)
 	r.rec, _ = cfg.Agg.(aggregate.SynopsisRecycler[P, S])
+	// The memoization extension only pays on the multi-path side; a pure
+	// tree run has no synopses to cache, so it skips the bookkeeping too.
+	if cfg.Mode != ModeTree {
+		r.memo, _ = cfg.Agg.(aggregate.SynopsisMemoizer[P, S])
+	}
+	if r.memo != nil && r.rec != nil {
+		r.memoState = make([]nodeMemo[P, S], n)
+	} else {
+		r.memo = nil
+	}
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
 	}
@@ -532,6 +586,17 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 			}
 		}
 	}
+	// The envelope and frame arenas hold one slot per sender for the whole
+	// epoch, laid out level-major, so inboxes can reference envelopes by
+	// index instead of copying them.
+	r.levelOff = make([]int, r.maxLevel+1)
+	total := 0
+	for l := 1; l <= r.maxLevel; l++ {
+		r.levelOff[l] = total
+		total += len(r.byLevel[l])
+	}
+	r.envs = make([]envelope[P, S], total)
+	r.frames = make([]frameSlot[P, S], total)
 	r.SetWorkers(cfg.Workers)
 	return r, nil
 }
@@ -573,7 +638,7 @@ func (r *Runner[V, P, S, R]) SetWorkers(n int) {
 	}
 	if r.shardFn == nil {
 		r.shardFn = func(w int) {
-			r.phaseShard(r.curPhase, r.curEpoch, r.curNodes, w, r.curStride)
+			r.phaseShard(r.curPhase, r.curEpoch, r.curNodes, r.curOff, w, r.curStride)
 		}
 	}
 }
@@ -636,11 +701,20 @@ func (r *Runner[V, P, S, R]) ExactAnswer(epoch int) R {
 	return r.cfg.Agg.Exact(vs)
 }
 
-// contribSeed namespaces the piggyback sketch's hash sub-stream per epoch;
-// per-node disjointness comes from the owner ids folded into every
-// insertion (see xrand.Split).
+// contribSeed namespaces the piggyback sketch's hash sub-stream. Like the
+// aggregates' synopsis hashes, it is fixed within an adaptation period — the
+// bits a (owner, count) credit sets are a pure function of identity for the
+// period's epochs, which is what lets the epoch engine memoize contributing
+// insertions — and re-drawn between periods, so the §4.2 decision mean
+// averages independent FM realizations. Per-node disjointness comes from
+// the owner ids folded into every insertion (see xrand.Split).
 func (r *Runner[V, P, S, R]) contribSeed(epoch int) uint64 {
-	return xrand.Split(r.cfg.Seed, 0xCB, uint64(epoch))
+	return xrand.Split(r.cfg.Seed, 0xCB, r.contribEpochKey(epoch))
+}
+
+// contribEpochKey maps an epoch to its contributing-hash period.
+func (r *Runner[V, P, S, R]) contribEpochKey(epoch int) uint64 {
+	return uint64(epoch / r.cfg.AdaptEvery)
 }
 
 // topKCap is how many NC values envelopes carry: at least the controller's
@@ -703,7 +777,7 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 	}
 	n := r.cfg.Graph.N()
 	if r.inbox == nil {
-		r.inbox = make([][]envelope[P, S], n)
+		r.inbox = make([][]int32, n)
 	} else {
 		for v := range r.inbox {
 			r.inbox[v] = r.inbox[v][:0]
@@ -714,45 +788,39 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 	} else {
 		clear(r.contribArena)
 	}
+	for i := range r.frames {
+		r.frames[i].needed = false
+	}
 	for _, ws := range r.ws[:r.workers] {
 		ws.resetEpoch()
 	}
+	r.beginMemoEpoch(epoch)
 
 	// Nodes transmit level by level toward the base station, deepest first
 	// (§2): build+encode the level's envelopes (parallel wave), dispatch
 	// deliveries in schedule order (sequential — order defines the
 	// schedule), decode the delivered frames once each (parallel wave), and
-	// fill receiver inboxes in delivery order.
+	// fill receiver inboxes in delivery order — an inbox entry is the slot
+	// index of the sender's decoded envelope, shared by every receiver of
+	// the broadcast.
 	for level := r.maxLevel; level >= 1; level-- {
 		nodes := r.byLevel[level]
 		if len(nodes) == 0 {
 			continue
 		}
-		if cap(r.envScratch) < len(nodes) {
-			r.envScratch = make([]envelope[P, S], len(nodes))
-		}
-		if cap(r.frames) < len(nodes) {
-			grown := make([]frameSlot[P, S], len(nodes))
-			copy(grown, r.frames[:cap(r.frames)])
-			r.frames = grown
-		}
-		envs := r.envScratch[:len(nodes)]
-		frames := r.frames[:len(nodes)]
+		off := r.levelOff[level]
 
-		r.runPhase(phaseBuild, epoch, nodes)
+		r.runPhase(phaseBuild, epoch, nodes, off)
 
 		r.arrivals = r.arrivals[:0]
 		for i, v := range nodes {
-			r.deliver(epoch, v, i, &envs[i], frames)
+			r.deliver(epoch, v, off+i, &r.envs[off+i])
 		}
 
-		r.runPhase(phaseDecode, epoch, nodes)
+		r.runPhase(phaseDecode, epoch, nodes, off)
 
 		for _, a := range r.arrivals {
-			r.inbox[a.to] = append(r.inbox[a.to], frames[a.frame].env)
-		}
-		for i := range frames {
-			frames[i].needed = false
+			r.inbox[a.to] = append(r.inbox[a.to], a.frame)
 		}
 	}
 
@@ -783,8 +851,8 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 	clear(baseChildContrib)
 	topNC := r.baseTopNC[:0]
 	minNC, ncValid := 0, false
-	for i := range r.inbox[topo.Base] {
-		e := &r.inbox[topo.Base][i]
+	for _, idx := range r.inbox[topo.Base] {
+		e := &r.frames[idx].env
 		if e.isTree {
 			treeParts = append(treeParts, e.p)
 			exactContrib += e.contribTree
@@ -851,6 +919,11 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 		res.Action = action
 		res.Switched = switched
 		res.DeltaSize = r.state.DeltaSize()
+		if switched > 0 {
+			// The relabeling moved the tributary/delta boundary: every cached
+			// conversion owner and frame is suspect.
+			r.bustMemo()
+		}
 	}
 	return res
 }
@@ -873,7 +946,7 @@ func (r *Runner[V, P, S, R]) Run(epochs int) []EpochResult[R] {
 // steady-state size even as the adaptive gate flips a level between inline
 // and parallel execution. (Results don't depend on the assignment either
 // way: every scratch object is fully overwritten at reuse.)
-func (r *Runner[V, P, S, R]) runPhase(phase, epoch int, nodes []int) {
+func (r *Runner[V, P, S, R]) runPhase(phase, epoch int, nodes []int, off int) {
 	stride := r.workers
 	if stride > len(nodes) {
 		stride = len(nodes)
@@ -886,17 +959,17 @@ func (r *Runner[V, P, S, R]) runPhase(phase, epoch int, nodes []int) {
 	if !engage {
 		start := time.Now()
 		for w := 0; w < stride; w++ {
-			r.phaseShard(phase, epoch, nodes, w, stride)
+			r.phaseShard(phase, epoch, nodes, off, w, stride)
 		}
 		r.observePhase(phase, len(nodes), time.Since(start))
 		return
 	}
 	r.ensureWorkers()
-	r.curPhase, r.curEpoch, r.curNodes, r.curStride = phase, epoch, nodes, stride
+	r.curPhase, r.curEpoch, r.curNodes, r.curOff, r.curStride = phase, epoch, nodes, off, stride
 	for w := 1; w < stride; w++ {
 		r.startCh <- waveTask{fn: r.shardFn, w: w}
 	}
-	r.phaseShard(phase, epoch, nodes, 0, stride)
+	r.phaseShard(phase, epoch, nodes, off, 0, stride)
 	for w := 1; w < stride; w++ {
 		<-r.doneCh
 	}
@@ -926,26 +999,32 @@ func (r *Runner[V, P, S, R]) ensureWorkers() {
 	}
 }
 
-// phaseShard runs worker w's share (i ≡ w mod stride) of a phase.
-func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, w, stride int) {
+// phaseShard runs worker w's share (i ≡ w mod stride) of a phase; off is the
+// level's base slot in the epoch-wide arenas.
+func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, off, w, stride int) {
 	ws := r.ws[w]
-	envs := r.envScratch[:len(nodes)]
-	frames := r.frames[:len(nodes)]
 	switch phase {
 	case phaseBuild:
 		for i := w; i < len(nodes); i += stride {
 			v := nodes[i]
-			r.buildEnvelope(ws, epoch, v, r.inbox[v], &envs[i])
-			r.encodeFrame(ws, epoch, &envs[i], &frames[i])
+			slot := off + i
+			if r.memoOn && r.tryReuseFrame(epoch, v, slot) {
+				continue
+			}
+			r.buildEnvelope(ws, epoch, v, r.inbox[v], &r.envs[slot])
+			r.encodeFrame(ws, epoch, &r.envs[slot], &r.frames[slot])
+			if r.memoOn {
+				r.recordMemo(v)
+			}
 		}
 	case phaseDecode:
 		for i := w; i < len(nodes); i += stride {
-			f := &frames[i]
+			f := &r.frames[off+i]
 			if !f.needed {
 				continue
 			}
 			r.decodeFrame(ws, f.buf, &f.env)
-			f.env.contributors = envs[i].contributors
+			f.env.contributors = r.envs[off+i].contributors
 		}
 	}
 }
@@ -954,7 +1033,7 @@ func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, w, stride
 // reading and its inbox into *out, drawing every recycled object from the
 // calling worker's private scratch. The contributor bitset lives in the
 // runner's per-epoch arena — node-disjoint, so concurrent shards are safe.
-func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, in []envelope[P, S], out *envelope[P, S]) {
+func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, in []int32, out *envelope[P, S]) {
 	agg := r.cfg.Agg
 	own := agg.Local(epoch, v, r.cfg.Value(r.valueEpoch(epoch, v), v))
 	contributors := r.contribArena[v*r.words : (v+1)*r.words]
@@ -966,8 +1045,8 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 		// vertices, preserving Edge Correctness).
 		p := own
 		contrib := int64(1)
-		for i := range in {
-			e := &in[i]
+		for _, idx := range in {
+			e := &r.frames[idx].env
 			if !e.isTree {
 				continue
 			}
@@ -985,19 +1064,62 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 
 	// Multi-path vertex: start from the conversion of the node's own local
 	// result, fuse incoming synopses, and convert incoming tree partials at
-	// the tributary/delta boundary (§5, Figure 3).
-	s := r.convert(ws, epoch, v, own)
+	// the tributary/delta boundary (§5, Figure 3). With memoization engaged,
+	// conversions flow through the per-node caches: the own-base synopsis and
+	// each boundary child's products are rebuilt only when their inputs
+	// changed (see memo.go).
+	var nm *nodeMemo[P, S]
+	var s S
+	if r.memoOn {
+		nm = &r.memoState[v]
+		if !nm.ownValid || !r.memo.PartialEqual(nm.ownP, own) {
+			if !nm.ownSynSet {
+				nm.ownSyn = r.rec.NewSynopsis()
+				nm.ownSynSet = true
+			}
+			nm.ownSyn = r.rec.ConvertInto(epoch, v, own, nm.ownSyn)
+			nm.ownP = own
+			nm.ownValid = true
+		}
+		s = r.memo.CopySynopsisInto(ws.getSyn(r.rec), nm.ownSyn)
+	} else {
+		s = r.convert(ws, epoch, v, own)
+	}
 	cs := ws.skPool.get()
 	cs.Reset()
 	cs.AddCount(r.contribSeed(epoch), uint64(v), 1)
 	subtreeContrib := int64(1)
 	topNC := ws.topNC[:0]
 	minNC, ncValid := 0, false
-	for i := range in {
-		e := &in[i]
+	for _, idx := range in {
+		e := &r.frames[idx].env
 		if e.isTree {
-			s = agg.Fuse(s, r.convert(ws, epoch, e.from, e.p))
-			cs.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
+			if nm != nil {
+				be := nm.findOrCreate(int32(e.from))
+				if !be.cValid || be.contribCount != e.contribTree {
+					if be.contrib == nil {
+						be.contrib = sketch.New(r.cfg.ContribK)
+					}
+					be.contrib.Reset()
+					be.contrib.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
+					be.contribCount = e.contribTree
+					be.cValid = true
+				}
+				cs.Union(be.contrib)
+				if !be.pValid || !r.memo.PartialEqual(be.p, e.p) {
+					if !be.synSet {
+						be.syn = r.rec.NewSynopsis()
+						be.synSet = true
+					}
+					be.syn = r.rec.ConvertInto(epoch, e.from, e.p, be.syn)
+					be.p = e.p
+					be.pValid = true
+				}
+				s = agg.Fuse(s, be.syn)
+			} else {
+				s = agg.Fuse(s, r.convert(ws, epoch, e.from, e.p))
+				cs.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
+			}
 			subtreeContrib += e.contribTree
 		} else {
 			s = agg.Fuse(s, e.s)
@@ -1063,10 +1185,13 @@ func (r *Runner[V, P, S, R]) encodeFrame(ws *workerState[P, S], epoch int, env *
 	}
 	we.Payload = ws.payloadBuf
 	slot.buf = wire.AppendEnvelope(slot.buf[:0], &we)
+	slot.epochLen = uint8(wire.UvarintLen(uint64(epoch)))
 }
 
 // decodeFrame reconstructs an envelope from received bytes into *dst, fully
-// overwriting every field (slots are recycled level to level). The runner
+// overwriting every field (the slot's envelope persists for the whole epoch
+// — receivers and the base station reference it by index — and is recycled
+// only by the next epoch's build/decode of the same sender). The runner
 // produced the frame itself, so a decode failure is a codec bug, not a
 // network condition — it panics rather than silently dropping data.
 func (r *Runner[V, P, S, R]) decodeFrame(ws *workerState[P, S], frame []byte, dst *envelope[P, S]) {
@@ -1118,12 +1243,13 @@ func (r *Runner[V, P, S, R]) decodeFrame(ws *workerState[P, S], frame []byte, ds
 
 // deliver transmits v's already-encoded frame: unicast with retransmissions
 // toward the tree parent for T vertices, a single broadcast up the rings
-// for M vertices. Energy accounting charges the encoded byte length of
-// every radio transmission; a lost frame is dropped whole. Successful
-// deliveries are recorded as arrivals (decoded and filled into receiver
-// inboxes by the following phases, in exactly this order).
-func (r *Runner[V, P, S, R]) deliver(epoch, v, idx int, env *envelope[P, S], frames []frameSlot[P, S]) {
-	frame := frames[idx].buf
+// for M vertices. The frame is encoded once per node per epoch — the very
+// same bytes are offered to every parent of a broadcast. Energy accounting
+// charges the encoded byte length of every radio transmission; a lost frame
+// is dropped whole. Successful deliveries are recorded as arrivals (decoded
+// once and referenced by receiver inboxes in exactly this order).
+func (r *Runner[V, P, S, R]) deliver(epoch, v, slot int, env *envelope[P, S]) {
+	frame := r.frames[slot].buf
 	level := r.schedLevel[v]
 	if env.isTree {
 		parent := r.cfg.Tree.Parent[v]
@@ -1133,8 +1259,8 @@ func (r *Runner[V, P, S, R]) deliver(epoch, v, idx int, env *envelope[P, S], fra
 		for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
 			r.Stats.AddTxBytes(v, level, len(frame))
 			if r.transport.Deliver(epoch, attempt, v, parent, frame) {
-				frames[idx].needed = true
-				r.arrivals = append(r.arrivals, arrival{to: int32(parent), frame: int32(idx)})
+				r.frames[slot].needed = true
+				r.arrivals = append(r.arrivals, arrival{to: int32(parent), frame: int32(slot)})
 				break
 			}
 			r.Stats.AddLoss(v)
@@ -1147,8 +1273,8 @@ func (r *Runner[V, P, S, R]) deliver(epoch, v, idx int, env *envelope[P, S], fra
 			continue // T vertices ignore synopses (Edge Correctness)
 		}
 		if r.transport.Deliver(epoch, 0, v, u, frame) {
-			frames[idx].needed = true
-			r.arrivals = append(r.arrivals, arrival{to: int32(u), frame: int32(idx)})
+			r.frames[slot].needed = true
+			r.arrivals = append(r.arrivals, arrival{to: int32(u), frame: int32(slot)})
 		} else {
 			r.Stats.AddLoss(v)
 		}

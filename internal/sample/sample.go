@@ -93,6 +93,22 @@ func (s *Sample) Clone() *Sample {
 	return c
 }
 
+// Reset empties the sample without releasing its storage — the recycling
+// primitive behind the epoch engine's synopsis pools.
+func (s *Sample) Reset() {
+	s.items = s.items[:0]
+}
+
+// CopyFrom overwrites s's items with other's without allocating once s's
+// backing array has grown to other's length. Both samples must have the same
+// capacity k.
+func (s *Sample) CopyFrom(other *Sample) {
+	if s.k != other.k {
+		panic("sample: copying samples of different capacities")
+	}
+	s.items = append(s.items[:0], other.items...)
+}
+
 // Words returns the message size in 32-bit words, measured from the actual
 // wire encoding so the accounting can never drift from what is transmitted.
 // The buffer is pre-sized (a capacity hint only, not accounting).

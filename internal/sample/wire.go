@@ -45,11 +45,22 @@ func ReadWire(r *wire.Reader, k int) (*Sample, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("sample: decode with non-positive capacity %d", k)
 	}
-	n := r.Count(10) // rank(8) + node(>=1) + value(>=1)
-	if r.Err() == nil && n > k {
-		return nil, fmt.Errorf("sample: %d items exceed capacity %d: %w", n, k, wire.ErrMalformed)
-	}
 	s := New(k)
+	if err := ReadWireInto(r, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadWireInto is ReadWire decoding into a recycled sample: dst is fully
+// overwritten, and nothing allocates once its backing array has reached the
+// decoded length. The sample's capacity k comes from dst.
+func ReadWireInto(r *wire.Reader, dst *Sample) error {
+	n := r.Count(10) // rank(8) + node(>=1) + value(>=1)
+	if r.Err() == nil && n > dst.k {
+		return fmt.Errorf("sample: %d items exceed capacity %d: %w", n, dst.k, wire.ErrMalformed)
+	}
+	dst.items = dst.items[:0]
 	var prev uint64
 	for i := 0; i < n; i++ {
 		it := Item{
@@ -58,13 +69,10 @@ func ReadWire(r *wire.Reader, k int) (*Sample, error) {
 			Value: r.Float64(),
 		}
 		if r.Err() == nil && i > 0 && it.Rank <= prev {
-			return nil, fmt.Errorf("sample: ranks out of order: %w", wire.ErrMalformed)
+			return fmt.Errorf("sample: ranks out of order: %w", wire.ErrMalformed)
 		}
 		prev = it.Rank
-		s.items = append(s.items, it)
+		dst.items = append(dst.items, it)
 	}
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return s, nil
+	return r.Err()
 }

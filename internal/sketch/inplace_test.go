@@ -33,14 +33,14 @@ func TestCopyFromMatchesClone(t *testing.T) {
 	dst.CopyFrom(src)
 	want := src.Clone()
 	for m := 0; m < 24; m++ {
-		if dst.bitmaps[m] != want.bitmaps[m] {
-			t.Fatalf("bitmap %d: CopyFrom %x != Clone %x", m, dst.bitmaps[m], want.bitmaps[m])
+		if dst.bitmap(m) != want.bitmap(m) {
+			t.Fatalf("bitmap %d: CopyFrom %x != Clone %x", m, dst.bitmap(m), want.bitmap(m))
 		}
 	}
 	// Deep copy: mutating dst must not touch src.
 	dst.Insert(11, 99)
-	for m := range src.bitmaps {
-		if src.bitmaps[m] != want.bitmaps[m] {
+	for m := 0; m < src.K(); m++ {
+		if src.bitmap(m) != want.bitmap(m) {
 			t.Fatal("CopyFrom aliased the source bitmaps")
 		}
 	}
@@ -71,15 +71,15 @@ func TestUnionIntoMatchesCloneUnion(t *testing.T) {
 	dst := New(40)
 	dst.Insert(5, 5) // stale bits: UnionInto overwrites, it does not fold
 	UnionInto(dst, a, b, c)
-	for m := range want.bitmaps {
-		if dst.bitmaps[m] != want.bitmaps[m] {
-			t.Fatalf("bitmap %d: UnionInto %x != Clone+Union %x", m, dst.bitmaps[m], want.bitmaps[m])
+	for m := 0; m < want.K(); m++ {
+		if dst.bitmap(m) != want.bitmap(m) {
+			t.Fatalf("bitmap %d: UnionInto %x != Clone+Union %x", m, dst.bitmap(m), want.bitmap(m))
 		}
 	}
 	// Sources must be untouched.
 	check := mk(2)
-	for m := range b.bitmaps {
-		if b.bitmaps[m] != check.bitmaps[m] {
+	for m := 0; m < b.K(); m++ {
+		if b.bitmap(m) != check.bitmap(m) {
 			t.Fatal("UnionInto mutated a source sketch")
 		}
 	}
@@ -92,9 +92,9 @@ func TestUnionIntoDstAmongSources(t *testing.T) {
 	want := a.Clone()
 	want.Union(b)
 	UnionInto(a, a, b) // dst appears among srcs: fold, don't clear
-	for m := range want.bitmaps {
-		if a.bitmaps[m] != want.bitmaps[m] {
-			t.Fatalf("bitmap %d: in-place fold %x != %x", m, a.bitmaps[m], want.bitmaps[m])
+	for m := 0; m < want.K(); m++ {
+		if a.bitmap(m) != want.bitmap(m) {
+			t.Fatalf("bitmap %d: in-place fold %x != %x", m, a.bitmap(m), want.bitmap(m))
 		}
 	}
 }

@@ -19,9 +19,9 @@ func TestWireRoundTripLossless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for m := range s.bitmaps {
-		if got.bitmaps[m] != s.bitmaps[m] {
-			t.Fatalf("bitmap %d changed: %x != %x — wire codec must be lossless", m, got.bitmaps[m], s.bitmaps[m])
+	for m := 0; m < s.K(); m++ {
+		if got.bitmap(m) != s.bitmap(m) {
+			t.Fatalf("bitmap %d changed: %x != %x — wire codec must be lossless", m, got.bitmap(m), s.bitmap(m))
 		}
 	}
 	if got.Estimate() != s.Estimate() {
@@ -69,7 +69,7 @@ func TestReadWireEmbedded(t *testing.T) {
 	if err := r.Finish(); err != nil {
 		t.Fatal(err)
 	}
-	if ga.bitmaps[0] != a.bitmaps[0] && ga.Estimate() != a.Estimate() {
+	if ga.bitmap(0) != a.bitmap(0) && ga.Estimate() != a.Estimate() {
 		t.Fatal("first embedded sketch wrong")
 	}
 	if gb.Estimate() != b.Estimate() {

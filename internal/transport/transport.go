@@ -62,10 +62,15 @@ type Options struct {
 // the runner.Transport contract (single dispatch goroutine); BeginEpoch and
 // EndEpoch implement the runner.EpochMarker barrier.
 type Chan struct {
-	net     *network.Net
-	opts    Options
-	inboxes []chan delivery
-	done    []chan struct{}
+	net  *network.Net
+	opts Options
+	// view caches the current epoch's delivery view (the pre-folded loss
+	// hash prefix); touched only by the dispatch goroutine inside Deliver.
+	view      network.EpochView
+	viewEpoch int
+	viewSet   bool
+	inboxes   []chan delivery
+	done      []chan struct{}
 	// pending counts frames enqueued but not yet processed; EndEpoch waits
 	// for it to drain, which is the epoch barrier.
 	pending sync.WaitGroup
@@ -148,7 +153,14 @@ func (c *Chan) process(v int, dec *wire.Decoder, d delivery) {
 // return value depends only on the seeded loss model. Deliver must not be
 // called after Close.
 func (c *Chan) Deliver(epoch, attempt, from, to int, frame []byte) bool {
-	if !c.net.Delivered(epoch, attempt, from, to) {
+	if !c.viewSet || c.viewEpoch != epoch {
+		// Deliver is dispatch-goroutine-only (see the contract above), so
+		// the cached per-epoch delivery view needs no synchronization.
+		c.view = c.net.Epoch(epoch)
+		c.viewSet = true
+		c.viewEpoch = epoch
+	}
+	if !c.view.Delivered(attempt, from, to) {
 		return false
 	}
 	bp := c.bufPool.Get().(*[]byte)

@@ -67,6 +67,30 @@ func AppendVarint(dst []byte, v int64) []byte {
 	return AppendUvarint(dst, uint64(v)<<1^uint64(v>>63))
 }
 
+// UvarintLen returns the encoded size of v in unsigned LEB128 form — the
+// size AppendUvarint would append.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// PutUvarint encodes v into b, which must be at least UvarintLen(v) bytes —
+// the in-place form used to patch a single varint field (the epoch of a
+// memoized frame) without re-encoding the rest of the message.
+func PutUvarint(b []byte, v uint64) {
+	i := 0
+	for v >= 0x80 {
+		b[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	b[i] = byte(v)
+}
+
 // AppendUint32 appends v as four little-endian bytes — the fixed-width
 // encoding used for FM sketch bitmaps, where every bit is payload.
 func AppendUint32(dst []byte, v uint32) []byte {

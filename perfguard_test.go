@@ -10,10 +10,11 @@ import (
 
 // measureEpochNS times one steady-state 600-node Count epoch for the given
 // scheme and wave-engine worker bound.
-func measureEpochNS(b testing.TB, scheme td.Scheme, workers int) float64 {
+func measureEpochNS(b testing.TB, scheme td.Scheme, workers int, extra ...td.Option) float64 {
 	dep := td.NewSyntheticDeployment(1, 600)
 	dep.SetGlobalLoss(0.2)
-	s, err := td.Open(dep, td.Count(), td.WithScheme(scheme), td.WithWorkers(workers))
+	opts := append([]td.Option{td.WithScheme(scheme), td.WithWorkers(workers)}, extra...)
+	s, err := td.Open(dep, td.Count(), opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestParallelOverheadGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing guard skipped in -short mode")
 	}
-	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD} {
+	for _, scheme := range []td.Scheme{td.SchemeTAG, td.SchemeSD, td.SchemeTD} {
 		// Interleave two samples of each configuration and judge on the
 		// minima — both sides get the same protection against a one-off GC
 		// pause or scheduler hiccup inflating a sample.
@@ -65,5 +66,34 @@ func TestParallelOverheadGuard(t *testing.T) {
 			t.Errorf("%v: workers=4 epoch %.0f ns/op exceeds sequential %.0f ns/op by more than 10%%",
 				scheme, par, base)
 		}
+	}
+}
+
+// TestSDMemoGuard is the CI smoke check that the epoch-over-epoch synopsis
+// memoization never becomes a pessimization: the SD epoch with the caches
+// engaged must stay within 10% of the cache-free engine on the lossy bench
+// workload (where clean-path hits are rare and the guard is pure overhead
+// accounting), and must actually win under zero loss (where every node goes
+// clean). Opt-in via TD_BENCH_SMOKE=1 like the other perf guards.
+func TestSDMemoGuard(t *testing.T) {
+	if os.Getenv("TD_BENCH_SMOKE") == "" {
+		t.Skip("set TD_BENCH_SMOKE=1 to run the benchmark smoke guard")
+	}
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	memo1 := measureEpochNS(t, td.SchemeSD, 1)
+	base1 := measureEpochNS(t, td.SchemeSD, 1, td.WithSynopsisMemo(false))
+	memo2 := measureEpochNS(t, td.SchemeSD, 1)
+	base2 := measureEpochNS(t, td.SchemeSD, 1, td.WithSynopsisMemo(false))
+	if hi, lo := math.Max(base1, base2), math.Min(base1, base2); hi > lo*1.3 {
+		t.Logf("timing too noisy to judge (%.0f vs %.0f ns/op unmemoized), skipping", base1, base2)
+		return
+	}
+	base := math.Min(base1, base2)
+	memo := math.Min(memo1, memo2)
+	t.Logf("SD: unmemoized %.0f ns/op, memoized %.0f ns/op (ratio %.3f)", base, memo, memo/base)
+	if memo > base*1.10 {
+		t.Errorf("SD memoized epoch %.0f ns/op exceeds unmemoized %.0f ns/op by more than 10%%", memo, base)
 	}
 }

@@ -58,6 +58,7 @@ type openConfig struct {
 	topK          int
 	pipelined     bool
 	workers       int
+	noMemo        bool
 	set           *QuerySet
 }
 
@@ -122,6 +123,13 @@ func WithPipelined(on bool) Option { return func(c *openConfig) { c.pipelined = 
 // hosted in a Pool have their bound re-divided by the pool's budget; see
 // Pool.
 func WithWorkers(n int) Option { return func(c *openConfig) { c.workers = n } }
+
+// WithSynopsisMemo toggles the epoch-over-epoch synopsis memoization of the
+// sketch-backed aggregates (default on): base synopses, boundary conversions
+// and whole broadcast frames are reused across epochs while their inputs
+// hold still. Answers are bit-identical either way — disabling it is an A/B
+// lever for benchmarking, not a behavioral switch.
+func WithSynopsisMemo(on bool) Option { return func(c *openConfig) { c.noMemo = !on } }
 
 // InSet opens the session as a member of set: it shares the set's
 // network — one loss realization per epoch across every member — and the
@@ -252,6 +260,7 @@ func buildEngine[V, P, S, A, R any](env *openEnv, agg aggregate.Aggregate[V, P, 
 		Transport:       env.tr,
 		Stats:           env.stats,
 		Workers:         env.cfg.workers,
+		NoMemo:          env.cfg.noMemo,
 	})
 	if err != nil {
 		return nil, err
