@@ -23,8 +23,12 @@ const (
 	// benchWarmup epochs grow every pool and buffer, settle the adaptive
 	// phase gate AND let the TD delta reach its oscillating equilibrium
 	// (expansions before that relabel vertices and legitimately grow frame
-	// buffers, which would read as steady-state allocation).
-	benchWarmup = 200
+	// buffers, which would read as steady-state allocation). 1000 epochs
+	// puts TD firmly at equilibrium — its delta is larger there than in the
+	// growth phase earlier artifacts sampled, so TD rows cost more ns/op
+	// than BENCH_5's but describe the true steady state, and the allocs
+	// column reads a clean 0.
+	benchWarmup = 1000
 	// benchSamples batches of benchBatch epochs each are timed; the median
 	// batch is reported, making the artifact robust to scheduler noise.
 	benchSamples = 9
@@ -47,7 +51,19 @@ type BenchResult struct {
 	BytesPerEpoch float64 `json:"bytesPerEpoch"`
 }
 
-// BenchArtifact is the BENCH_5.json document.
+// PoolBenchResult is one multi-deployment throughput measurement: d hosted
+// TD Count deployments advanced through a Pool in the given scheduling mode.
+type PoolBenchResult struct {
+	// Deployments is the hosted deployment count.
+	Deployments int `json:"deployments"`
+	// Mode is the pool scheduling mode ("lockstep" or "pipelined").
+	Mode string `json:"mode"`
+	// EpochsPerSec is the aggregate epoch throughput across all deployments
+	// (median batch).
+	EpochsPerSec float64 `json:"epochsPerSec"`
+}
+
+// BenchArtifact is the BENCH_6.json document.
 type BenchArtifact struct {
 	// GeneratedBy records the producing command.
 	GeneratedBy string `json:"generatedBy"`
@@ -68,6 +84,9 @@ type BenchArtifact struct {
 	Epochs int `json:"epochs"`
 	// Results holds the measurement grid.
 	Results []BenchResult `json:"results"`
+	// Pool holds the multi-deployment throughput rows (pipelined vs
+	// lock-step scheduling at 4 hosted deployments).
+	Pool []PoolBenchResult `json:"pool"`
 }
 
 // benchOne measures one (scheme, workers) cell.
@@ -111,6 +130,49 @@ func benchOne(scheme td.Scheme, workers int) (BenchResult, error) {
 	}, nil
 }
 
+// benchPool measures aggregate epoch throughput for deployments hosted TD
+// Count sessions under both pool scheduling modes. The per-deployment field
+// is smaller than benchNodes so the cell finishes in seconds; throughput
+// ratios, not absolute epochs/s, are the signal.
+func benchPool(deployments int, pipelined bool) (PoolBenchResult, error) {
+	const poolNodes = 200
+	p := td.NewPool(0)
+	defer p.Close()
+	for i := 0; i < deployments; i++ {
+		dep := td.NewSyntheticDeployment(uint64(i+1), poolNodes)
+		dep.SetGlobalLoss(benchLoss)
+		s, err := td.NewCountSession(dep, td.SchemeTD, uint64(i+1))
+		if err != nil {
+			return PoolBenchResult{}, err
+		}
+		if err := p.Add(fmt.Sprintf("d%d", i), s); err != nil {
+			return PoolBenchResult{}, err
+		}
+	}
+	p.RunEpochs(50) // warm every hosted session
+	p.SetPipelined(pipelined)
+	samples := make([]time.Duration, 0, benchSamples)
+	for i := 0; i < benchSamples; i++ {
+		start := time.Now()
+		for j := 0; j < benchBatch; j++ {
+			p.RunEpochs(1)
+		}
+		p.Barrier()
+		samples = append(samples, time.Since(start))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	median := samples[len(samples)/2]
+	mode := "lockstep"
+	if pipelined {
+		mode = "pipelined"
+	}
+	return PoolBenchResult{
+		Deployments:  deployments,
+		Mode:         mode,
+		EpochsPerSec: float64(benchBatch*deployments) / median.Seconds(),
+	}, nil
+}
+
 // runBench produces the artifact at path and echoes it to stdout.
 func runBench(path string) error {
 	art := BenchArtifact{
@@ -133,6 +195,14 @@ func runBench(path string) error {
 				res.Scheme, res.Workers, res.NsPerOp, res.AllocsPerOp, res.BytesPerEpoch)
 			art.Results = append(art.Results, res)
 		}
+	}
+	for _, pipelined := range []bool{false, true} {
+		res, err := benchPool(4, pipelined)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pool x%d %-9s  %10.0f epochs/s\n", res.Deployments, res.Mode, res.EpochsPerSec)
+		art.Pool = append(art.Pool, res)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

@@ -6,7 +6,7 @@
 //	tdbench -exp fig5a            # one experiment, full scale
 //	tdbench -exp all -quick       # everything, reduced scale
 //	tdbench -list                 # list experiment ids
-//	tdbench -bench                # epoch-engine timings -> BENCH_5.json
+//	tdbench -bench                # epoch-engine timings -> BENCH_6.json
 //
 // Each experiment prints a table whose rows mirror the series of the
 // corresponding paper artifact; DESIGN.md §4 records the calibration notes.
@@ -31,7 +31,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	bench := flag.Bool("bench", false, "run the epoch-engine benchmark and write -benchout")
-	benchOut := flag.String("benchout", "BENCH_5.json", "bench mode: output artifact path")
+	benchOut := flag.String("benchout", "BENCH_6.json", "bench mode: output artifact path")
 	flag.Parse()
 
 	if *list {

@@ -109,8 +109,11 @@ type SynopsisRecycler[P, S any] interface {
 // that Convert(e1, o, p) and Convert(e2, o, p) are bit-identical for every
 // (o, p); PartialEqual(a, b) must guarantee Convert(e, o, a) and
 // Convert(e, o, b) are bit-identical; CopySynopsisInto must leave dst
-// bit-identical to src (fully overwritten) and return dst. Local must be
-// epoch-independent for the engine's own-reading cache to be sound.
+// bit-identical to src (fully overwritten) and return dst. Local may depend
+// on the epoch only through SynopsisEpochKey(epoch) — the engine busts its
+// own-reading cache whenever the key rolls over, so key-periodic randomness
+// (quantile sample ranks, say) is sound, but any per-epoch dependence inside
+// a key window would make the cache serve stale readings.
 type SynopsisMemoizer[P, S any] interface {
 	// SynopsisEpochKey identifies the epoch's hash-reseeding window; cached
 	// conversions are invalidated when it changes.
@@ -119,6 +122,26 @@ type SynopsisMemoizer[P, S any] interface {
 	PartialEqual(a, b P) bool
 	// CopySynopsisInto overwrites dst with src and returns dst.
 	CopySynopsisInto(dst, src S) S
+}
+
+// SynopsisBatchFuser is an optional Aggregate extension: aggregates whose
+// fusion is commutative, associative and duplicate-insensitive at the bit
+// level (plain sketch OR — Count, Sum, Average) implement it, and the epoch
+// engine then gathers a node's incoming synopses and fuses them in one fused
+// multi-sketch pass (sketch.UnionAllInto) instead of one shape-checked Fuse
+// dispatch per synopsis.
+//
+// Semantics: FuseAll must leave acc bit-identical to what the sequential
+// fold acc = Fuse(acc, in[0]); acc = Fuse(acc, in[1]); … would, except that
+// acc is overwritten with the union of in — acc's prior contents fold in
+// only when acc itself appears among in (mirroring sketch.UnionAllInto, so a
+// caller that wants the fold passes acc as in[0]). in must not be modified;
+// the returned synopsis is acc itself. Implementations must be safe for
+// concurrent calls on distinct accumulators (the engine fuses from several
+// workers at once), so no aggregate-owned scratch.
+type SynopsisBatchFuser[S any] interface {
+	// FuseAll overwrites acc with the fusion of every synopsis in `in`.
+	FuseAll(acc S, in []S) S
 }
 
 // PartialWords returns the message size of a tree partial in 32-bit words,

@@ -107,6 +107,13 @@ func (a *Sum) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
+// FuseAll implements SynopsisBatchFuser: one word-major pass over all
+// sources instead of one Fuse dispatch per synopsis.
+func (a *Sum) FuseAll(acc *sketch.Sketch, in []*sketch.Sketch) *sketch.Sketch {
+	sketch.UnionAllInto(acc, in...)
+	return acc
+}
+
 // NewSynopsis implements SynopsisRecycler.
 func (a *Sum) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
 
@@ -166,7 +173,7 @@ func (a *Sum) EvalBase(treeParts []float64, syns []*sketch.Sketch) float64 {
 		if a.scratch == nil {
 			a.scratch = sketch.New(a.K)
 		}
-		sketch.UnionInto(a.scratch, syns...)
+		sketch.UnionAllInto(a.scratch, syns...)
 		total += a.scratch.Estimate() / a.Scale
 	}
 	return total
@@ -238,6 +245,13 @@ func (a *Count) Fuse(acc, in *sketch.Sketch) *sketch.Sketch {
 	return acc
 }
 
+// FuseAll implements SynopsisBatchFuser: one word-major pass over all
+// sources instead of one Fuse dispatch per synopsis.
+func (a *Count) FuseAll(acc *sketch.Sketch, in []*sketch.Sketch) *sketch.Sketch {
+	sketch.UnionAllInto(acc, in...)
+	return acc
+}
+
 // NewSynopsis implements SynopsisRecycler.
 func (a *Count) NewSynopsis() *sketch.Sketch { return sketch.New(a.K) }
 
@@ -296,7 +310,7 @@ func (a *Count) EvalBase(treeParts []int64, syns []*sketch.Sketch) float64 {
 		if a.scratch == nil {
 			a.scratch = sketch.New(a.K)
 		}
-		sketch.UnionInto(a.scratch, syns...)
+		sketch.UnionAllInto(a.scratch, syns...)
 		total += a.scratch.Estimate()
 	}
 	return total
@@ -491,6 +505,32 @@ func (a *Average) Convert(epoch, owner int, p AvgPartial) AvgSynopsis {
 func (a *Average) Fuse(acc, in AvgSynopsis) AvgSynopsis {
 	acc.Sum.Union(in.Sum)
 	acc.Count.Union(in.Count)
+	return acc
+}
+
+// FuseAll implements SynopsisBatchFuser. The pair layout rules out a single
+// gathered UnionAllInto pass (that would need aggregate-owned scratch, which
+// the concurrency contract forbids), but the batch still collapses the
+// per-synopsis Fuse dispatches into one call with UnionInto's overwrite
+// semantics per half.
+func (a *Average) FuseAll(acc AvgSynopsis, in []AvgSynopsis) AvgSynopsis {
+	keep := false
+	for _, s := range in {
+		if s.Sum == acc.Sum {
+			keep = true
+		}
+	}
+	if !keep {
+		acc.Sum.Reset()
+		acc.Count.Reset()
+	}
+	for _, s := range in {
+		if s.Sum == acc.Sum {
+			continue
+		}
+		acc.Sum.Union(s.Sum)
+		acc.Count.Union(s.Count)
+	}
 	return acc
 }
 

@@ -102,6 +102,41 @@ func (a *Agg) DecodeSynopsisInto(data []byte, dst *Synopsis) (*Synopsis, error) 
 	return DecodeWireSynopsisInto(data, a.MP, dst)
 }
 
+// SynopsisEpochKey implements aggregate.SynopsisMemoizer: the reseeding
+// window shared by the item and total seeds (see Params.ReseedEvery). Within
+// a window ConvertInto is a pure function of (owner, summary), so the epoch
+// engine may cache converted boundary summaries and reuse whole frames.
+func (a *Agg) SynopsisEpochKey(epoch int) uint64 { return a.MP.epochKey(epoch) }
+
+// PartialEqual implements aggregate.SynopsisMemoizer: the §6.3 conversion
+// reads only the summary's total count and per-item estimates (the error
+// state and decrement credit never reach the synopsis), so two summaries
+// convert identically exactly when those agree.
+func (a *Agg) PartialEqual(x, y *Summary) bool {
+	if x == nil || y == nil {
+		return x == y
+	}
+	if x.N != y.N || len(x.Counts) != len(y.Counts) {
+		return false
+	}
+	for u, v := range x.Counts {
+		if w, ok := y.Counts[u]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CopySynopsisInto implements aggregate.SynopsisMemoizer: dst becomes a deep
+// copy of src, drawing class and item storage from dst's freelists.
+func (a *Agg) CopySynopsisInto(dst, src *Synopsis) *Synopsis {
+	dst.Reset()
+	for c, cs := range src.ByClass {
+		dst.ByClass[c] = dst.cloneClassInto(cs, a.MP)
+	}
+	return dst
+}
+
 // AppendSynopsis implements aggregate.Aggregate.
 func (a *Agg) AppendSynopsis(dst []byte, s *Synopsis) []byte { return s.AppendWire(dst, a.MP) }
 

@@ -367,6 +367,7 @@ func TestMultipathAccuracy(t *testing.T) {
 	// Many nodes with a Zipf stream: the SE estimates of the heavy items
 	// should land near truth (within the ⊕ operator's error).
 	p := DefaultParams(11, 0.001, 22)
+	p.ReseedEvery = 1 // every epoch its own hash space (the default is 10)
 	src := xrand.NewSource(23)
 	z := xrand.NewZipf(src, 100, 1.5)
 	// The ⊕ operator at KItem=8 has ~27% standard error per observation, so

@@ -26,21 +26,39 @@ type Params struct {
 	KItem int
 	// KTotal is the number of FM bitmaps of the ñ (total count) sketch.
 	KTotal int
+	// ReseedEvery is the sketch-hash reseeding period in epochs, matching
+	// the simple aggregates: within a period every epoch draws the same
+	// item/total seeds — a fixed deployment-wide hash, which is what makes
+	// converted summaries memoizable across epochs — and between periods
+	// the seeds are re-drawn so multi-epoch averages de-correlate. 0 never
+	// reseeds.
+	ReseedEvery int
 }
 
 // DefaultParams returns the configuration used by the experiments: η = 1.5,
 // 8-bitmap item sketches (εc ≈ 0.28, the low-overhead best-effort operator
-// of [7], as the paper's evaluation uses) and a 16-bitmap total sketch.
+// of [7], as the paper's evaluation uses), a 16-bitmap total sketch and a
+// 10-epoch reseeding period.
 func DefaultParams(seed uint64, epsilon float64, logN float64) Params {
-	return Params{Seed: seed, Epsilon: epsilon, Eta: 1.5, LogN: logN, KItem: 8, KTotal: 16}
+	return Params{Seed: seed, Epsilon: epsilon, Eta: 1.5, LogN: logN, KItem: 8, KTotal: 16,
+		ReseedEvery: 10}
+}
+
+// epochKey identifies the hash-reseeding window epoch falls in; all sketch
+// seeds hash the key, not the raw epoch.
+func (p Params) epochKey(epoch int) uint64 {
+	if p.ReseedEvery <= 0 {
+		return 0
+	}
+	return uint64(epoch / p.ReseedEvery)
 }
 
 func (p Params) itemSeed(epoch int, u Item) uint64 {
-	return xrand.Hash(p.Seed, 0x17E6, uint64(epoch), uint64(u))
+	return xrand.Hash(p.Seed, 0x17E6, p.epochKey(epoch), uint64(u))
 }
 
 func (p Params) totalSeed(epoch int) uint64 {
-	return xrand.Hash(p.Seed, 0x707A1, uint64(epoch))
+	return xrand.Hash(p.Seed, 0x707A1, p.epochKey(epoch))
 }
 
 // ClassSynopsis is a class-i synopsis: i is (the floor of the logarithm of)
@@ -277,28 +295,25 @@ func (s *Synopsis) Items() []Item {
 // estimates across all classes are added with ⊕ (sketch union); ñ likewise.
 // It returns the per-item estimates and the estimated total N̂.
 func (s *Synopsis) Evaluate(p Params) (map[Item]float64, float64) {
-	var total *sketch.Sketch
-	perItem := make(map[Item]*sketch.Sketch)
+	// Lazily-materialized union views: gathering sources per item and fusing
+	// them in one word-major pass replaces the clone-then-Union-per-class
+	// merge loop (and its per-item defensive clones).
+	var total sketch.View
+	perItem := make(map[Item]*sketch.View)
 	for _, cs := range s.ByClass {
-		if total == nil {
-			total = cs.NTotal.Clone()
-		} else {
-			total.Union(cs.NTotal)
-		}
+		total.Add(cs.NTotal)
 		for u, sk := range cs.ItemSketches {
-			if own, ok := perItem[u]; ok {
-				own.Union(sk)
-			} else {
-				perItem[u] = sk.Clone()
+			v, ok := perItem[u]
+			if !ok {
+				v = &sketch.View{}
+				perItem[u] = v
 			}
+			v.Add(sk)
 		}
 	}
 	est := make(map[Item]float64, len(perItem))
-	for u, sk := range perItem {
-		est[u] = sk.Estimate()
-	}
-	if total == nil {
-		return est, 0
+	for u, v := range perItem {
+		est[u] = v.Estimate()
 	}
 	return est, total.Estimate()
 }

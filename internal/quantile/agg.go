@@ -57,22 +57,53 @@ type Agg struct {
 	// Gradient budgets tree-side prune error per node height; nil keeps
 	// tree summaries exact (no pruning).
 	Gradient Gradient
+	// ReseedEvery is the hash reseeding period in epochs, matching the
+	// simple aggregates: within a period the count-sketch seed and the
+	// sample rank realization are fixed — what makes boundary conversions
+	// memoizable across epochs — and between periods both re-draw so
+	// multi-epoch answers de-correlate. 0 never reseeds.
+	ReseedEvery int
 	// heights indexes the precision gradient per node.
 	heights []int
+
+	// scratchSmp/scratchCnt/scratchCnts are the EvalBase delta-merge
+	// accumulators, reused epoch to epoch (EvalBase runs on the dispatch
+	// goroutine only).
+	scratchSmp  *sample.Sample
+	scratchCnt  *sketch.Sketch
+	scratchCnts []*sketch.Sketch
 }
 
 // NewAgg assembles the quantiles aggregate over a concrete tree (heights
 // drive the gradient). k is the bottom-k sample capacity and countK the FM
 // bitmap count of the delta population sketch; g may be nil for exact
-// (unpruned) tree summaries.
+// (unpruned) tree summaries. The hash reseeding period defaults to 10
+// epochs, like the simple aggregates.
 func NewAgg(tree *topo.Tree, seed uint64, k, countK int, g Gradient) *Agg {
-	return &Agg{Seed: seed, K: k, CountK: countK, Gradient: g, heights: tree.Heights()}
+	return &Agg{Seed: seed, K: k, CountK: countK, Gradient: g, ReseedEvery: 10,
+		heights: tree.Heights()}
 }
 
-// countSeed namespaces the delta population sketch per epoch.
-func (a *Agg) countSeed(epoch int) uint64 {
-	return xrand.Hash(a.Seed, 0x51AA, uint64(epoch))
+// epochKey identifies the hash-reseeding window epoch falls in; the count
+// seed and the sample rank epoch both hash the key, never the raw epoch.
+func (a *Agg) epochKey(epoch int) uint64 {
+	if a.ReseedEvery <= 0 {
+		return 0
+	}
+	return uint64(epoch / a.ReseedEvery)
 }
+
+// countSeed namespaces the delta population sketch per reseeding window.
+func (a *Agg) countSeed(epoch int) uint64 {
+	return xrand.Hash(a.Seed, 0x51AA, a.epochKey(epoch))
+}
+
+// rankEpoch is the epoch identity fed to the bottom-k sample's rank hash: the
+// reseeding window, not the raw epoch, so a node's rank holds still within a
+// window (Local depends on the epoch only through the key — the memoizer
+// contract) and re-draws at rollover. Duplicate insensitivity needs only
+// within-epoch identity, which the node id provides.
+func (a *Agg) rankEpoch(epoch int) int { return int(a.epochKey(epoch)) }
 
 // Name implements aggregate.Aggregate.
 func (a *Agg) Name() string { return "Quantiles" }
@@ -81,7 +112,7 @@ func (a *Agg) Name() string { return "Quantiles" }
 // reading's sample entry.
 func (a *Agg) Local(epoch, node int, v float64) *Partial {
 	smp := sample.New(a.K)
-	smp.Add(a.Seed, epoch, node, v)
+	smp.Add(a.Seed, a.rankEpoch(epoch), node, v)
 	return &Partial{Sum: FromSorted([]float64{v}), Smp: smp}
 }
 
@@ -178,6 +209,42 @@ func (a *Agg) DecodeSynopsisInto(data []byte, dst *Synopsis) (*Synopsis, error) 
 	return dst, nil
 }
 
+// SynopsisEpochKey implements aggregate.SynopsisMemoizer: the reseeding
+// window shared by the count seed and the sample rank realization. Within a
+// window ConvertInto is a pure function of (owner, partial), so the epoch
+// engine may cache converted boundary partials and reuse whole frames.
+func (a *Agg) SynopsisEpochKey(epoch int) uint64 { return a.epochKey(epoch) }
+
+// PartialEqual implements aggregate.SynopsisMemoizer: conversion extracts
+// the bottom-k sample verbatim and registers Sum.N in the population sketch
+// — the summary's entries and error bound never reach the synopsis — so two
+// partials convert identically exactly when those agree.
+func (a *Agg) PartialEqual(x, y *Partial) bool {
+	if x == nil || y == nil {
+		return x == y
+	}
+	if x.Sum.N != y.Sum.N {
+		return false
+	}
+	xi, yi := x.Smp.Items(), y.Smp.Items()
+	if len(xi) != len(yi) {
+		return false
+	}
+	for i := range xi {
+		if xi[i] != yi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopySynopsisInto implements aggregate.SynopsisMemoizer.
+func (a *Agg) CopySynopsisInto(dst, src *Synopsis) *Synopsis {
+	dst.Smp.CopyFrom(src.Smp)
+	dst.Cnt.CopyFrom(src.Cnt)
+	return dst
+}
+
 // AppendSynopsis implements aggregate.Aggregate.
 func (a *Agg) AppendSynopsis(dst []byte, s *Synopsis) []byte {
 	dst = s.Smp.AppendWire(dst)
@@ -211,12 +278,23 @@ func (a *Agg) EvalBase(treeParts []*Partial, syns []*Synopsis) *Summary {
 		}
 	}
 	if len(syns) > 0 {
-		smp := syns[0].Smp.Clone()
-		cnt := syns[0].Cnt.Clone()
+		// Samples must fold pairwise (bottom-k truncation), but the
+		// population sketches compose under plain OR: gather them and run one
+		// fused word-major union instead of a per-synopsis Union loop.
+		if a.scratchSmp == nil {
+			a.scratchSmp = sample.New(a.K)
+			a.scratchCnt = sketch.New(a.CountK)
+		}
+		smp, cnt := a.scratchSmp, a.scratchCnt
+		smp.CopyFrom(syns[0].Smp)
+		a.scratchCnts = a.scratchCnts[:0]
+		for _, s := range syns {
+			a.scratchCnts = append(a.scratchCnts, s.Cnt)
+		}
 		for _, s := range syns[1:] {
 			smp.Merge(s.Smp)
-			cnt.Union(s.Cnt)
 		}
+		sketch.UnionAllInto(cnt, a.scratchCnts...)
 		if ds := SampleSummary(smp, int64(math.Round(cnt.Estimate()))); ds.N > 0 {
 			if root == nil {
 				root = ds

@@ -146,6 +146,13 @@ type Config[V, P, S, R any] struct {
 	// memo.go) even when the aggregate supports it — the A/B lever behind
 	// the bench guards. Answers are bit-identical either way.
 	NoMemo bool
+	// NoBatchFuse disables the fused multi-sketch unions: inbox synopses
+	// fold through one aggregate.SynopsisBatchFuser pass and contributing-
+	// Count sketches through one sketch.UnionAllInto pass when batching is
+	// on; off reverts to a Fuse/Union call per sender — the A/B lever
+	// behind the fused-union bench guard. Every batched operation is a
+	// pure bitwise OR, so answers are bit-identical either way.
+	NoBatchFuse bool
 }
 
 // EpochResult is one collection round's outcome.
@@ -206,6 +213,19 @@ type Runner[V, P, S, R any] struct {
 	memo      aggregate.SynopsisMemoizer[P, S]
 	memoState []nodeMemo[P, S]
 	memoOn    bool
+	// fuser is the aggregate's optional batch-fusion extension (resolved
+	// once, absent under Config.NoBatchFuse): a node's whole inbox of
+	// synopses folds in one pass instead of one Fuse call per sender.
+	// batchUnions gates the analogous one-pass fold of contributing-Count
+	// sketches — plain bitwise OR, so it needs nothing from the aggregate.
+	fuser       aggregate.SynopsisBatchFuser[S]
+	batchUnions bool
+	// trackNC engages the §4.2 non-contributing-count bookkeeping (frontier
+	// subtree NC counts, top-k merge, wire hints). Only the TD expansion
+	// strategy consumes them — StrategyNone (pure multipath) and the coarse
+	// strategy decide on the contributing fraction alone, so their runs skip
+	// the bookkeeping and their frames stop carrying the hints.
+	trackNC bool
 	// keysStable reports that neither hash-reseeding period rolled over
 	// since the last epoch; memoPrimed that prevAggKey/prevContribKey hold
 	// a recorded epoch's keys.
@@ -287,6 +307,7 @@ type Runner[V, P, S, R any] struct {
 	baseContrib      []uint64
 	baseChildContrib map[int]int64
 	baseTopNC        []int
+	baseContribSrcs  []*sketch.Sketch
 }
 
 // Wave phases.
@@ -354,6 +375,11 @@ type workerState[P, S any] struct {
 	topNC      []int
 	payloadBuf []byte
 	contribBuf []byte
+	// fuseSrcs/contribSrcs gather one node's fusion inputs for the batched
+	// single-pass folds; the worker owns them, so the parallel build phase
+	// stays lock-free (aggregates must not keep their own gather scratch).
+	fuseSrcs    []S
+	contribSrcs []*sketch.Sketch
 }
 
 // getSyn hands out a recycled synopsis from the worker's pool.
@@ -553,6 +579,11 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 	} else {
 		r.memo = nil
 	}
+	r.batchUnions = !cfg.NoBatchFuse
+	if r.batchUnions {
+		r.fuser, _ = cfg.Agg.(aggregate.SynopsisBatchFuser[S])
+	}
+	r.trackNC = strategy == tdgraph.StrategyTD
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
 	}
@@ -845,6 +876,7 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 	}
 	cs := r.baseCS
 	cs.Reset()
+	contribSrcs := r.baseContribSrcs[:0]
 	contributors := r.baseContrib
 	clear(contributors)
 	baseChildContrib := r.baseChildContrib
@@ -859,8 +891,12 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 			baseChildContrib[e.from] = e.contribTree
 		} else {
 			syns = append(syns, e.s)
-			cs.Union(e.contribSk)
-			if e.ncValid {
+			if r.batchUnions {
+				contribSrcs = append(contribSrcs, e.contribSk)
+			} else {
+				cs.Union(e.contribSk)
+			}
+			if r.trackNC && e.ncValid {
 				topNC = mergeTopK(topNC, e.topNC, r.topKCap())
 				if !ncValid || e.minNC < minNC {
 					minNC = e.minNC
@@ -870,6 +906,12 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 		}
 		orBits(contributors, e.contributors)
 	}
+	if len(contribSrcs) > 0 {
+		// cs was just Reset, so the plain overwrite semantics of the fused
+		// union are exactly right here.
+		sketch.UnionAllInto(cs, contribSrcs...)
+	}
+	r.baseContribSrcs = contribSrcs
 	answer := r.cfg.Agg.EvalBase(treeParts, syns)
 	estContrib := float64(exactContrib) + cs.Estimate()
 	r.lastContributors = contributors
@@ -886,21 +928,24 @@ func (r *Runner[V, P, S, R]) evalBase(epoch int) EpochResult[R] {
 
 	// The base station sees each direct T child's subtree contribution (or
 	// its absence) and records its non-contributing count for the TD
-	// strategy (see tdgraph.State.expandBaseChildren).
-	for _, c := range r.cfg.Tree.Children[topo.Base] {
-		if r.state.IsM(c) || !r.participates(c) {
-			continue
+	// strategy (see tdgraph.State.expandBaseChildren); only that strategy
+	// reads the counts.
+	if r.trackNC {
+		for _, c := range r.cfg.Tree.Children[topo.Base] {
+			if r.state.IsM(c) || !r.participates(c) {
+				continue
+			}
+			nc := r.state.SubtreeSize(c) - int(baseChildContrib[c])
+			if nc < 0 {
+				nc = 0
+			}
+			r.lastNC[c] = nc
+			topNC = insertTopK(topNC, nc, r.topKCap())
+			if !ncValid || nc < minNC {
+				minNC = nc
+			}
+			ncValid = true
 		}
-		nc := r.state.SubtreeSize(c) - int(baseChildContrib[c])
-		if nc < 0 {
-			nc = 0
-		}
-		r.lastNC[c] = nc
-		topNC = insertTopK(topNC, nc, r.topKCap())
-		if !ncValid || nc < minNC {
-			minNC = nc
-		}
-		ncValid = true
 	}
 	r.baseTopNC = topNC[:0]
 
@@ -1070,6 +1115,10 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 	// changed (see memo.go).
 	var nm *nodeMemo[P, S]
 	var s S
+	batch := r.fuser != nil
+	if batch {
+		ws.fuseSrcs = ws.fuseSrcs[:0]
+	}
 	if r.memoOn {
 		nm = &r.memoState[v]
 		if !nm.ownValid || !r.memo.PartialEqual(nm.ownP, own) {
@@ -1081,13 +1130,30 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 			nm.ownP = own
 			nm.ownValid = true
 		}
-		s = r.memo.CopySynopsisInto(ws.getSyn(r.rec), nm.ownSyn)
+		if batch {
+			// FuseAll overwrites its accumulator, so the cached own-base
+			// synopsis joins the source list instead of being copied first.
+			s = ws.getSyn(r.rec)
+			ws.fuseSrcs = append(ws.fuseSrcs, nm.ownSyn)
+		} else {
+			s = r.memo.CopySynopsisInto(ws.getSyn(r.rec), nm.ownSyn)
+		}
 	} else {
 		s = r.convert(ws, epoch, v, own)
+		if batch {
+			// s carries real content here: listing the accumulator among
+			// the sources makes FuseAll fold it rather than overwrite it.
+			ws.fuseSrcs = append(ws.fuseSrcs, s)
+		}
 	}
 	cs := ws.skPool.get()
 	cs.Reset()
 	cs.AddCount(r.contribSeed(epoch), uint64(v), 1)
+	if r.batchUnions {
+		// Same accumulator-among-sources trick: direct AddCount insertions
+		// into cs (below) survive the final one-pass union.
+		ws.contribSrcs = append(ws.contribSrcs[:0], cs)
+	}
 	subtreeContrib := int64(1)
 	topNC := ws.topNC[:0]
 	minNC, ncValid := 0, false
@@ -1105,7 +1171,11 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 					be.contribCount = e.contribTree
 					be.cValid = true
 				}
-				cs.Union(be.contrib)
+				if r.batchUnions {
+					ws.contribSrcs = append(ws.contribSrcs, be.contrib)
+				} else {
+					cs.Union(be.contrib)
+				}
 				if !be.pValid || !r.memo.PartialEqual(be.p, e.p) {
 					if !be.synSet {
 						be.syn = r.rec.NewSynopsis()
@@ -1115,16 +1185,32 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 					be.p = e.p
 					be.pValid = true
 				}
-				s = agg.Fuse(s, be.syn)
+				if batch {
+					ws.fuseSrcs = append(ws.fuseSrcs, be.syn)
+				} else {
+					s = agg.Fuse(s, be.syn)
+				}
 			} else {
-				s = agg.Fuse(s, r.convert(ws, epoch, e.from, e.p))
+				if batch {
+					ws.fuseSrcs = append(ws.fuseSrcs, r.convert(ws, epoch, e.from, e.p))
+				} else {
+					s = agg.Fuse(s, r.convert(ws, epoch, e.from, e.p))
+				}
 				cs.AddCount(r.contribSeed(epoch), uint64(e.from), e.contribTree)
 			}
 			subtreeContrib += e.contribTree
 		} else {
-			s = agg.Fuse(s, e.s)
-			cs.Union(e.contribSk)
-			if e.ncValid {
+			if batch {
+				ws.fuseSrcs = append(ws.fuseSrcs, e.s)
+			} else {
+				s = agg.Fuse(s, e.s)
+			}
+			if r.batchUnions {
+				ws.contribSrcs = append(ws.contribSrcs, e.contribSk)
+			} else {
+				cs.Union(e.contribSk)
+			}
+			if r.trackNC && e.ncValid {
 				topNC = mergeTopK(topNC, e.topNC, r.topKCap())
 				if !ncValid || e.minNC < minNC {
 					minNC = e.minNC
@@ -1134,9 +1220,15 @@ func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, 
 		}
 		orBits(contributors, e.contributors)
 	}
+	if batch {
+		s = r.fuser.FuseAll(s, ws.fuseSrcs)
+	}
+	if r.batchUnions && len(ws.contribSrcs) > 1 {
+		sketch.UnionAllInto(cs, ws.contribSrcs...)
+	}
 	// A frontier M vertex roots a unique all-T tree subtree (§4.2 footnote
 	// 3) and reports how many of its nodes did not contribute.
-	if r.state.IsFrontierM(v) {
+	if r.trackNC && r.state.IsFrontierM(v) {
 		nc := r.state.SubtreeSize(v) - int(subtreeContrib)
 		if nc < 0 {
 			nc = 0

@@ -255,6 +255,115 @@ func UnionInto(dst *Sketch, srcs ...*Sketch) {
 	}
 }
 
+// UnionAllInto is the fused multi-sketch union behind the batch fusion
+// paths: N class or contribution sketches compose under plain bitwise OR
+// (Considine et al.), so one call replaces N shape-checked Union calls. The
+// sources stream through the destination two at a time with their slice
+// headers hoisted out of the word loop — the destination stays cache-hot
+// across passes and every access is bounds-check free. The contract matches
+// UnionInto: dst is overwritten with the union of srcs, dst may itself
+// appear among srcs (its prior contents then fold in), and any K mismatch
+// panics like Union.
+func UnionAllInto(dst *Sketch, srcs ...*Sketch) {
+	fold := false
+	for _, s := range srcs {
+		if s.k != dst.k {
+			panic(fmt.Sprintf("sketch: union of mismatched sketches (%d vs %d bitmaps)",
+				dst.k, s.k))
+		}
+		if s == dst {
+			fold = true
+		}
+	}
+	a := dst.words
+	if len(srcs) == 0 {
+		clear(a)
+		return
+	}
+	i := 0
+	if !fold {
+		// dst holds stale content: the first source overwrites instead of
+		// folding. (With dst among srcs its own words must survive, so every
+		// pass ORs.)
+		copy(a, srcs[0].words)
+		i = 1
+	}
+	for ; i+1 < len(srcs); i += 2 {
+		x := srcs[i].words[:len(a)]
+		y := srcs[i+1].words[:len(a)]
+		for j := range a {
+			a[j] |= x[j] | y[j]
+		}
+	}
+	if i < len(srcs) {
+		x := srcs[i].words[:len(a)]
+		for j := range a {
+			a[j] |= x[j]
+		}
+	}
+}
+
+// View is a lazily-materialized union of sketches. Add records a source
+// without touching any words; the fused union is computed — once, by a single
+// UnionAllInto pass over all recorded sources — only when Materialize (or
+// Estimate) is called, and the result is cached until the source set changes.
+// It replaces the clone-then-Union-in-a-loop merge pattern: callers that
+// gather per-key sketches from many classes no longer pay one shape-checked
+// Union per source, and keys that are never estimated never pay for a union
+// at all. The sources must outlive the view unchanged (it stores pointers,
+// not copies). The zero value is ready to use; Reset recycles the view and
+// its materialization buffer for the next merge chain.
+type View struct {
+	srcs  []*Sketch
+	mat   *Sketch
+	fresh bool // mat currently holds the union of srcs
+}
+
+// Reset empties the source set, keeping the accumulated storage.
+func (v *View) Reset() {
+	v.srcs = v.srcs[:0]
+	v.fresh = false
+}
+
+// Add records s as a union source. All sources must share the same K — a
+// mismatch panics at materialization, like Union.
+func (v *View) Add(s *Sketch) {
+	v.srcs = append(v.srcs, s)
+	v.fresh = false
+}
+
+// Len returns the number of recorded sources.
+func (v *View) Len() int { return len(v.srcs) }
+
+// Materialize returns the union of the recorded sources, computing it in one
+// fused pass on first use and caching it until the next Add or Reset. The
+// returned sketch is owned by the view (valid until the view changes). It
+// returns nil when no sources were added.
+func (v *View) Materialize() *Sketch {
+	if v.fresh {
+		return v.mat
+	}
+	if len(v.srcs) == 0 {
+		return nil
+	}
+	if v.mat == nil || v.mat.k != v.srcs[0].k {
+		v.mat = New(v.srcs[0].k)
+	}
+	UnionAllInto(v.mat, v.srcs...)
+	v.fresh = true
+	return v.mat
+}
+
+// Estimate returns the duplicate-insensitive count estimate of the union of
+// the recorded sources (0 when empty), materializing lazily.
+func (v *View) Estimate() float64 {
+	m := v.Materialize()
+	if m == nil {
+		return 0
+	}
+	return m.Estimate()
+}
+
 // lowestZero returns the index of the lowest unset bit of bitmap m (the FM
 // statistic R_m).
 func (s *Sketch) lowestZero(m int) int {

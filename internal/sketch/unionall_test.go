@@ -1,0 +1,177 @@
+package sketch
+
+import (
+	"testing"
+
+	"tributarydelta/internal/xrand"
+)
+
+// The fused multi-union (UnionAllInto, View) must be bit-equivalent to the
+// sequential per-sketch forms for every shape — OR is commutative,
+// associative and idempotent, so a word-major pass and a source-major pass
+// can only differ by a bug.
+
+// randSketch populates a fresh k-bitmap sketch from a deterministic stream.
+func randSketch(seed uint64, k, inserts int) *Sketch {
+	s := New(k)
+	for i := 0; i < inserts; i++ {
+		s.Insert(seed, uint64(i))
+	}
+	return s
+}
+
+func TestUnionAllMatchesSequentialUnions(t *testing.T) {
+	src := xrand.NewSource(42, 0xA11)
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + int(src.Uint64()%64)
+		n := 1 + int(src.Uint64()%9)
+		srcs := make([]*Sketch, n)
+		for i := range srcs {
+			srcs[i] = randSketch(src.Uint64(), k, int(src.Uint64()%300))
+		}
+
+		// Reference: the source-major UnionInto fast path.
+		want := New(k)
+		UnionInto(want, srcs...)
+
+		// Fused word-major pass, over stale destination bits.
+		got := New(k)
+		got.Insert(99, uint64(trial)) // must be overwritten, not folded
+		UnionAllInto(got, srcs...)
+		for m := 0; m < k; m++ {
+			if got.bitmap(m) != want.bitmap(m) {
+				t.Fatalf("trial %d (k=%d n=%d) bitmap %d: fused %x != sequential %x",
+					trial, k, n, m, got.bitmap(m), want.bitmap(m))
+			}
+		}
+
+		// dst among srcs folds prior contents, like UnionInto.
+		snapshots := make([]*Sketch, n)
+		for i, s := range srcs {
+			snapshots[i] = s.Clone()
+		}
+		fold := randSketch(src.Uint64(), k, 50)
+		foldWant := fold.Clone()
+		for _, s := range srcs {
+			foldWant.Union(s)
+		}
+		UnionAllInto(fold, append([]*Sketch{fold}, srcs...)...)
+		for m := 0; m < k; m++ {
+			if fold.bitmap(m) != foldWant.bitmap(m) {
+				t.Fatalf("trial %d bitmap %d: fused fold %x != sequential %x",
+					trial, m, fold.bitmap(m), foldWant.bitmap(m))
+			}
+		}
+
+		// Sources must be untouched by either pass.
+		for i, s := range srcs {
+			for m := 0; m < k; m++ {
+				if s.bitmap(m) != snapshots[i].bitmap(m) {
+					t.Fatalf("trial %d: UnionAllInto mutated source %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUnionAllIntoEmptySourcesClears(t *testing.T) {
+	s := randSketch(7, 24, 100)
+	UnionAllInto(s)
+	if !s.Empty() {
+		t.Fatal("UnionAllInto with no sources should clear dst, matching UnionInto")
+	}
+}
+
+func TestUnionAllIntoPanicsOnMismatchedK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UnionAllInto of mismatched K did not panic")
+		}
+	}()
+	UnionAllInto(New(8), New(8), New(16))
+}
+
+func TestUnionAllIntoZeroAlloc(t *testing.T) {
+	dst := New(40)
+	srcs := []*Sketch{randSketch(1, 40, 100), randSketch(2, 40, 100), randSketch(3, 40, 100)}
+	if n := testing.AllocsPerRun(100, func() { UnionAllInto(dst, srcs...) }); n != 0 {
+		t.Fatalf("UnionAllInto allocates %v per run, want 0", n)
+	}
+}
+
+func TestViewMatchesCloneUnionLoop(t *testing.T) {
+	a, b, c := randSketch(1, 32, 150), randSketch(2, 32, 150), randSketch(3, 32, 150)
+
+	// Reference: the clone-then-Union-in-a-loop pattern the view replaces.
+	want := a.Clone()
+	want.Union(b)
+	want.Union(c)
+
+	var v View
+	if v.Materialize() != nil || v.Estimate() != 0 || v.Len() != 0 {
+		t.Fatal("empty view should materialize to nil and estimate 0")
+	}
+	v.Add(a)
+	v.Add(b)
+	v.Add(c)
+	got := v.Materialize()
+	for m := 0; m < want.K(); m++ {
+		if got.bitmap(m) != want.bitmap(m) {
+			t.Fatalf("bitmap %d: view %x != clone+union %x", m, got.bitmap(m), want.bitmap(m))
+		}
+	}
+	if v.Estimate() != want.Estimate() {
+		t.Fatalf("view estimate %v != reference %v", v.Estimate(), want.Estimate())
+	}
+	if v.Materialize() != got {
+		t.Fatal("repeated Materialize should return the cached union")
+	}
+
+	// Adding a source invalidates the cache; Reset recycles across shapes.
+	d := randSketch(4, 32, 150)
+	v.Add(d)
+	want.Union(d)
+	if got := v.Materialize(); got.bitmap(0) != want.bitmap(0) || v.Len() != 4 {
+		t.Fatal("view did not refresh after Add")
+	}
+	v.Reset()
+	e := randSketch(5, 16, 80)
+	v.Add(e)
+	if got := v.Materialize(); got.K() != 16 || got.bitmap(0) != e.bitmap(0) {
+		t.Fatal("view did not re-materialize after Reset with a new shape")
+	}
+}
+
+// FuzzUnionAllDifferential drives fused vs sequential unions from raw bytes:
+// the fuzzer picks the shape, the source count and the per-source
+// populations.
+func FuzzUnionAllDifferential(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(3), uint16(200))
+	f.Add(uint64(7), uint8(1), uint8(1), uint16(0))
+	f.Add(uint64(9), uint8(63), uint8(8), uint16(1000))
+	f.Fuzz(func(t *testing.T, seed uint64, kRaw, nRaw uint8, inserts uint16) {
+		k := 1 + int(kRaw)%64
+		n := 1 + int(nRaw)%10
+		srcs := make([]*Sketch, n)
+		for i := range srcs {
+			srcs[i] = randSketch(seed+uint64(i), k, int(inserts)%500)
+		}
+		want := New(k)
+		UnionInto(want, srcs...)
+		got := New(k)
+		UnionAllInto(got, srcs...)
+		var v View
+		for _, s := range srcs {
+			v.Add(s)
+		}
+		view := v.Materialize()
+		for m := 0; m < k; m++ {
+			if got.bitmap(m) != want.bitmap(m) {
+				t.Fatalf("bitmap %d: fused %x != sequential %x", m, got.bitmap(m), want.bitmap(m))
+			}
+			if view.bitmap(m) != want.bitmap(m) {
+				t.Fatalf("bitmap %d: view %x != sequential %x", m, view.bitmap(m), want.bitmap(m))
+			}
+		}
+	})
+}

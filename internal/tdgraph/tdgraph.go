@@ -49,6 +49,26 @@ type State struct {
 	// subtree[v] is the size of v's tree subtree including v — the paper's
 	// footnote 3 "unique subtree" used by the TD strategy.
 	subtree []int
+	// deltaSize counts the M vertices, maintained at every label write so
+	// DeltaSize is O(1) — the epoch loop reads it every round.
+	deltaSize int
+	// scan is the reusable buffer behind the internal frontier/switchable
+	// enumerations: the amortized §4.2 decision runs allocation-free. The
+	// exported enumerations still return fresh slices.
+	scan []int
+}
+
+// setLabel writes v's label, keeping the M-vertex count current.
+func (s *State) setLabel(v int, l Label) {
+	if s.label[v] == l {
+		return
+	}
+	if l == M {
+		s.deltaSize++
+	} else {
+		s.deltaSize--
+	}
+	s.label[v] = l
 }
 
 // NewState labels every reachable vertex with rings level ≤ deltaLevels as M
@@ -64,10 +84,10 @@ func NewState(g *topo.Graph, r *topo.Rings, tree *topo.Tree, deltaLevels int) *S
 	}
 	for v := 0; v < g.N(); v++ {
 		if r.Reachable(v) && r.Level[v] <= deltaLevels {
-			s.label[v] = M
+			s.setLabel(v, M)
 		}
 	}
-	s.label[topo.Base] = M
+	s.setLabel(topo.Base, M)
 	return s
 }
 
@@ -81,15 +101,7 @@ func (s *State) IsM(v int) bool { return s.label[v] == M }
 func (s *State) SubtreeSize(v int) int { return s.subtree[v] }
 
 // DeltaSize returns the number of M vertices, the base station included.
-func (s *State) DeltaSize() int {
-	n := 0
-	for _, l := range s.label {
-		if l == M {
-			n++
-		}
-	}
-	return n
-}
+func (s *State) DeltaSize() int { return s.deltaSize }
 
 // TributarySize returns the number of T vertices.
 func (s *State) TributarySize() int { return s.G.N() - s.DeltaSize() }
@@ -133,14 +145,19 @@ func (s *State) IsFrontierM(v int) bool {
 
 // FrontierM returns all frontier M vertices (the base station included when
 // it qualifies).
-func (s *State) FrontierM() []int {
-	var out []int
+func (s *State) FrontierM() []int { return s.appendFrontierM(nil) }
+
+// appendFrontierM appends the frontier M vertices to buf. The switch
+// operations feed it the reusable scan buffer (collect-then-switch: the
+// enumeration is fully materialized before any label changes) so the
+// amortized decision path never allocates.
+func (s *State) appendFrontierM(buf []int) []int {
 	for v := 0; v < s.G.N(); v++ {
 		if s.IsFrontierM(v) {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
 }
 
 // IsSwitchableT reports whether T vertex v may switch to M: its tree parent
@@ -154,25 +171,31 @@ func (s *State) IsSwitchableT(v int) bool {
 }
 
 // SwitchableM returns all switchable M vertices.
-func (s *State) SwitchableM() []int {
-	var out []int
+func (s *State) SwitchableM() []int { return s.appendSwitchableM(nil) }
+
+// appendSwitchableM appends the switchable M vertices to buf; see
+// appendFrontierM for the scratch discipline.
+func (s *State) appendSwitchableM(buf []int) []int {
 	for v := 0; v < s.G.N(); v++ {
 		if s.IsSwitchableM(v) {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
 }
 
 // SwitchableT returns all switchable T vertices.
-func (s *State) SwitchableT() []int {
-	var out []int
+func (s *State) SwitchableT() []int { return s.appendSwitchableT(nil) }
+
+// appendSwitchableT appends the switchable T vertices to buf; see
+// appendFrontierM for the scratch discipline.
+func (s *State) appendSwitchableT(buf []int) []int {
 	for v := 0; v < s.G.N(); v++ {
 		if s.IsSwitchableT(v) {
-			out = append(out, v)
+			buf = append(buf, v)
 		}
 	}
-	return out
+	return buf
 }
 
 // ExpandCoarse switches every switchable T vertex to M — the TD-Coarse
@@ -180,8 +203,9 @@ func (s *State) SwitchableT() []int {
 // number of vertices switched.
 func (s *State) ExpandCoarse() int {
 	switched := 0
-	for _, v := range s.SwitchableT() {
-		s.label[v] = M
+	s.scan = s.appendSwitchableT(s.scan[:0])
+	for _, v := range s.scan {
+		s.setLabel(v, M)
 		switched++
 	}
 	return switched
@@ -191,8 +215,9 @@ func (s *State) ExpandCoarse() int {
 // contraction. It returns the number of vertices switched.
 func (s *State) ShrinkCoarse() int {
 	switched := 0
-	for _, v := range s.SwitchableM() {
-		s.label[v] = T
+	s.scan = s.appendSwitchableM(s.scan[:0])
+	for _, v := range s.scan {
+		s.setLabel(v, T)
 		switched++
 	}
 	return switched
@@ -206,13 +231,14 @@ func (s *State) ShrinkCoarse() int {
 // ignored.
 func (s *State) ExpandTD(notContrib []int, maxNC int) int {
 	switched := 0
-	for _, v := range s.FrontierM() {
+	s.scan = s.appendFrontierM(s.scan[:0])
+	for _, v := range s.scan {
 		if v == topo.Base || notContrib[v] != maxNC {
 			continue
 		}
 		for _, c := range s.Tree.Children[v] {
 			if s.label[c] == T && s.R.Reachable(c) {
-				s.label[c] = M
+				s.setLabel(c, M)
 				switched++
 			}
 		}
@@ -223,7 +249,7 @@ func (s *State) ExpandTD(notContrib []int, maxNC int) int {
 	if switched == 0 && s.DeltaSize() == 1 {
 		for _, c := range s.Tree.Children[topo.Base] {
 			if s.R.Reachable(c) {
-				s.label[c] = M
+				s.setLabel(c, M)
 				switched++
 			}
 		}
@@ -249,7 +275,7 @@ func (s *State) expandBaseChildren(notContrib []int, threshold int, exact bool) 
 		if !exact && notContrib[c] < threshold {
 			continue
 		}
-		s.label[c] = M
+		s.setLabel(c, M)
 		switched++
 	}
 	return switched
@@ -261,13 +287,14 @@ func (s *State) expandBaseChildren(notContrib []int, threshold int, exact bool) 
 // a few adaptation periods where the strict-max rule needs many.
 func (s *State) ExpandTDAtLeast(notContrib []int, threshold int) int {
 	switched := 0
-	for _, v := range s.FrontierM() {
+	s.scan = s.appendFrontierM(s.scan[:0])
+	for _, v := range s.scan {
 		if v == topo.Base || notContrib[v] < threshold {
 			continue
 		}
 		for _, c := range s.Tree.Children[v] {
 			if s.label[c] == T && s.R.Reachable(c) {
-				s.label[c] = M
+				s.setLabel(c, M)
 				switched++
 			}
 		}
@@ -276,7 +303,7 @@ func (s *State) ExpandTDAtLeast(notContrib []int, threshold int) int {
 	if switched == 0 && s.DeltaSize() == 1 {
 		for _, c := range s.Tree.Children[topo.Base] {
 			if s.R.Reachable(c) {
-				s.label[c] = M
+				s.setLabel(c, M)
 				switched++
 			}
 		}
@@ -289,9 +316,10 @@ func (s *State) ExpandTDAtLeast(notContrib []int, threshold int) int {
 // itself to T.
 func (s *State) ShrinkTD(notContrib []int, minNC int) int {
 	switched := 0
-	for _, v := range s.SwitchableM() {
+	s.scan = s.appendSwitchableM(s.scan[:0])
+	for _, v := range s.scan {
 		if notContrib[v] == minNC {
-			s.label[v] = T
+			s.setLabel(v, T)
 			switched++
 		}
 	}

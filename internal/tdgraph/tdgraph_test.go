@@ -400,6 +400,61 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestDeltaSizeIncrementalMatchesRecount pins the O(1) DeltaSize counter
+// against a full label recount across every switch operation, and pins the
+// switch operations as allocation-free once the scan buffer is warm (the
+// amortized §4.2 decision path must not allocate).
+func TestDeltaSizeIncrementalMatchesRecount(t *testing.T) {
+	g, r, tr := testTopology(15, 100)
+	s := NewState(g, r, tr, 2)
+	recount := func() int {
+		n := 0
+		for v := 0; v < g.N(); v++ {
+			if s.IsM(v) {
+				n++
+			}
+		}
+		return n
+	}
+	check := func(op string) {
+		t.Helper()
+		if got, want := s.DeltaSize(), recount(); got != want {
+			t.Fatalf("after %s: DeltaSize %d, recount %d", op, got, want)
+		}
+	}
+	check("NewState")
+	nc := make([]int, g.N())
+	for i := range nc {
+		nc[i] = i % 3
+	}
+	s.ExpandCoarse()
+	check("ExpandCoarse")
+	s.ExpandTDAtLeast(nc, 1)
+	check("ExpandTDAtLeast")
+	s.ShrinkTD(nc, 0)
+	check("ShrinkTD")
+	s.ExpandTD(nc, 2)
+	check("ExpandTD")
+	s.ShrinkCoarse()
+	check("ShrinkCoarse")
+	if got, want := s.TributarySize(), g.N()-recount(); got != want {
+		t.Fatalf("TributarySize %d, want %d", got, want)
+	}
+
+	// Warm the scan buffer, then the decision-path operations must not
+	// allocate.
+	s.ExpandCoarse()
+	s.ShrinkCoarse()
+	if n := testing.AllocsPerRun(20, func() {
+		s.ExpandCoarse()
+		s.ExpandTDAtLeast(nc, 1)
+		s.ShrinkTD(nc, 0)
+		s.ShrinkCoarse()
+	}); n != 0 {
+		t.Fatalf("switch operations allocate %v per cycle, want 0", n)
+	}
+}
+
 func TestStrategyAndActionStrings(t *testing.T) {
 	if StrategyTD.String() != "TD" || StrategyCoarse.String() != "TD-Coarse" || StrategyNone.String() != "none" {
 		t.Fatal("strategy strings wrong")

@@ -78,6 +78,14 @@ type Pool struct {
 	sem     chan struct{}
 	mu      sync.Mutex
 	entries map[string]*poolEntry
+	// pipelined switches RunEpochs from lock-step (return every
+	// deployment's rounds together) to enqueue-and-return: each deployment
+	// drains its queue independently under the shared budget and Barrier
+	// collects finished rounds on demand. outstanding counts enqueued
+	// rounds not yet finished; idle (on mu) signals it reaching zero.
+	pipelined   bool
+	outstanding int
+	idle        sync.Cond
 }
 
 // poolEntry serializes access to one hosted deployment. closed marks it as
@@ -94,6 +102,12 @@ type poolEntry struct {
 	// next round, so rebalancing never blocks on an in-flight run.
 	workers        atomic.Int64
 	appliedWorkers int
+	// Pipelined-mode queue state, all guarded by Pool.mu: pending rounds
+	// not yet run, finished rounds awaiting Barrier, and whether a drainer
+	// goroutine is currently responsible for this entry.
+	pending int
+	queued  []SetRound
+	running bool
 }
 
 // DeploymentStatus is a point-in-time snapshot of one hosted deployment.
@@ -119,11 +133,13 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{
+	p := &Pool{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		entries: make(map[string]*poolEntry),
 	}
+	p.idle.L = &p.mu
+	return p
 }
 
 // Workers returns the pool's worker budget.
@@ -277,12 +293,31 @@ func (p *Pool) RunRounds(id string, rounds int) ([]SetRound, []string, error) {
 	return e.runLocked(rounds), e.h.queries(), nil
 }
 
-// RunEpochs advances every hosted deployment by rounds epochs, running
-// deployments concurrently under the worker budget, and returns the
-// per-deployment results. Each deployment's rounds execute in epoch order;
-// only distinct deployments overlap.
+// RunEpochs advances every hosted deployment by rounds epochs. In the
+// default lock-step mode it runs deployments concurrently under the worker
+// budget, waits for all of them, and returns the per-deployment results. In
+// pipelined mode (SetPipelined) it only enqueues the rounds and returns nil
+// immediately: each deployment drains its own queue independently — a slow
+// deployment never holds up the rest — and Barrier collects the finished
+// rounds. Either way each deployment's rounds execute in epoch order; only
+// distinct deployments overlap, so per-deployment answer sequences are
+// bit-identical across both modes.
 func (p *Pool) RunEpochs(rounds int) map[string][]SetRound {
 	p.mu.Lock()
+	if p.pipelined {
+		if rounds > 0 {
+			for _, e := range p.entries {
+				e.pending += rounds
+				p.outstanding += rounds
+				if !e.running {
+					e.running = true
+					go p.drain(e)
+				}
+			}
+		}
+		p.mu.Unlock()
+		return nil
+	}
 	snapshot := make(map[string]*poolEntry, len(p.entries))
 	for id, e := range p.entries {
 		snapshot[id] = e
@@ -312,6 +347,96 @@ func (p *Pool) RunEpochs(rounds int) map[string][]SetRound {
 	}
 	wg.Wait()
 	return results
+}
+
+// drain is a pipelined deployment's worker loop: take one queued round at a
+// time under the shared budget, run it, and bank the result for Barrier.
+// Exactly one drainer runs per entry (per-deployment epochs stay strictly
+// ordered); it retires when the queue empties or the deployment is removed.
+func (p *Pool) drain(e *poolEntry) {
+	for {
+		p.mu.Lock()
+		if e.pending == 0 {
+			e.running = false
+			p.mu.Unlock()
+			return
+		}
+		e.pending--
+		p.mu.Unlock()
+
+		p.sem <- struct{}{}
+		e.mu.Lock()
+		if e.closed { // removed mid-queue: drop this and all remaining rounds
+			e.mu.Unlock()
+			<-p.sem
+			p.mu.Lock()
+			dropped := e.pending + 1
+			e.pending = 0
+			e.running = false
+			p.outstanding -= dropped
+			if p.outstanding == 0 {
+				p.idle.Broadcast()
+			}
+			p.mu.Unlock()
+			return
+		}
+		out := e.runLocked(1)
+		e.mu.Unlock()
+		<-p.sem
+
+		p.mu.Lock()
+		e.queued = append(e.queued, out...)
+		p.outstanding--
+		if p.outstanding == 0 {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// collectLocked hands over every entry's banked pipelined rounds. Caller
+// holds p.mu. Rounds banked by a deployment removed before collection are
+// gone with it.
+func (p *Pool) collectLocked() map[string][]SetRound {
+	results := make(map[string][]SetRound, len(p.entries))
+	for id, e := range p.entries {
+		if len(e.queued) > 0 {
+			results[id] = e.queued
+			e.queued = nil
+		}
+	}
+	return results
+}
+
+// Barrier waits until every round enqueued in pipelined mode has finished
+// and returns the per-deployment results banked since the last collection
+// (Barrier or SetPipelined(false)) — the on-demand lock-step snapshot: after
+// it returns, every deployment sits at a quiescent epoch boundary. In
+// lock-step mode with nothing outstanding it returns an empty map.
+func (p *Pool) Barrier() map[string][]SetRound {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.outstanding > 0 {
+		p.idle.Wait()
+	}
+	return p.collectLocked()
+}
+
+// SetPipelined switches RunEpochs between lock-step (off, the default) and
+// pipelined enqueue-and-return (on). Turning pipelining off first drains the
+// queues and returns the banked rounds, exactly like a final Barrier —
+// toggling is safe mid-run. Turning it on returns nil.
+func (p *Pool) SetPipelined(on bool) map[string][]SetRound {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pipelined = on
+	if on {
+		return nil
+	}
+	for p.outstanding > 0 {
+		p.idle.Wait()
+	}
+	return p.collectLocked()
 }
 
 // Close removes and closes every hosted deployment.

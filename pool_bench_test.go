@@ -63,5 +63,24 @@ func BenchmarkPoolEpochs(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N*roundsPerIter*d)/b.Elapsed().Seconds(), "epochs/s")
 		})
+		b.Run(fmt.Sprintf("deployments=%d/pipelined", d), func(b *testing.B) {
+			p := td.NewPool(0)
+			defer p.Close()
+			for i, s := range newSessions(b, d) {
+				if err := p.Add(fmt.Sprintf("d%d", i), s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.SetPipelined(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.RunEpochs(roundsPerIter)
+			}
+			// The enqueues return immediately; the barrier inside the timer
+			// charges the full drain, so the metric is true throughput
+			// without per-iteration synchronization.
+			p.Barrier()
+			b.ReportMetric(float64(b.N*roundsPerIter*d)/b.Elapsed().Seconds(), "epochs/s")
+		})
 	}
 }

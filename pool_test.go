@@ -157,3 +157,123 @@ func TestPoolLifecycle(t *testing.T) {
 		t.Fatalf("pool not empty: %v", p.IDs())
 	}
 }
+
+// TestPoolPipelinedMatchesLockStep pins the pipelined mode's core contract:
+// enqueue-and-return scheduling changes only when results arrive, never what
+// they are — every deployment's answer sequence equals the lock-step (and
+// hence solo) sequence, with epoch numbering continuous across enqueues and
+// barriers.
+func TestPoolPipelinedMatchesLockStep(t *testing.T) {
+	p := td.NewPool(4)
+	defer p.Close()
+	const deployments = 3
+	for i := 0; i < deployments; i++ {
+		if err := p.Add(fmt.Sprintf("d%d", i), poolCountSession(t, uint64(i+1), 150, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if out := p.SetPipelined(true); out != nil {
+		t.Fatalf("SetPipelined(true) = %v, want nil", out)
+	}
+	if out := p.RunEpochs(4); out != nil {
+		t.Fatalf("pipelined RunEpochs returned %v, want nil", out)
+	}
+	p.RunEpochs(2)
+	mid := p.Barrier()
+	p.RunEpochs(3)
+	rest := p.Barrier()
+	if again := p.Barrier(); len(again) != 0 {
+		t.Fatalf("second barrier rebanked rounds: %v", again)
+	}
+	for i := 0; i < deployments; i++ {
+		id := fmt.Sprintf("d%d", i)
+		got := append(append([]td.SetRound(nil), mid[id]...), rest[id]...)
+		if len(got) != 9 {
+			t.Fatalf("%s: %d rounds banked, want 9", id, len(got))
+		}
+		solo := poolCountSession(t, uint64(i+1), 150, false)
+		for e, round := range got {
+			if round.Epoch != e {
+				t.Fatalf("%s: round %d labeled epoch %d", id, e, round.Epoch)
+			}
+			if res, want := scalarOf(t, round), solo.RunEpoch(e); res != want {
+				t.Fatalf("%s epoch %d: pipelined %+v, solo %+v", id, e, res, want)
+			}
+		}
+		if st, ok := p.Status(id); !ok || st.Epochs != 9 {
+			t.Fatalf("%s status = %+v ok=%v, want 9 epochs", id, st, ok)
+		}
+	}
+}
+
+// TestPoolPipelinedToggle flips pipelining mid-run: the switch-off drains
+// and returns the banked rounds like a final barrier, and the subsequent
+// lock-step rounds continue the same epoch sequence.
+func TestPoolPipelinedToggle(t *testing.T) {
+	p := td.NewPool(2)
+	defer p.Close()
+	if err := p.Add("a", poolCountSession(t, 5, 150, false)); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPipelined(true)
+	p.RunEpochs(3)
+	drained := p.SetPipelined(false)
+	if len(drained["a"]) != 3 {
+		t.Fatalf("SetPipelined(false) drained %d rounds, want 3", len(drained["a"]))
+	}
+	lock := p.RunEpochs(2)
+	got := append(append([]td.SetRound(nil), drained["a"]...), lock["a"]...)
+	solo := poolCountSession(t, 5, 150, false)
+	for e, round := range got {
+		if round.Epoch != e {
+			t.Fatalf("round %d labeled epoch %d", e, round.Epoch)
+		}
+		if res, want := scalarOf(t, round), solo.RunEpoch(e); res != want {
+			t.Fatalf("epoch %d: %+v, solo %+v", e, res, want)
+		}
+	}
+}
+
+// TestPoolPipelinedHammer drives a 16-deployment pipelined pool from several
+// goroutines — enqueues, barriers, status probes, removals and mode toggles
+// interleaving (-race is the real assertion). Removed deployments may drop
+// queued rounds; the invariant checked is that barriers return and the pool
+// ends quiescent and empty.
+func TestPoolPipelinedHammer(t *testing.T) {
+	p := td.NewPool(4)
+	defer p.Close()
+	const deployments = 16
+	for i := 0; i < deployments; i++ {
+		if err := p.Add(fmt.Sprintf("h%d", i), poolCountSession(t, uint64(20+i), 100, false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetPipelined(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 3; it++ {
+				p.RunEpochs(2)
+				if g == 0 {
+					p.Barrier()
+				}
+				p.Status(fmt.Sprintf("h%d", (g*5+it)%deployments))
+				if g == 1 && it == 1 {
+					p.Remove(fmt.Sprintf("h%d", deployments-1))
+				}
+				if g == 2 && it == 2 {
+					p.SetPipelined(false)
+					p.SetPipelined(true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Barrier()
+	p.SetPipelined(false)
+	if got := p.Len(); got != deployments-1 {
+		t.Fatalf("pool has %d deployments after hammer, want %d", got, deployments-1)
+	}
+}

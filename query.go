@@ -59,6 +59,7 @@ type openConfig struct {
 	pipelined     bool
 	workers       int
 	noMemo        bool
+	noBatchFuse   bool
 	set           *QuerySet
 }
 
@@ -130,6 +131,14 @@ func WithWorkers(n int) Option { return func(c *openConfig) { c.workers = n } }
 // hold still. Answers are bit-identical either way — disabling it is an A/B
 // lever for benchmarking, not a behavioral switch.
 func WithSynopsisMemo(on bool) Option { return func(c *openConfig) { c.noMemo = !on } }
+
+// WithFusedUnions toggles the fused multi-sketch unions in the epoch engine
+// (default on): a node's whole inbox of synopses and contributing-Count
+// sketches folds in one word-major pass instead of one union per sender.
+// Every batched operation is a pure bitwise OR, so answers are bit-identical
+// either way — disabling it is an A/B lever for benchmarking, not a
+// behavioral switch.
+func WithFusedUnions(on bool) Option { return func(c *openConfig) { c.noBatchFuse = !on } }
 
 // InSet opens the session as a member of set: it shares the set's
 // network — one loss realization per epoch across every member — and the
@@ -261,6 +270,7 @@ func buildEngine[V, P, S, A, R any](env *openEnv, agg aggregate.Aggregate[V, P, 
 		Stats:           env.stats,
 		Workers:         env.cfg.workers,
 		NoMemo:          env.cfg.noMemo,
+		NoBatchFuse:     env.cfg.noBatchFuse,
 	})
 	if err != nil {
 		return nil, err
