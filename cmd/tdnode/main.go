@@ -1,0 +1,36 @@
+// Command tdnode hosts one shard of a multi-process Tributary-Delta
+// deployment: the receive-side runtime of every node whose id is congruent
+// to -shard modulo the fleet size. It is spawned by the parent process (a
+// program using the UDP transport backend — tdserve with
+// "transport":"udp", or any facade user via SetUDPNodeBinary), dials the
+// parent's control address, and serves until told to stop:
+//
+//	tdnode -control 127.0.0.1:43210 -shard 3
+//
+// The control channel (TCP) carries the join handshake, the per-epoch
+// barrier and shutdown; aggregation frames arrive as UDP datagrams on a
+// port the shard picks and advertises at join. See DESIGN.md §5 ("UDP
+// backend") for the protocol.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"tributarydelta/internal/transport"
+)
+
+func main() {
+	control := flag.String("control", "", "parent control address (host:port), required")
+	shard := flag.Int("shard", 0, "shard index in [0, fleet size)")
+	flag.Parse()
+	if *control == "" {
+		log.Fatal("tdnode: -control is required")
+	}
+	if *shard < 0 {
+		log.Fatalf("tdnode: invalid shard index %d", *shard)
+	}
+	if err := transport.RunNode(*control, *shard); err != nil {
+		log.Fatalf("tdnode: %v", err)
+	}
+}

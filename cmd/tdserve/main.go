@@ -16,11 +16,18 @@
 // max, average and quantiles (sum-family queries use the demo reading
 // node%50 — tdserve is a host for synthetic deployments, not a data plane
 // for real sensors; quantile answers report the 25/50/75/90/99th
-// percentiles). Set "concurrent": true to run a deployment on the
-// goroutine-per-node chan transport (deterministic mode — answers are
-// identical to the simulator backend). The flags:
+// percentiles). The "transport" field selects a deployment's delivery
+// backend: "sim" (the default synchronous simulator), "chan" (the
+// goroutine-per-node chan transport) or "udp" — a multi-process fleet where
+// nodes partition over "udpShards" shard runtimes (default 4) and every
+// frame travels as a real loopback datagram; all of them run deterministic
+// modes, so answers are identical across backends. The legacy
+// "concurrent": true is equivalent to "transport": "chan". With -tdnode
+// pointing at a built cmd/tdnode binary, UDP shards are spawned as separate
+// OS processes; without it they run as in-process goroutines over the same
+// sockets and protocol. The flags:
 //
-//	tdserve -addr :8473 -workers 0
+//	tdserve -addr :8473 -workers 0 -tdnode ./tdnode
 //
 // where -workers 0 means GOMAXPROCS concurrent deployments.
 package main
@@ -51,8 +58,15 @@ type createRequest struct {
 	// Aggregates lists the queries of a multi-query deployment; they
 	// advance in lock-step sharing one loss realization per epoch.
 	Aggregates []string `json:"aggregates"`
-	// Concurrent selects the goroutine-per-node chan transport.
+	// Concurrent selects the goroutine-per-node chan transport (legacy
+	// equivalent of Transport "chan").
 	Concurrent bool `json:"concurrent"`
+	// Transport selects the delivery backend: "sim" (default), "chan" or
+	// "udp". All run deterministic modes, so answers are identical.
+	Transport string `json:"transport"`
+	// UDPShards is the shard-runtime count of a "udp" deployment (default
+	// 4, clamped to the sensor count).
+	UDPShards int `json:"udpShards"`
 }
 
 // runRequest is the POST /v1/deployments/{id}/run body.
@@ -94,6 +108,9 @@ type statusResponse struct {
 // server routes HTTP traffic onto a deployment pool.
 type server struct {
 	pool *td.Pool
+	// tdnode is the optional shard-process binary for "udp" deployments
+	// (empty: shards run as in-process goroutines).
+	tdnode string
 }
 
 func newServer(pool *td.Pool) *server {
@@ -155,7 +172,7 @@ func openQuery(dep *td.Deployment, set *td.QuerySet, name string, scheme td.Sche
 
 // buildSet assembles the deployment and query set a create request asks
 // for.
-func buildSet(req createRequest) (*td.QuerySet, error) {
+func (s *server) buildSet(req createRequest) (*td.QuerySet, error) {
 	scheme, err := parseScheme(req.Scheme)
 	if err != nil {
 		return nil, err
@@ -169,7 +186,28 @@ func buildSet(req createRequest) (*td.QuerySet, error) {
 	}
 	dep := td.NewSyntheticDeployment(req.Seed, req.Sensors)
 	dep.SetGlobalLoss(req.Loss)
-	dep.UseConcurrentRuntime(req.Concurrent)
+	switch strings.ToLower(req.Transport) {
+	case "":
+		dep.UseConcurrentRuntime(req.Concurrent)
+	case "sim":
+		dep.UseConcurrentRuntime(false)
+	case "chan":
+		dep.UseConcurrentRuntime(true)
+	case "udp":
+		shards := req.UDPShards
+		if shards <= 0 {
+			shards = 4
+		}
+		if shards > req.Sensors {
+			shards = req.Sensors
+		}
+		dep.UseUDPRuntime(shards)
+		if s.tdnode != "" {
+			dep.SetUDPNodeBinary(s.tdnode)
+		}
+	default:
+		return nil, fmt.Errorf("unknown transport %q (want sim, chan or udp)", req.Transport)
+	}
 	set := dep.NewQuerySet(req.Seed)
 	for _, name := range names {
 		if err := openQuery(dep, set, name, scheme); err != nil {
@@ -253,7 +291,7 @@ func (s *server) create(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	set, err := buildSet(req)
+	set, err := s.buildSet(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -328,8 +366,10 @@ func (s *server) remove(w http.ResponseWriter, r *http.Request) {
 func main() {
 	addr := flag.String("addr", ":8473", "listen address")
 	workers := flag.Int("workers", 0, "concurrent deployment budget (0 = GOMAXPROCS)")
+	tdnode := flag.String("tdnode", "", "path to a built cmd/tdnode binary; udp shards spawn as processes when set")
 	flag.Parse()
 	srv := newServer(td.NewPool(*workers))
+	srv.tdnode = *tdnode
 	log.Printf("tdserve listening on %s (worker budget %d)", *addr, srv.pool.Workers())
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }

@@ -105,6 +105,58 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeUDPTransport creates a "udp" deployment — the queries run over a
+// real loopback datagram fleet — alongside an identical "sim" one, and
+// checks they answer identically round for round; unknown transport names
+// are rejected up front.
+func TestServeUDPTransport(t *testing.T) {
+	pool := td.NewPool(2)
+	defer pool.Close()
+	h := newServer(pool).routes()
+
+	w := doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"u","sensors":120,"seed":5,"loss":0.25,"transport":"udp","udpShards":3,"aggregates":["count","sum"]}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create udp: %d %s", w.Code, w.Body)
+	}
+	w = doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"s","sensors":120,"seed":5,"loss":0.25,"transport":"sim","aggregates":["count","sum"]}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create sim: %d %s", w.Code, w.Body)
+	}
+	if w = doJSON(t, h, "POST", "/v1/deployments", `{"id":"x","transport":"bogus"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad transport: %d %s", w.Code, w.Body)
+	}
+
+	var byID [2][]roundResponse
+	for i, id := range []string{"u", "s"} {
+		w = doJSON(t, h, "POST", "/v1/deployments/"+id+"/run", `{"rounds":6}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("run %s: %d %s", id, w.Code, w.Body)
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &byID[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(byID[0]) != 6 {
+		t.Fatalf("udp deployment completed %d/6 rounds", len(byID[0]))
+	}
+	for e := range byID[0] {
+		for m := range byID[0][e].Results {
+			if byID[0][e].Results[m] != byID[1][e].Results[m] {
+				t.Fatalf("epoch %d member %d: udp %+v, sim %+v",
+					e, m, byID[0][e].Results[m], byID[1][e].Results[m])
+			}
+		}
+		if byID[0][e].Results[0].TrueContrib <= 0 {
+			t.Fatalf("epoch %d: no contributions over udp: %+v", e, byID[0][e])
+		}
+	}
+	if w = doJSON(t, h, "DELETE", "/v1/deployments/u", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete udp: %d", w.Code)
+	}
+}
+
 // TestServeMultiQuery creates one deployment running three aggregates in
 // lock-step and checks every round reports all of them, including the
 // quantile percentile map.

@@ -255,6 +255,12 @@ type Stats struct {
 	RxFrames []int64
 	// RxBytes is the byte-denominated companion of RxFrames.
 	RxBytes []int64
+	// Duplicates[v] counts datagrams receiver v's runtime saw more than
+	// once within one barrier round — real network duplication, observable
+	// only on the multi-process UDP backend (the in-process transports
+	// cannot duplicate a frame). Duplicated frames are deduplicated before
+	// processing, so they never inflate RxFrames.
+	Duplicates []int64
 	// LevelBytes[l] is the total encoded bytes transmitted by senders
 	// scheduled at level l (ring level, or tree depth in pure-tree mode).
 	// The slice is preallocated to one slot per node — the deepest possible
@@ -285,6 +291,9 @@ type StatsSnapshot struct {
 	InboxDrops int64
 	// RxFrames totals frames processed by receiver runtimes.
 	RxFrames int64
+	// Duplicates totals duplicated datagrams discarded by receiver runtimes
+	// (UDP backend only).
+	Duplicates int64
 }
 
 // NewStats returns zeroed stats for n nodes.
@@ -298,6 +307,7 @@ func NewStats(n int) *Stats {
 		InboxDrops:    make([]int64, n),
 		RxFrames:      make([]int64, n),
 		RxBytes:       make([]int64, n),
+		Duplicates:    make([]int64, n),
 		LevelBytes:    make([]int64, n),
 		LevelWords:    make([]int64, n),
 	}
@@ -350,6 +360,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Losses:     s.pubLosses.Load(),
 		InboxDrops: s.atomicSum(s.InboxDrops),
 		RxFrames:   s.atomicSum(s.RxFrames),
+		Duplicates: s.atomicSum(s.Duplicates),
 	}
 }
 
@@ -364,6 +375,22 @@ func (s *Stats) AddInboxDrop(v int) {
 func (s *Stats) AddRxBytes(v, byteLen int) {
 	atomic.AddInt64(&s.RxFrames[v], 1)
 	atomic.AddInt64(&s.RxBytes[v], int64(byteLen))
+}
+
+// AddRx is the bulk form of AddRxBytes: frames processed frames totalling
+// byteLen encoded bytes at receiver v, applied in one pair of adds — the
+// shape a remote shard's barrier report arrives in. Receive-side: safe for
+// concurrent use.
+func (s *Stats) AddRx(v int, frames, byteLen int64) {
+	atomic.AddInt64(&s.RxFrames[v], frames)
+	atomic.AddInt64(&s.RxBytes[v], byteLen)
+}
+
+// AddDuplicates records n duplicated datagrams observed (and discarded) by
+// receiver v's runtime within one barrier round. Receive-side: safe for
+// concurrent use.
+func (s *Stats) AddDuplicates(v int, n int64) {
+	atomic.AddInt64(&s.Duplicates[v], n)
 }
 
 // sum totals a transmit-side slice; callers hold the quiescence contract.
@@ -411,6 +438,10 @@ func (s *Stats) TotalInboxDrops() int64 { return s.atomicSum(s.InboxDrops) }
 // TotalRxFrames returns the total frames processed by all receivers. It is
 // safe under concurrent receive-side writers.
 func (s *Stats) TotalRxFrames() int64 { return s.atomicSum(s.RxFrames) }
+
+// TotalDuplicates returns the total duplicated datagrams discarded across
+// all receivers. It is safe under concurrent receive-side writers.
+func (s *Stats) TotalDuplicates() int64 { return s.atomicSum(s.Duplicates) }
 
 // MaxBytes returns the largest per-node byte count — the byte-denominated
 // "maximum load" of Figure 8.

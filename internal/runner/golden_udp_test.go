@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"testing"
+
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/transport"
+)
+
+// TestGoldenAnswersUDPTransport re-runs the golden workloads (4 schemes ×
+// seeds 1–3) with the multi-process UDP transport in deterministic mode —
+// real loopback datagrams, an in-process shard fleet, the barrier protocol
+// — and compares against the very same golden file, under the sequential
+// engine and the parallel wave engine. The Deliver verdict comes from the
+// same seeded loss hash as the simulator and the chan transport, and the
+// exactly-once barrier guarantees the data plane keeps up, so not a single
+// answer may move.
+func TestGoldenAnswersUDPTransport(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := goldenRuns(t, func(nw *network.Net) Transport {
+			u, err := transport.NewUDP(nw, transport.UDPOptions{Deterministic: true, Shards: 4})
+			if err != nil {
+				t.Fatalf("NewUDP: %v", err)
+			}
+			t.Cleanup(func() {
+				u.Close()
+				if err := u.Err(); err != nil {
+					t.Errorf("udp transport error after run: %v", err)
+				}
+			})
+			return u
+		}, workers)
+		compareGolden(t, got)
+	}
+}

@@ -1,0 +1,264 @@
+package transport_test
+
+// Chaos battery for the UDP backend: a loopback proxy that drops, duplicates
+// and reorders datagrams with a seeded RNG (interposed via AddrRewrite), and
+// a fleet-survives-kill test that SIGKILLs one shard process mid-run. The
+// process tests re-exec this test binary as the tdnode stand-in (see
+// TestMain in fuzz_test.go).
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/transport"
+)
+
+// chaosProxy sits between the parent's send socket and one shard's UDP
+// socket. Every forwarded packet rolls one seeded RNG draw: ~10% are
+// dropped, ~10% duplicated, ~10% reordered (held until the next packet, or
+// a 2ms timer — far inside the barrier's quiet window, so held packets are
+// never stranded past a flush).
+type chaosProxy struct {
+	ln  *net.UDPConn
+	dst *net.UDPAddr
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	held      []byte
+	heldTimer *time.Timer
+	dropped   int64
+	dupped    int64
+	reordered int64
+}
+
+func newChaosProxy(t *testing.T, seed int64, dst string) *chaosProxy {
+	t.Helper()
+	addr, err := net.ResolveUDPAddr("udp", dst)
+	if err != nil {
+		t.Fatalf("proxy resolve %q: %v", dst, err)
+	}
+	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatalf("proxy listen: %v", err)
+	}
+	p := &chaosProxy{ln: ln, dst: addr, rng: rand.New(rand.NewSource(seed))}
+	t.Cleanup(func() { ln.Close() })
+	go p.run()
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.LocalAddr().String() }
+
+func (p *chaosProxy) run() {
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := p.ln.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		p.mu.Lock()
+		switch r := p.rng.Float64(); {
+		case r < 0.10:
+			p.dropped++
+		case r < 0.20:
+			p.dupped++
+			p.forwardLocked(pkt)
+			p.forwardLocked(pkt)
+			p.flushHeldLocked()
+		case r < 0.30 && p.held == nil:
+			p.reordered++
+			p.held = pkt
+			p.heldTimer = time.AfterFunc(2*time.Millisecond, p.flushHeld)
+		default:
+			p.forwardLocked(pkt)
+			p.flushHeldLocked()
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *chaosProxy) forwardLocked(pkt []byte) { _, _ = p.ln.WriteToUDP(pkt, p.dst) }
+
+func (p *chaosProxy) flushHeld() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushHeldLocked()
+}
+
+// flushHeldLocked releases a held (reordered) packet after its successor.
+func (p *chaosProxy) flushHeldLocked() {
+	if p.held == nil {
+		return
+	}
+	p.forwardLocked(p.held)
+	p.held = nil
+	if p.heldTimer != nil {
+		p.heldTimer.Stop()
+	}
+}
+
+func (p *chaosProxy) counts() (dropped, dupped, reordered int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped, p.dupped, p.reordered
+}
+
+// TestUDPChaosAccounting interposes a chaos proxy on every shard and runs a
+// free-running session through it. The session must converge — free-running
+// Deliver is optimistic, so the runner's answers equal the lossless
+// simulator's — and the barrier's loss/duplicate discovery must agree with
+// the proxy's ground truth exactly: every drop becomes one AddLoss, every
+// duplicate one AddDuplicates, reordering costs nothing.
+func TestUDPChaosAccounting(t *testing.T) {
+	seed := uint64(7)
+	f := newFixture(seed, 80)
+	simNet := network.New(f.g, network.Global{P: 0}, seed)
+	udpNet := network.New(f.g, network.Global{P: 0}, seed)
+	stats := network.NewStats(f.g.N())
+	var mu sync.Mutex
+	proxies := make(map[int]*chaosProxy)
+	u, err := transport.NewUDP(udpNet, transport.UDPOptions{
+		Shards:     4,
+		Stats:      stats,
+		DrainQuiet: 25 * time.Millisecond,
+		AddrRewrite: func(shard int, addr string) string {
+			p := newChaosProxy(t, 1000+int64(shard), addr)
+			mu.Lock()
+			proxies[shard] = p
+			mu.Unlock()
+			return p.addr()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	defer u.Close()
+	if len(proxies) != u.Shards() {
+		t.Fatalf("AddrRewrite ran for %d shards, want %d", len(proxies), u.Shards())
+	}
+
+	simR := countRunner(t, f, runner.ModeTree, simNet, seed, nil)
+	udpR := countRunner(t, f, runner.ModeTree, udpNet, seed, u)
+	for e := 0; e < 12; e++ {
+		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
+		if sim != up {
+			t.Fatalf("epoch %d: lossless simulator %+v, chaos session %+v", e, sim, up)
+		}
+	}
+	if err := u.Err(); err != nil {
+		t.Fatalf("transport error under chaos: %v", err)
+	}
+
+	var dropped, dupped, reordered int64
+	for _, p := range proxies {
+		d, du, re := p.counts()
+		dropped, dupped, reordered = dropped+d, dupped+du, reordered+re
+	}
+	if dropped == 0 || dupped == 0 || reordered == 0 {
+		t.Fatalf("chaos proxy idle: dropped=%d dupped=%d reordered=%d", dropped, dupped, reordered)
+	}
+	if got := u.Lost(); got != dropped {
+		t.Fatalf("transport counted %d losses, proxy dropped %d", got, dropped)
+	}
+	if got := stats.TotalLosses(); got != dropped {
+		t.Fatalf("stats recorded %d losses, proxy dropped %d", got, dropped)
+	}
+	if got := u.Duplicates(); got != dupped {
+		t.Fatalf("transport counted %d duplicates, proxy duplicated %d", got, dupped)
+	}
+	if got := stats.TotalDuplicates(); got != dupped {
+		t.Fatalf("stats recorded %d duplicates, proxy duplicated %d", got, dupped)
+	}
+}
+
+// TestUDPFleetSurvivesKill runs a 16-process fleet (each shard a SpawnExec'd
+// re-exec of this test binary) and SIGKILLs one tdnode mid-run. The contract:
+// the next barrier detects the death within BarrierTimeout (no hang), the
+// sticky error names the shard, the dead shard's traffic is accounted as
+// losses, and the remaining fleet keeps completing epochs.
+func TestUDPFleetSurvivesKill(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	seed := uint64(9)
+	f := newFixture(seed, 64)
+	nw := network.New(f.g, network.Global{P: 0.25}, seed)
+	stats := network.NewStats(f.g.N())
+	var mu sync.Mutex
+	procs := make(map[int]transport.ShardProc)
+	spawn := transport.SpawnExec(exe)
+	u, err := transport.NewUDP(nw, transport.UDPOptions{
+		Shards:         16,
+		Deterministic:  true,
+		Stats:          stats,
+		BarrierTimeout: 2 * time.Second,
+		Spawn: func(controlAddr string, shard int) (transport.ShardProc, error) {
+			p, err := spawn(controlAddr, shard)
+			if err == nil {
+				mu.Lock()
+				procs[shard] = p
+				mu.Unlock()
+			}
+			return p, err
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	defer u.Close()
+
+	r := countRunner(t, f, runner.ModeTree, nw, seed, u)
+	for e := 0; e < 3; e++ {
+		r.RunEpoch(e)
+	}
+	if err := u.Err(); err != nil {
+		t.Fatalf("healthy fleet errored: %v", err)
+	}
+
+	// Kill a shard that demonstrably receives traffic — the tree is static
+	// and exactly-once receipts are in stats, so any shard with a receiving
+	// node will be flushed (and its death noticed) in later epochs too.
+	victim := -1
+	for v := range stats.RxFrames {
+		if stats.RxFrames[v] > 0 {
+			victim = v % u.Shards()
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard received any traffic in the healthy epochs")
+	}
+	if err := procs[victim].Kill(); err != nil {
+		t.Fatalf("kill shard %d: %v", victim, err)
+	}
+	_ = procs[victim].Wait()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := 3; e < 8; e++ {
+			r.RunEpoch(e)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fleet hung after kill -9 of one tdnode")
+	}
+	if err := u.Err(); err == nil {
+		t.Fatal("killed shard went unnoticed: sticky error is nil")
+	} else {
+		t.Logf("sticky error after kill: %v", err)
+	}
+	if u.Lost() == 0 {
+		t.Fatal("dead shard's traffic was not attributed as losses")
+	}
+}

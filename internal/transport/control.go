@@ -1,0 +1,119 @@
+package transport
+
+// The UDP backend's control channel: a TCP loopback connection per shard
+// carrying length-prefixed JSON messages. The data plane (datagrams) is
+// lossy by nature; the control plane is the reliable spine the barrier is
+// built on — join/assign at startup, flush/done at every epoch barrier,
+// stop/bye at shutdown. Frames are 4-byte big-endian length + JSON body,
+// with the length capped so a hostile or corrupted peer cannot force a
+// giant allocation.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Control message types.
+const (
+	ctrlJoin   = "join"   // shard → parent: here I am, my UDP address, my max datagram
+	ctrlAssign = "assign" // parent → shard: topology, mode, negotiated datagram size
+	ctrlFlush  = "flush"  // parent → shard: barrier — round r had `sent` datagrams for you
+	ctrlDone   = "done"   // shard → parent: barrier reply — receipts, missing seqs, rx deltas
+	ctrlStop   = "stop"   // parent → shard: shut down
+	ctrlBye    = "bye"    // shard → parent: shutting down
+)
+
+// maxCtrlFrame bounds one control frame. The largest legitimate message is
+// a done reply carrying per-node receive deltas plus a missing-sequence
+// list — generously under this cap for any supported fleet.
+const maxCtrlFrame = 8 << 20
+
+// rxDelta is one node's receive-side accounting for one barrier round,
+// reported by its shard in the done reply.
+type rxDelta struct {
+	// Node is the receiving node id.
+	Node int `json:"node"`
+	// Frames and Bytes count the unique envelope frames (and their encoded
+	// bytes) the node's runtime processed this round.
+	Frames int64 `json:"frames"`
+	// Bytes is the byte-denominated companion of Frames.
+	Bytes int64 `json:"bytes"`
+	// Dups counts duplicated datagrams discarded after deduplication.
+	Dups int64 `json:"dups,omitempty"`
+}
+
+// ctrlMsg is the union of all control messages; Type selects which fields
+// are meaningful.
+type ctrlMsg struct {
+	Type string `json:"type"`
+
+	// join fields (shard → parent).
+	Shard       int    `json:"shard,omitempty"`
+	UDPAddr     string `json:"udpAddr,omitempty"`
+	MaxDatagram int    `json:"maxDatagram,omitempty"`
+
+	// assign fields (parent → shard); MaxDatagram carries the negotiated
+	// size (the min of both sides' limits).
+	Nodes         int  `json:"nodes,omitempty"`
+	Shards        int  `json:"shards,omitempty"`
+	Deterministic bool `json:"deterministic,omitempty"`
+	QuietUS       int  `json:"quietUs,omitempty"`
+
+	// flush fields (parent → shard): the barrier round and how many
+	// datagrams were sent to this shard in it. done echoes Round.
+	Round uint64 `json:"round,omitempty"`
+	Sent  int    `json:"sent,omitempty"`
+
+	// done fields (shard → parent).
+	Received  int64     `json:"received,omitempty"`
+	Malformed int64     `json:"malformed,omitempty"`
+	Missing   []int     `json:"missing,omitempty"`
+	Rx        []rxDelta `json:"rx,omitempty"`
+}
+
+// writeCtrl sends one framed control message, honoring the deadline (zero
+// means none).
+func writeCtrl(conn net.Conn, deadline time.Time, m *ctrlMsg) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxCtrlFrame {
+		return fmt.Errorf("transport: control frame of %d bytes exceeds cap", len(body))
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	if err := conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	_, err = conn.Write(buf)
+	return err
+}
+
+// readCtrl receives one framed control message into m, honoring the
+// deadline (zero means none). The advertised length is validated before any
+// allocation.
+func readCtrl(conn net.Conn, deadline time.Time, m *ctrlMsg) error {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxCtrlFrame {
+		return fmt.Errorf("transport: control frame of %d bytes exceeds cap", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return err
+	}
+	*m = ctrlMsg{}
+	return json.Unmarshal(body, m)
+}

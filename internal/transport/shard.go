@@ -1,0 +1,342 @@
+package transport
+
+// The UDP backend's shard runtime: one process (or goroutine) hosting the
+// receive side of a contiguous residue class of nodes (node v lives on
+// shard v mod shards). The shard listens on its own UDP socket, decodes and
+// deduplicates every arriving datagram, and answers the parent's barrier
+// flushes over the control channel with receipts, missing sequence numbers
+// and per-node receive deltas.
+//
+// Everything read from the UDP socket is untrusted: the datagram header and
+// the enclosed envelope are decoded with the bounds-checked wire readers,
+// and any failure — bad magic, truncated varint, out-of-range node, corrupt
+// envelope — increments a malformed counter and drops the datagram. The
+// receive path must never panic on arbitrary bytes (FuzzShardReceive pins
+// this), unlike the in-process Chan transport, which only ever carries
+// frames the runner itself encoded and treats corruption as a bug.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tributarydelta/internal/wire"
+)
+
+// Shard runtime timing: how long a deterministic-mode flush waits for
+// in-flight datagrams before reporting them missing (the parent then
+// retransmits and re-flushes), and the I/O deadline on control replies.
+const (
+	detFlushWait   = 25 * time.Millisecond
+	ctrlIOTimeout  = 10 * time.Second
+	dialNodeWait   = 10 * time.Second
+	defaultQuietUS = 5000
+)
+
+// RunNode hosts one UDP shard: it dials the parent's control address,
+// joins, and serves the shard until the parent sends stop (returning nil)
+// or the control connection fails (returning the error). It is the entire
+// body of the cmd/tdnode binary and of the in-process default spawner.
+func RunNode(controlAddr string, shard int) error {
+	conn, err := net.DialTimeout("tcp", controlAddr, dialNodeWait)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d dial control %s: %w", shard, controlAddr, err)
+	}
+	defer conn.Close()
+	return serveShard(conn, shard)
+}
+
+// shardState is one shard's receive-side state for the current barrier
+// round. The receive goroutine and the control loop share it under mu;
+// arrival carries a non-blocking wakeup per accepted datagram so a flush
+// can wait for stragglers without polling.
+type shardState struct {
+	shard, shards, nodes int
+	det                  bool
+	quiet                time.Duration
+	udp                  *net.UDPConn
+
+	mu      sync.Mutex
+	arrival chan struct{}
+	round   uint64
+	// seen is the round's dedup bitset over sequence numbers; capacity is
+	// bounded by wire.MaxDatagramSeq regardless of input.
+	seen        []uint64
+	unique      int
+	received    int64
+	lastArrival time.Time
+	// rxFrames/rxBytes/dups are per-local-node deltas for the round,
+	// indexed by v/shards.
+	rxFrames, rxBytes, dups []int64
+	malformed               int64
+	stale                   int64
+}
+
+// localCount returns how many nodes of [0, nodes) live on this shard.
+func localCount(nodes, shards, shard int) int {
+	if shard >= nodes {
+		return 0
+	}
+	return (nodes - shard + shards - 1) / shards
+}
+
+// serveShard runs the shard protocol over an established control
+// connection: join, receive, answer flushes, stop.
+func serveShard(conn net.Conn, shard int) error {
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return fmt.Errorf("transport: shard %d listen udp: %w", shard, err)
+	}
+	defer udp.Close()
+	_ = udp.SetReadBuffer(1 << 22)
+
+	join := ctrlMsg{Type: ctrlJoin, Shard: shard, UDPAddr: udp.LocalAddr().String(), MaxDatagram: wire.MaxUDPPayload}
+	if err := writeCtrl(conn, time.Now().Add(ctrlIOTimeout), &join); err != nil {
+		return fmt.Errorf("transport: shard %d join: %w", shard, err)
+	}
+	var assign ctrlMsg
+	if err := readCtrl(conn, time.Now().Add(ctrlIOTimeout), &assign); err != nil {
+		return fmt.Errorf("transport: shard %d await assign: %w", shard, err)
+	}
+	if assign.Type != ctrlAssign || assign.Nodes <= 0 || assign.Shards <= 0 || shard >= assign.Shards {
+		return fmt.Errorf("transport: shard %d got invalid assignment %+v", shard, assign)
+	}
+	quiet := time.Duration(assign.QuietUS) * time.Microsecond
+	if quiet <= 0 {
+		quiet = defaultQuietUS * time.Microsecond
+	}
+	s := newShardState(assign.Nodes, assign.Shards, shard, assign.Deterministic, quiet)
+	s.udp = udp
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		s.receive()
+	}()
+
+	for {
+		var m ctrlMsg
+		if err := readCtrl(conn, time.Time{}, &m); err != nil {
+			udp.Close()
+			<-recvDone
+			return fmt.Errorf("transport: shard %d control channel: %w", shard, err)
+		}
+		switch m.Type {
+		case ctrlFlush:
+			reply := s.flush(&m)
+			if err := writeCtrl(conn, time.Now().Add(ctrlIOTimeout), reply); err != nil {
+				udp.Close()
+				<-recvDone
+				return fmt.Errorf("transport: shard %d flush reply: %w", shard, err)
+			}
+		case ctrlStop:
+			_ = writeCtrl(conn, time.Now().Add(ctrlIOTimeout), &ctrlMsg{Type: ctrlBye})
+			udp.Close()
+			<-recvDone
+			return nil
+		default:
+			// Unknown control messages are skipped: the reliable channel is
+			// parent-owned, so tolerance here only buys forward compatibility.
+		}
+	}
+}
+
+// newShardState builds the receive-side state for one shard assignment.
+func newShardState(nodes, shards, shard int, det bool, quiet time.Duration) *shardState {
+	locals := localCount(nodes, shards, shard)
+	return &shardState{
+		shard: shard, shards: shards, nodes: nodes,
+		det:      det,
+		quiet:    quiet,
+		arrival:  make(chan struct{}, 1),
+		rxFrames: make([]int64, locals),
+		rxBytes:  make([]int64, locals),
+		dups:     make([]int64, locals),
+	}
+}
+
+// receive drains the UDP socket until it closes. One decoder serves the
+// whole loop, reset per datagram.
+func (s *shardState) receive() {
+	buf := make([]byte, 1<<16)
+	var dec wire.Decoder
+	for {
+		n, _, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		s.handleDatagram(&dec, buf[:n])
+		dec.Reset()
+	}
+}
+
+// handleDatagram validates, deduplicates and accounts one datagram of
+// arbitrary (untrusted) bytes. Malformed input of any shape is counted and
+// dropped; nothing here may panic or allocate proportionally to a hostile
+// header field.
+func (s *shardState) handleDatagram(dec *wire.Decoder, data []byte) {
+	d, err := wire.DecodeDatagram(data)
+	if err != nil {
+		s.addMalformed()
+		return
+	}
+	if d.To >= s.nodes || d.To%s.shards != s.shard {
+		s.addMalformed()
+		return
+	}
+	env, err := dec.Decode(d.Frame)
+	if err != nil || int(env.From) >= s.nodes {
+		s.addMalformed()
+		return
+	}
+	s.mu.Lock()
+	switch {
+	case d.Round < s.round:
+		// A straggler from a superseded round: its barrier already closed,
+		// so it can only be counted as stale, never folded in.
+		s.stale++
+		s.mu.Unlock()
+		return
+	case d.Round > s.round:
+		s.resetRoundLocked(d.Round)
+	}
+	s.received++
+	s.lastArrival = time.Now()
+	w, bit := d.Seq>>6, uint64(1)<<(uint(d.Seq)&63)
+	for w >= len(s.seen) {
+		s.seen = append(s.seen, 0)
+	}
+	li := d.To / s.shards
+	if s.seen[w]&bit != 0 {
+		s.dups[li]++
+	} else {
+		s.seen[w] |= bit
+		s.unique++
+		s.rxFrames[li]++
+		s.rxBytes[li] += int64(len(d.Frame))
+	}
+	s.mu.Unlock()
+	select {
+	case s.arrival <- struct{}{}:
+	default:
+	}
+}
+
+// addMalformed counts one dropped hostile/corrupt datagram.
+func (s *shardState) addMalformed() {
+	s.mu.Lock()
+	s.malformed++
+	s.mu.Unlock()
+}
+
+// resetRoundLocked advances to a new barrier round, discarding the previous
+// round's dedup and delta state (already reported, or empty). Callers hold mu.
+func (s *shardState) resetRoundLocked(round uint64) {
+	s.round = round
+	for i := range s.seen {
+		s.seen[i] = 0
+	}
+	s.unique = 0
+	s.received = 0
+	s.lastArrival = time.Time{}
+	for i := range s.rxFrames {
+		s.rxFrames[i] = 0
+		s.rxBytes[i] = 0
+		s.dups[i] = 0
+	}
+}
+
+// flush answers one barrier flush: wait for the round's traffic to settle,
+// then report what arrived. In deterministic mode the wait is short and the
+// reply lists missing sequence numbers for the parent to retransmit — the
+// barrier converges to exactly-once. In free-running mode the wait is a
+// quiet period since the last arrival (so trailing duplicates and
+// reordered stragglers are counted), and whatever is missing then is
+// reported as genuinely lost.
+func (s *shardState) flush(m *ctrlMsg) *ctrlMsg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.Round > s.round {
+		s.resetRoundLocked(m.Round)
+	}
+	if m.Round < s.round {
+		// A stale flush for a superseded round: nothing left to report.
+		return &ctrlMsg{Type: ctrlDone, Round: m.Round}
+	}
+	if m.Sent > wire.MaxDatagramSeq {
+		m.Sent = wire.MaxDatagramSeq
+	}
+	if s.det {
+		deadline := time.Now().Add(detFlushWait)
+		for s.unique < m.Sent {
+			if !s.waitArrivalLocked(deadline) {
+				break
+			}
+		}
+	} else {
+		// Quiet-period drain: wait until no datagram has arrived for the
+		// quiet window, anchored at the flush itself when the round saw no
+		// traffic at all — so total loss still terminates after one window.
+		anchor := s.lastArrival
+		if anchor.IsZero() {
+			anchor = time.Now()
+		}
+		for {
+			if !s.lastArrival.IsZero() {
+				anchor = s.lastArrival
+			}
+			idle := time.Since(anchor)
+			if idle >= s.quiet {
+				break
+			}
+			s.waitArrivalLocked(time.Now().Add(s.quiet - idle))
+		}
+	}
+	reply := &ctrlMsg{Type: ctrlDone, Round: m.Round, Received: s.received, Malformed: s.malformed}
+	if s.unique < m.Sent {
+		for seq := 0; seq < m.Sent; seq++ {
+			if w := seq >> 6; w >= len(s.seen) || s.seen[w]&(uint64(1)<<(uint(seq)&63)) == 0 {
+				reply.Missing = append(reply.Missing, seq)
+			}
+		}
+	}
+	if !s.det || len(reply.Missing) == 0 {
+		// Terminal reply: attach the round's per-node receive deltas. (A
+		// deterministic reply with missing seqs triggers a resend and a
+		// re-flush; the parent applies deltas only from the terminal one.)
+		for li := range s.rxFrames {
+			if s.rxFrames[li] == 0 && s.dups[li] == 0 {
+				continue
+			}
+			reply.Rx = append(reply.Rx, rxDelta{
+				Node:   s.shard + li*s.shards,
+				Frames: s.rxFrames[li],
+				Bytes:  s.rxBytes[li],
+				Dups:   s.dups[li],
+			})
+		}
+	}
+	return reply
+}
+
+// waitArrivalLocked releases mu, waits for either a datagram arrival or the
+// deadline, and reacquires mu. It reports whether an arrival (rather than
+// the deadline) woke it; the caller re-evaluates its exit condition after
+// every wakeup.
+func (s *shardState) waitArrivalLocked(deadline time.Time) bool {
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return false
+	}
+	s.mu.Unlock()
+	defer s.mu.Lock()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-s.arrival:
+		return true
+	case <-timer.C:
+		return false
+	}
+}

@@ -1,0 +1,575 @@
+package transport
+
+// UDP is the third Transport backend: the node runtime leaves the process.
+// Nodes are partitioned into shards (node v lives on shard v mod Shards),
+// each shard is a separate OS process (or, with the default in-process
+// spawner, a goroutine that still speaks real loopback sockets), and every
+// delivery is a real UDP datagram — the first configuration where packet
+// loss, reordering and duplication are physical events rather than hash
+// draws.
+//
+// Topology is a star: only the parent (the runner host) transmits, because
+// the runner's Transport seam hands it every frame already routed — shards
+// never talk to each other. The reliable control channel (one TCP loopback
+// connection per shard) carries the join handshake, the epoch barrier and
+// shutdown; the lossy data plane carries only datagrams.
+//
+// Two modes, exactly like Chan:
+//
+//   - Deterministic: the Deliver verdict comes from the seeded loss model
+//     (the same hash as the simulator and Chan, so answers are pinned
+//     bit-identical to the golden file), and every surviving frame is
+//     delivered to its shard exactly once — the barrier retransmits any
+//     datagram the loopback medium itself dropped, and the shard's
+//     per-round dedup absorbs the replays, keeping the receive-side
+//     accounting exact.
+//   - Free-running: Deliver sends and optimistically reports true; the
+//     loss model is not consulted. What actually got lost is discovered at
+//     the epoch barrier — each shard drains a quiet period, reports the
+//     missing sequence numbers, and the parent attributes one loss to each
+//     missing datagram's sender (and one duplicate to each replayed one),
+//     feeding the same network.Stats that the in-process backends feed.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/wire"
+)
+
+// ShardProc is a running shard runtime as seen by the parent: a process
+// handle (or its in-process stand-in) the parent waits out at Close and
+// kills if it will not exit.
+type ShardProc interface {
+	// Wait blocks until the shard runtime exits and returns its error; it
+	// must be callable more than once.
+	Wait() error
+	// Kill forcibly terminates the shard runtime (no-op for in-process
+	// shards, which exit when their sockets close).
+	Kill() error
+}
+
+// Spawner launches the shard runtime for one shard index, telling it the
+// parent's control address. The default spawner runs RunNode on a goroutine
+// in this process — real sockets, no exec; SpawnExec launches a tdnode
+// binary per shard.
+type Spawner func(controlAddr string, shard int) (ShardProc, error)
+
+// UDPOptions configure a UDP transport.
+type UDPOptions struct {
+	// Shards is the number of shard processes nodes are partitioned over
+	// (<= 0 means 1; clamped to the node count).
+	Shards int
+	// Deterministic selects the exactly-once barrier with the seeded loss
+	// model deciding Deliver verdicts, making answers bit-identical to the
+	// in-process backends. Free-running mode (false) sends optimistically
+	// and discovers real losses/duplicates at the barrier.
+	Deterministic bool
+	// Stats, if non-nil, receives the backend-side accounting: per-node
+	// receive deltas (AddRx), duplicates (AddDuplicates) and — in
+	// free-running mode — real datagram losses (AddLoss, applied at the
+	// barrier on the dispatch goroutine). Swappable via SetStats at the
+	// epoch barrier, like Chan.
+	Stats *network.Stats
+	// Spawn launches each shard runtime; nil selects the in-process
+	// default.
+	Spawn Spawner
+	// MaxDatagram caps the datagram size this side is willing to send;
+	// <= 0 (or anything above wire.MaxUDPPayload) means wire.MaxUDPPayload.
+	// The effective per-shard limit is the min of this and the shard's
+	// advertised limit; a frame that cannot fit fails its delivery and
+	// sets the transport's sticky error.
+	MaxDatagram int
+	// DrainQuiet is the free-running barrier's quiet window: a shard
+	// reports its round once no datagram has arrived for this long. <= 0
+	// means 5ms. Chaos tests raise it to out-wait their proxy's reordering.
+	DrainQuiet time.Duration
+	// BarrierTimeout caps one epoch barrier's control-channel round trips
+	// per shard; a shard that cannot be flushed within it is declared dead
+	// (sticky error, losses attributed, no hang). <= 0 means 5s.
+	BarrierTimeout time.Duration
+	// AddrRewrite, if set, maps each shard's advertised UDP address to the
+	// address the parent actually sends to — the seam a chaos-proxy test
+	// interposes on. It runs once per shard during the join handshake.
+	AddrRewrite func(shard int, addr string) string
+}
+
+// Barrier tuning shared by parent and tests.
+const (
+	defaultBarrierTimeout = 5 * time.Second
+	joinTimeout           = 10 * time.Second
+	minNegotiatedDatagram = 512
+	maxDetResends         = 64
+)
+
+// udpShard is the parent's view of one shard: its process handle, control
+// connection, resolved data-plane address, and the current round's send
+// state (dispatch-goroutine-owned; the flush goroutines only touch it
+// between EndEpoch's spawn and join, which the WaitGroup orders).
+type udpShard struct {
+	id          int
+	proc        ShardProc
+	ctrl        net.Conn
+	addr        *net.UDPAddr
+	maxDatagram int
+	dead        bool
+	sent        int
+	// frames keeps the round's full datagram images for deterministic-mode
+	// retransmission, seq-indexed; buffers are recycled across rounds.
+	frames [][]byte
+	// from records each seq's sender for loss attribution.
+	from []int32
+}
+
+// UDP is the multi-process UDP transport. Construct with NewUDP; it
+// implements runner.Transport, runner.EpochMarker and runner.StatsSetter.
+// Like every backend, Deliver/BeginEpoch/EndEpoch are dispatch-goroutine-
+// only; Close may be called from any goroutine once the run has quiesced
+// and is idempotent.
+type UDP struct {
+	nw   *network.Net
+	opts UDPOptions
+	// view caches the current epoch's delivery view, exactly like Chan.
+	view      network.EpochView
+	viewEpoch int
+	viewSet   bool
+	conn      *net.UDPConn
+	shards    []*udpShard
+	round     uint64
+	scratch   []byte
+	lost      atomic.Int64
+	dupes     atomic.Int64
+	errMu     sync.Mutex
+	err       error
+	closeOnce sync.Once
+}
+
+// NewUDP spawns the shard fleet, runs the join handshake (collecting each
+// shard's UDP address and negotiating per-shard datagram limits) and
+// returns the ready transport. On any failure it tears down whatever it
+// spawned and returns the error. The caller must Close it.
+func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
+	n := nw.Graph.N()
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.Shards > n {
+		opts.Shards = n
+	}
+	if opts.MaxDatagram <= 0 || opts.MaxDatagram > wire.MaxUDPPayload {
+		opts.MaxDatagram = wire.MaxUDPPayload
+	}
+	if opts.DrainQuiet <= 0 {
+		opts.DrainQuiet = defaultQuietUS * time.Microsecond
+	}
+	if opts.BarrierTimeout <= 0 {
+		opts.BarrierTimeout = defaultBarrierTimeout
+	}
+	if opts.Spawn == nil {
+		opts.Spawn = spawnInProcess
+	}
+	u := &UDP{nw: nw, opts: opts, shards: make([]*udpShard, opts.Shards)}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: udp control listener: %w", err)
+	}
+	defer ln.Close()
+	u.conn, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("transport: udp send socket: %w", err)
+	}
+	_ = u.conn.SetWriteBuffer(1 << 22)
+
+	fail := func(err error) (*UDP, error) {
+		u.teardown()
+		return nil, err
+	}
+	for i := 0; i < opts.Shards; i++ {
+		proc, err := opts.Spawn(ln.Addr().String(), i)
+		if err != nil {
+			return fail(fmt.Errorf("transport: spawn shard %d: %w", i, err))
+		}
+		u.shards[i] = &udpShard{id: i, proc: proc}
+	}
+	tl, _ := ln.(*net.TCPListener)
+	for joined := 0; joined < opts.Shards; joined++ {
+		if tl != nil {
+			_ = tl.SetDeadline(time.Now().Add(joinTimeout))
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("transport: waiting for shard joins (%d/%d): %w", joined, opts.Shards, err))
+		}
+		var join ctrlMsg
+		if err := readCtrl(c, time.Now().Add(joinTimeout), &join); err != nil {
+			c.Close()
+			return fail(fmt.Errorf("transport: shard join handshake: %w", err))
+		}
+		sh := u.shardForJoin(&join)
+		if sh == nil {
+			c.Close()
+			return fail(fmt.Errorf("transport: invalid or duplicate shard join %+v", join))
+		}
+		addr := join.UDPAddr
+		if opts.AddrRewrite != nil {
+			addr = opts.AddrRewrite(sh.id, addr)
+		}
+		sh.addr, err = net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			c.Close()
+			return fail(fmt.Errorf("transport: shard %d udp address %q: %w", sh.id, addr, err))
+		}
+		sh.maxDatagram = min(opts.MaxDatagram, join.MaxDatagram)
+		if sh.maxDatagram < minNegotiatedDatagram {
+			sh.maxDatagram = minNegotiatedDatagram
+		}
+		assign := ctrlMsg{
+			Type: ctrlAssign, Nodes: n, Shards: opts.Shards,
+			Deterministic: opts.Deterministic,
+			MaxDatagram:   sh.maxDatagram,
+			QuietUS:       int(opts.DrainQuiet / time.Microsecond),
+		}
+		if err := writeCtrl(c, time.Now().Add(joinTimeout), &assign); err != nil {
+			c.Close()
+			return fail(fmt.Errorf("transport: shard %d assignment: %w", sh.id, err))
+		}
+		sh.ctrl = c
+	}
+	return u, nil
+}
+
+// shardForJoin matches a join message to its not-yet-joined shard slot, or
+// nil if the message is invalid.
+func (u *UDP) shardForJoin(join *ctrlMsg) *udpShard {
+	if join.Type != ctrlJoin || join.Shard < 0 || join.Shard >= len(u.shards) {
+		return nil
+	}
+	sh := u.shards[join.Shard]
+	if sh == nil || sh.ctrl != nil || join.MaxDatagram < minNegotiatedDatagram {
+		return nil
+	}
+	return sh
+}
+
+// Deliver implements runner.Transport. In deterministic mode the verdict
+// comes from the seeded loss model (surviving frames are sent, and the
+// barrier guarantees exactly-once arrival); in free-running mode every
+// frame is sent and optimistically reported delivered — the barrier settles
+// what was really lost. A false return on a dead shard or oversized frame
+// lets the runner account the loss as usual.
+func (u *UDP) Deliver(epoch, attempt, from, to int, frame []byte) bool {
+	if u.opts.Deterministic {
+		if !u.viewSet || u.viewEpoch != epoch {
+			u.view = u.nw.Epoch(epoch)
+			u.viewSet = true
+			u.viewEpoch = epoch
+		}
+		if !u.view.Delivered(attempt, from, to) {
+			return false
+		}
+	}
+	sh := u.shards[to%len(u.shards)]
+	if sh.dead {
+		u.lost.Add(1)
+		return false
+	}
+	seq := sh.sent
+	if seq >= wire.MaxDatagramSeq {
+		u.setErr(fmt.Errorf("transport: round %d exceeded %d datagrams to shard %d", u.round, wire.MaxDatagramSeq, sh.id))
+		return false
+	}
+	u.scratch = wire.AppendDatagram(u.scratch[:0], u.round, seq, to, frame)
+	if len(u.scratch) > sh.maxDatagram {
+		u.setErr(fmt.Errorf("transport: frame of %d bytes exceeds shard %d's negotiated datagram size %d",
+			len(frame), sh.id, sh.maxDatagram))
+		return false
+	}
+	if _, err := u.conn.WriteToUDP(u.scratch, sh.addr); err != nil {
+		u.setErr(fmt.Errorf("transport: send to shard %d: %w", sh.id, err))
+		return false
+	}
+	sh.from = append(sh.from, int32(from))
+	if u.opts.Deterministic {
+		var buf []byte
+		if n := len(sh.frames); cap(sh.frames) > n {
+			sh.frames = sh.frames[:n+1]
+			buf = sh.frames[n][:0]
+			sh.frames = sh.frames[:n]
+		}
+		sh.frames = append(sh.frames, append(buf, u.scratch...))
+	}
+	sh.sent++
+	return true
+}
+
+// BeginEpoch implements runner.EpochMarker: advance the barrier round. The
+// round counter — not the epoch number — scopes datagram sequence spaces,
+// because query-set members reuse epoch numbers across their sub-rounds.
+func (u *UDP) BeginEpoch(int) {
+	u.round++
+	for _, sh := range u.shards {
+		sh.sent = 0
+		sh.from = sh.from[:0]
+		sh.frames = sh.frames[:0]
+	}
+}
+
+// EndEpoch implements runner.EpochMarker: flush every shard that received
+// traffic this round (concurrently — each shard has its own control
+// connection), then apply the collected receive deltas, duplicates and
+// free-running losses to the current Stats target on the calling (dispatch)
+// goroutine, preserving the transmit-side single-writer contract. A shard
+// that cannot be flushed within BarrierTimeout is declared dead: its
+// round's frames are attributed as losses, the sticky error is set, and
+// the run continues without it — no hang.
+func (u *UDP) EndEpoch(int) {
+	var wg sync.WaitGroup
+	type flushResult struct {
+		done ctrlMsg
+		err  error
+	}
+	results := make([]flushResult, len(u.shards))
+	for i, sh := range u.shards {
+		if sh.dead || sh.sent == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *udpShard) {
+			defer wg.Done()
+			results[i].done, results[i].err = u.flushShard(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	st := u.opts.Stats
+	for i, sh := range u.shards {
+		if sh.dead || sh.sent == 0 {
+			continue
+		}
+		res := results[i]
+		if res.err != nil {
+			sh.dead = true
+			u.setErr(fmt.Errorf("transport: shard %d: %w", sh.id, res.err))
+			// The shard is gone mid-round: how much of the round it
+			// processed is unknowable, so attribute the whole round as
+			// lost — the conservative reading of a crashed receiver.
+			u.lost.Add(int64(sh.sent))
+			if st != nil {
+				for _, from := range sh.from {
+					st.AddLoss(int(from))
+				}
+			}
+			continue
+		}
+		for _, d := range res.done.Rx {
+			if d.Node < 0 || d.Node >= u.nw.Graph.N() {
+				continue
+			}
+			if st != nil {
+				st.AddRx(d.Node, d.Frames, d.Bytes)
+				if d.Dups > 0 {
+					st.AddDuplicates(d.Node, d.Dups)
+				}
+			}
+			u.dupes.Add(d.Dups)
+		}
+		for _, seq := range res.done.Missing {
+			if seq < 0 || seq >= len(sh.from) {
+				continue
+			}
+			u.lost.Add(1)
+			if st != nil {
+				st.AddLoss(int(sh.from[seq]))
+			}
+		}
+	}
+}
+
+// flushShard runs one shard's barrier: flush, read done, and — in
+// deterministic mode — retransmit whatever the shard reports missing until
+// nothing is, the timeout expires, or the control channel fails.
+func (u *UDP) flushShard(sh *udpShard) (ctrlMsg, error) {
+	deadline := time.Now().Add(u.opts.BarrierTimeout)
+	for attempt := 0; ; attempt++ {
+		if err := writeCtrl(sh.ctrl, deadline, &ctrlMsg{Type: ctrlFlush, Round: u.round, Sent: sh.sent}); err != nil {
+			return ctrlMsg{}, fmt.Errorf("barrier flush: %w", err)
+		}
+		var done ctrlMsg
+		if err := readCtrl(sh.ctrl, deadline, &done); err != nil {
+			return ctrlMsg{}, fmt.Errorf("barrier reply: %w", err)
+		}
+		if done.Type != ctrlDone || done.Round != u.round {
+			return ctrlMsg{}, fmt.Errorf("unexpected barrier reply %q (round %d, want %d)", done.Type, done.Round, u.round)
+		}
+		if !u.opts.Deterministic || len(done.Missing) == 0 {
+			return done, nil
+		}
+		if attempt >= maxDetResends || !time.Now().Before(deadline) {
+			return ctrlMsg{}, fmt.Errorf("%d datagrams still missing after %d resends", len(done.Missing), attempt)
+		}
+		for _, seq := range done.Missing {
+			if seq < 0 || seq >= len(sh.frames) {
+				return ctrlMsg{}, fmt.Errorf("shard reported unknown seq %d", seq)
+			}
+			if _, err := u.conn.WriteToUDP(sh.frames[seq], sh.addr); err != nil {
+				return ctrlMsg{}, fmt.Errorf("retransmit seq %d: %w", seq, err)
+			}
+		}
+	}
+}
+
+// SetStats redirects the backend-side accounting to s, implementing
+// runner.StatsSetter under the same quiescence contract as Chan: only
+// between EndEpoch and the next Deliver — exactly when a query-set mux port
+// swaps members. Every UDP accounting write happens on the dispatch
+// goroutine (at the barrier), so the swap needs no synchronization at all.
+func (u *UDP) SetStats(s *network.Stats) { u.opts.Stats = s }
+
+// Err returns the transport's sticky error: the first shard death, barrier
+// timeout, oversized frame or socket failure. A non-nil Err means some
+// deliveries were force-counted as losses; answers remain whatever the
+// runner computed.
+func (u *UDP) Err() error {
+	u.errMu.Lock()
+	defer u.errMu.Unlock()
+	return u.err
+}
+
+// setErr records the first failure.
+func (u *UDP) setErr(err error) {
+	u.errMu.Lock()
+	if u.err == nil {
+		u.err = err
+	}
+	u.errMu.Unlock()
+}
+
+// Lost returns the datagrams the backend itself counted as lost: real
+// losses discovered at free-running barriers, plus whole rounds attributed
+// to dead shards. Deterministic-mode medium losses are not included (they
+// never become datagrams).
+func (u *UDP) Lost() int64 { return u.lost.Load() }
+
+// Duplicates returns the duplicated datagrams shards have discarded.
+func (u *UDP) Duplicates() int64 { return u.dupes.Load() }
+
+// Shards returns the shard count nodes are partitioned over.
+func (u *UDP) Shards() int { return len(u.shards) }
+
+// Close stops the fleet: each live shard gets a stop message (answered by
+// bye), the sockets close, and every shard process is waited out — or
+// killed if it will not exit. Idempotent; Deliver must not be called
+// afterwards.
+func (u *UDP) Close() {
+	u.closeOnce.Do(u.teardown)
+}
+
+// teardown is Close's body, shared with NewUDP's failure path.
+func (u *UDP) teardown() {
+	for _, sh := range u.shards {
+		if sh == nil || sh.ctrl == nil {
+			continue
+		}
+		if !sh.dead {
+			dl := time.Now().Add(2 * time.Second)
+			if writeCtrl(sh.ctrl, dl, &ctrlMsg{Type: ctrlStop}) == nil {
+				var bye ctrlMsg
+				_ = readCtrl(sh.ctrl, dl, &bye)
+			}
+		}
+		sh.ctrl.Close()
+	}
+	if u.conn != nil {
+		u.conn.Close()
+	}
+	for _, sh := range u.shards {
+		if sh == nil || sh.proc == nil {
+			continue
+		}
+		waitProc(sh.proc, 3*time.Second)
+	}
+}
+
+// waitProc waits a shard process out, escalating to Kill at the timeout.
+func waitProc(p ShardProc, timeout time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		_ = p.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = p.Kill()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// spawnInProcess is the default Spawner: the shard runtime runs on a
+// goroutine in this process — the topology, sockets and protocol are
+// identical to a separate tdnode process; only the process boundary is
+// elided.
+func spawnInProcess(controlAddr string, shard int) (ShardProc, error) {
+	p := &inprocShard{done: make(chan error, 1)}
+	go func() { p.done <- RunNode(controlAddr, shard) }()
+	return p, nil
+}
+
+// inprocShard adapts the in-process shard goroutine to ShardProc.
+type inprocShard struct {
+	done chan error
+	once sync.Once
+	err  error
+}
+
+// Wait implements ShardProc.
+func (p *inprocShard) Wait() error {
+	p.once.Do(func() { p.err = <-p.done })
+	return p.err
+}
+
+// Kill implements ShardProc: in-process shards exit when their sockets
+// close, so there is nothing to kill.
+func (p *inprocShard) Kill() error { return nil }
+
+// SpawnExec returns a Spawner that launches one OS process per shard:
+// `binary [args...] -control <addr> -shard <i>` — the cmd/tdnode contract.
+// The children inherit this process's stderr for diagnostics.
+func SpawnExec(binary string, args ...string) Spawner {
+	return func(controlAddr string, shard int) (ShardProc, error) {
+		argv := append(append([]string(nil), args...),
+			"-control", controlAddr, "-shard", strconv.Itoa(shard))
+		cmd := exec.Command(binary, argv...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		return &execShard{cmd: cmd}, nil
+	}
+}
+
+// execShard adapts an exec'd tdnode process to ShardProc.
+type execShard struct {
+	cmd  *exec.Cmd
+	once sync.Once
+	err  error
+}
+
+// Wait implements ShardProc, memoizing the process exit status.
+func (p *execShard) Wait() error {
+	p.once.Do(func() { p.err = p.cmd.Wait() })
+	return p.err
+}
+
+// Kill implements ShardProc with SIGKILL.
+func (p *execShard) Kill() error { return p.cmd.Process.Kill() }

@@ -1,0 +1,99 @@
+package wire
+
+// Datagram framing for the UDP transport backend: one datagram carries one
+// envelope frame, prefixed by a fixed magic/version pair and three varints —
+// the barrier round, the per-(round, shard) sequence number, and the
+// receiving node. The round scopes the sequence space (a query set reuses
+// epoch numbers across member sub-rounds, so the barrier counts rounds, not
+// epochs); the sequence number is what lets a shard deduplicate replayed
+// datagrams and report the missing ones at the barrier; the receiver is in
+// the header — not inferred from the envelope — because the envelope only
+// names its sender (a broadcast frame has many receivers).
+//
+// Unlike the in-process transports, every field here arrives from outside
+// the process, so the decoder treats the input as hostile: all bounds are
+// checked, oversized identifiers are malformed, and no input can force an
+// allocation larger than the datagram itself.
+
+// MaxUDPPayload is the largest UDP payload deliverable over IPv4 (65535
+// minus the IP and UDP headers) — the upper bound of the per-link datagram
+// size negotiation.
+const MaxUDPPayload = 65507
+
+// DatagramMagic is the first byte of every transport datagram; anything
+// else is malformed input (most likely a stray packet on a reused port).
+const DatagramMagic byte = 0xD7
+
+// DatagramVersion is the datagram header version; the second byte.
+const DatagramVersion byte = 1
+
+// MaxDatagramSeq bounds the per-round sequence space. It caps the size of a
+// shard's deduplication bitset against hostile input (2^20 sequence numbers
+// = a 128 KiB bitset at most) and is far above any real epoch's frame count.
+const MaxDatagramSeq = 1 << 20
+
+// maxDatagramNode bounds the receiver id, mirroring the envelope's 32-bit
+// node identifiers.
+const maxDatagramNode = 1<<32 - 1
+
+// Datagram is one decoded transport datagram: the barrier round it belongs
+// to, its sequence number within that round's traffic to one shard, the
+// receiving node, and the enclosed envelope frame (aliasing the input).
+type Datagram struct {
+	// Round is the parent's barrier round counter (monotonic across epochs
+	// and query-set sub-rounds).
+	Round uint64
+	// Seq is the datagram's sequence number within (Round, shard).
+	Seq int
+	// To is the receiving node id.
+	To int
+	// Frame is the enclosed envelope frame; it aliases the input buffer.
+	Frame []byte
+}
+
+// AppendDatagram appends the framed datagram encoding to dst: magic,
+// version, round, seq, to, then the envelope frame occupying the rest of
+// the datagram (the datagram boundary is the frame boundary, so no length
+// prefix is needed).
+func AppendDatagram(dst []byte, round uint64, seq, to int, frame []byte) []byte {
+	dst = append(dst, DatagramMagic, DatagramVersion)
+	dst = AppendUvarint(dst, round)
+	dst = AppendUvarint(dst, uint64(seq))
+	dst = AppendUvarint(dst, uint64(to))
+	return append(dst, frame...)
+}
+
+// DatagramOverhead returns the header size AppendDatagram would add for the
+// given identifiers — what the sender subtracts from the negotiated datagram
+// size to bound the enclosed frame.
+func DatagramOverhead(round uint64, seq, to int) int {
+	return 2 + UvarintLen(round) + UvarintLen(uint64(seq)) + UvarintLen(uint64(to))
+}
+
+// DecodeDatagram parses one datagram. The returned Frame aliases data. Bad
+// magic, bad version, out-of-range identifiers and truncated headers are
+// errors, never panics: this is the first decoder on the untrusted receive
+// path.
+func DecodeDatagram(data []byte) (Datagram, error) {
+	r := NewReader(data)
+	var d Datagram
+	if b := r.Byte(); r.Err() == nil && b != DatagramMagic {
+		return Datagram{}, ErrMalformed
+	}
+	if b := r.Byte(); r.Err() == nil && b != DatagramVersion {
+		return Datagram{}, ErrMalformed
+	}
+	d.Round = r.Uvarint()
+	seq := r.Uvarint()
+	to := r.Uvarint()
+	if r.Err() == nil && (seq >= MaxDatagramSeq || to > maxDatagramNode) {
+		return Datagram{}, ErrMalformed
+	}
+	d.Seq = int(seq)
+	d.To = int(to)
+	d.Frame = r.Take(r.Remaining())
+	if err := r.Err(); err != nil {
+		return Datagram{}, err
+	}
+	return d, nil
+}

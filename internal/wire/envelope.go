@@ -27,9 +27,12 @@ const Version = 1
 // of the envelope: it is bookkeeping about the network, not a field a real
 // sensor message could carry, and must not count toward transmission cost.
 type Envelope struct {
-	Kind  Kind
+	// Kind is the scheme tag: tree partial or multi-path synopsis.
+	Kind Kind
+	// Epoch is the collection round the message belongs to.
 	Epoch uint32
-	From  uint32
+	// From is the sending node id.
+	From uint32
 
 	// Contrib is the exact contributing-node count of a tree partial
 	// (KindTree only).
@@ -42,8 +45,11 @@ type Envelope struct {
 	// TopNC, MinNC and NCValid carry the §4.2 non-contributing subtree
 	// statistics (KindSynopsis only). TopNC is descending; NCValid marks
 	// presence.
-	TopNC   []int
-	MinNC   int
+	TopNC []int
+	// MinNC is the smallest tracked non-contributing subtree size (see
+	// TopNC).
+	MinNC int
+	// NCValid marks the presence of the TopNC/MinNC statistics (see TopNC).
 	NCValid bool
 
 	// Payload is the aggregate-specific encoding of the partial result or

@@ -50,6 +50,8 @@ type openConfig struct {
 	seedSet       bool
 	concurrent    bool
 	concurrentSet bool
+	udpShards     int
+	udpSet        bool
 	epsilon       float64
 	sampleK       int
 	threshold     float64
@@ -84,6 +86,17 @@ func WithSeed(seed uint64) Option {
 // created — and Open rejects the combination.
 func WithConcurrentRuntime(on bool) Option {
 	return func(c *openConfig) { c.concurrent = on; c.concurrentSet = true }
+}
+
+// WithUDPTransport overrides the deployment's runtime selection for this
+// session with the multi-process UDP transport: nodes partition over shards
+// shard runtimes and every frame travels as a real loopback datagram, in the
+// deterministic mode whose answers are bit-identical to the in-process
+// backends (see Deployment.UseUDPRuntime). shards <= 0 selects the
+// in-process runtimes instead. It cannot be combined with
+// WithConcurrentRuntime or InSet; Open rejects both combinations.
+func WithUDPTransport(shards int) Option {
+	return func(c *openConfig) { c.udpShards = shards; c.udpSet = true }
 }
 
 // WithEpsilon sets the approximation budget of queries that take one: the
@@ -168,29 +181,52 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 		o(&cfg)
 	}
 
+	if cfg.udpSet && cfg.concurrentSet {
+		return nil, fmt.Errorf("tributarydelta: WithUDPTransport and WithConcurrentRuntime are mutually exclusive")
+	}
 	stats := network.NewStats(d.scenario.Graph.N())
 	var net *network.Net
 	var tr runner.Transport
 	var stop func()
+	var trErr func() error
 	if set := cfg.set; set != nil {
 		if set.d != d {
 			return nil, fmt.Errorf("tributarydelta: InSet with a query set of a different deployment")
 		}
-		if cfg.concurrentSet {
-			return nil, fmt.Errorf("tributarydelta: WithConcurrentRuntime cannot override a query set's runtime (pinned at NewQuerySet)")
+		if cfg.concurrentSet || cfg.udpSet {
+			return nil, fmt.Errorf("tributarydelta: a session runtime option cannot override a query set's runtime (pinned at NewQuerySet)")
 		}
 		if !cfg.seedSet {
 			cfg.seed = set.seed
 		}
 		net = set.net
 		tr = set.port(stats)
+		trErr = set.transportErr
 	} else {
 		net = network.New(d.scenario.Graph, d.model, cfg.seed)
+		// Explicit per-session options override the deployment's runtime;
+		// among the deployment defaults, the UDP runtime takes precedence
+		// over the concurrent one.
+		udpShards := 0
+		if cfg.udpSet {
+			udpShards = cfg.udpShards
+		} else if !cfg.concurrentSet && d.udpShards > 0 {
+			udpShards = d.udpShards
+		}
 		concurrent := d.concurrent
 		if cfg.concurrentSet {
 			concurrent = cfg.concurrent
 		}
-		if concurrent {
+		if udpShards > 0 {
+			u, err := transport.NewUDP(net, transport.UDPOptions{
+				Shards: udpShards, Deterministic: true, Stats: stats,
+				Spawn: d.udpSpawner(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("tributarydelta: udp runtime: %w", err)
+			}
+			tr, stop, trErr = u, u.Close, u.Err
+		} else if concurrent {
 			ch := transport.New(net, transport.Options{Deterministic: true, Stats: stats})
 			tr, stop = ch, ch.Close
 		}
@@ -200,7 +236,7 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 	if err != nil {
 		return nil, closeOnErr(stop, err)
 	}
-	s := &Session[R]{eng: eng, name: q.name, deps: d, stop: stop, done: make(chan struct{})}
+	s := &Session[R]{eng: eng, name: q.name, deps: d, stop: stop, trErr: trErr, done: make(chan struct{})}
 	if cfg.set != nil {
 		if err := cfg.set.register(s); err != nil {
 			return nil, closeOnErr(stop, err)
@@ -243,6 +279,7 @@ func (e runnerEngine[V, P, S, A, R]) stats() SessionStats {
 		Losses:     snap.Losses,
 		InboxDrops: snap.InboxDrops,
 		RxFrames:   snap.RxFrames,
+		Duplicates: snap.Duplicates,
 	}
 }
 

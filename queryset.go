@@ -10,6 +10,7 @@ package tributarydelta
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"tributarydelta/internal/network"
@@ -55,6 +56,12 @@ type QuerySet struct {
 	net  *network.Net
 	mux  *runner.Mux
 	stop func()
+	// initErr holds a failed shared-runtime construction (the UDP fleet not
+	// coming up); it is surfaced by every subsequent Open(InSet(...)).
+	initErr error
+	// trErr reports the shared backend's sticky runtime error, when the
+	// backend has one (the UDP runtime); nil otherwise.
+	trErr func() error
 
 	mu      sync.Mutex
 	members []setMember
@@ -78,7 +85,19 @@ func (d *Deployment) NewQuerySet(seed uint64) *QuerySet {
 		net:  network.New(d.scenario.Graph, d.model, seed),
 		done: make(chan struct{}),
 	}
-	if d.concurrent {
+	switch {
+	case d.udpShards > 0:
+		u, err := transport.NewUDP(qs.net, transport.UDPOptions{
+			Shards: d.udpShards, Deterministic: true, Spawn: d.udpSpawner(),
+		})
+		if err != nil {
+			qs.initErr = fmt.Errorf("tributarydelta: udp runtime: %w", err)
+			break
+		}
+		qs.mux = runner.NewMux(u)
+		qs.stop = u.Close
+		qs.trErr = u.Err
+	case d.concurrent:
 		ch := transport.New(qs.net, transport.Options{Deterministic: true})
 		qs.mux = runner.NewMux(ch)
 		qs.stop = ch.Close
@@ -101,12 +120,30 @@ func (qs *QuerySet) port(stats *network.Stats) runner.Transport {
 func (qs *QuerySet) register(m setMember) error {
 	qs.mu.Lock()
 	defer qs.mu.Unlock()
+	if qs.initErr != nil {
+		return qs.initErr
+	}
 	if qs.closed {
 		return errClosedSet
 	}
 	qs.members = append(qs.members, m)
 	return nil
 }
+
+// transportErr reports the shared backend's sticky error (member sessions
+// delegate their TransportErr here).
+func (qs *QuerySet) transportErr() error {
+	if qs.trErr == nil {
+		return nil
+	}
+	return qs.trErr()
+}
+
+// TransportErr reports the shared delivery backend's sticky error — non-nil
+// after a UDP shard death, barrier timeout or socket failure, in which case
+// some deliveries were force-counted as losses while rounds kept completing.
+// Always nil for the in-process runtimes.
+func (qs *QuerySet) TransportErr() error { return qs.transportErr() }
 
 // errClosedSet is returned by Open(InSet(...)) on a closed set.
 var errClosedSet = errString("query set is closed")

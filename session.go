@@ -41,6 +41,10 @@ type SessionStats struct {
 	// the concurrent runtime; the synchronous simulator hands frames over
 	// without a receive loop).
 	RxFrames int64
+	// Duplicates counts duplicated datagrams discarded by receiver runtimes
+	// before processing (UDP runtime only — the in-process backends cannot
+	// duplicate; never part of RxFrames).
+	Duplicates int64
 }
 
 // engine erases the runner's generic parameters behind the session.
@@ -76,6 +80,9 @@ type Session[R any] struct {
 	name string
 	deps *Deployment
 	stop func()
+	// trErr reports the delivery backend's sticky error, when the backend
+	// has one (the UDP runtime); nil otherwise.
+	trErr func() error
 
 	closed atomic.Bool
 	mu     sync.Mutex // guards the Close / run-registration handshake
@@ -211,6 +218,18 @@ func (s *Session[R]) SetWorkers(n int) { s.eng.setWorkers(n) }
 // Stats returns a snapshot of the session's cumulative communication
 // accounting.
 func (s *Session[R]) Stats() SessionStats { return s.eng.stats() }
+
+// TransportErr reports the session's delivery-backend sticky error: the
+// first shard death, barrier timeout or socket failure of the UDP runtime.
+// A non-nil error means some deliveries were force-counted as losses while
+// answers kept being produced. In-process backends never fail; for them (and
+// for the simulator) TransportErr is always nil.
+func (s *Session[R]) TransportErr() error {
+	if s.trErr == nil {
+		return nil
+	}
+	return s.trErr()
+}
 
 // TotalWords returns the total 32-bit payload words transmitted so far. It
 // is the Stats().TotalWords shorthand kept for the original facade surface.

@@ -64,6 +64,7 @@ import (
 	"tributarydelta/internal/network"
 	"tributarydelta/internal/runner"
 	"tributarydelta/internal/topo"
+	"tributarydelta/internal/transport"
 	"tributarydelta/internal/workload"
 )
 
@@ -89,6 +90,8 @@ type Deployment struct {
 	scenario   *workload.Scenario
 	model      network.Model
 	concurrent bool
+	udpShards  int
+	udpBinary  string
 }
 
 // NewSyntheticDeployment places n sensors uniformly in the paper's 20×20
@@ -144,6 +147,31 @@ func (d *Deployment) DominationFactor() float64 {
 // and should be released with Close when done. WithConcurrentRuntime
 // overrides the choice per session.
 func (d *Deployment) UseConcurrentRuntime(on bool) { d.concurrent = on }
+
+// UseUDPRuntime selects the multi-process UDP transport for sessions
+// subsequently built from this deployment: nodes are partitioned over shards
+// shard runtimes (loopback processes, or in-process goroutines over real
+// sockets by default — see SetUDPNodeBinary) and every frame travels as a
+// real UDP datagram. The runtime runs in its deterministic mode, so answers
+// stay bit-identical to the in-process backends. shards <= 0 reverts to the
+// in-process runtimes. WithUDPTransport overrides the choice per session;
+// UseUDPRuntime takes precedence over UseConcurrentRuntime when both are
+// enabled.
+func (d *Deployment) UseUDPRuntime(shards int) { d.udpShards = shards }
+
+// SetUDPNodeBinary points the UDP runtime at a tdnode executable: each shard
+// becomes `path -control <addr> -shard <i>`, a separate OS process. An empty
+// path (the default) runs shards as goroutines in this process — identical
+// protocol and sockets, no exec.
+func (d *Deployment) SetUDPNodeBinary(path string) { d.udpBinary = path }
+
+// udpSpawner resolves the shard spawner for the deployment's UDP runtime.
+func (d *Deployment) udpSpawner() transport.Spawner {
+	if d.udpBinary == "" {
+		return nil
+	}
+	return transport.SpawnExec(d.udpBinary)
+}
 
 // Scenario exposes the underlying workload scenario for advanced use
 // together with the internal packages.
