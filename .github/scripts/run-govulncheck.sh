@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs govulncheck over the module and fails on any finding whose OSV id is
+# not listed in .github/vuln-allowlist.txt. The allowlist is the only way to
+# accept a finding, and every entry there must carry a written justification
+# — silent suppression defeats the point of the scan.
+set -euo pipefail
+
+allowlist=".github/vuln-allowlist.txt"
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+# govulncheck exits 3 when it finds vulnerabilities; capture instead of
+# aborting so the allowlist can be applied.
+status=0
+govulncheck ./... >"$out" 2>&1 || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 3 ]; then
+  cat "$out" >&2
+  echo "govulncheck failed (exit $status)" >&2
+  exit "$status"
+fi
+
+# Extract the OSV ids of the findings (GO-YYYY-NNNN...).
+found="$(grep -oE 'GO-[0-9]{4}-[0-9]+' "$out" | sort -u || true)"
+if [ -z "$found" ]; then
+  echo "govulncheck: no findings"
+  exit 0
+fi
+
+allowed="$(grep -oE '^GO-[0-9]{4}-[0-9]+' "$allowlist" 2>/dev/null | sort -u || true)"
+blocked="$(comm -23 <(echo "$found") <(echo "$allowed"))"
+if [ -n "$blocked" ]; then
+  cat "$out" >&2
+  echo "govulncheck: findings not in $allowlist:" >&2
+  echo "$blocked" >&2
+  exit 1
+fi
+
+echo "govulncheck: all findings allowlisted in $allowlist:"
+echo "$found"

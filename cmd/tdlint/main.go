@@ -1,0 +1,60 @@
+// Command tdlint is the repo's multichecker: it runs the internal/analysis
+// suite — determinism, wiresafe, statswriter, hotpath and doccomment (the
+// doclint port) — over the module and exits non-zero on any finding. CI
+// runs it beside gofmt and go vet; run it locally with
+//
+//	go run ./cmd/tdlint ./...
+//
+// Arguments are go package patterns (default ./...). Findings print as
+// file:line:col: [analyzer] message. A finding is waived at its site with a
+// justified //lint:ignore <analyzer> <reason> comment on the same line or
+// the line above; -list prints the suite and each analyzer's contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tributarydelta/internal/analysis"
+	"tributarydelta/internal/analysis/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	flag.Parse()
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := framework.ModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+		os.Exit(2)
+	}
+	loader := framework.NewLoader(root)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := framework.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tdlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"tributarydelta/internal/analysis/framework"
+)
+
+// docCommentScope lists the packages under the documentation contract: the
+// public facade, the service-facing commands, the packages whose exported
+// surface backs them — and the lint suite itself. This is the dir list of
+// the retired standalone internal/doclint command, carried forward.
+var docCommentScope = []string{
+	"tributarydelta", // the root facade package
+	"cmd/tdserve",
+	"cmd/tdbench",
+	"cmd/tdtopo",
+	"cmd/tdnode",
+	"cmd/tdlint",
+	"internal/transport",
+	"internal/network",
+	"internal/wire",
+	"internal/analysis",
+	"internal/analysis/framework",
+}
+
+// DocComment is the doclint port (DESIGN.md §8.5): every exported top-level
+// symbol (funcs, methods, types, consts, vars) of the scope packages must
+// carry a doc comment, either on its own spec or on the enclosing
+// declaration group; every package must have a package comment on at least
+// one file; and exported fields of exported struct types must carry a doc
+// or line comment — the query layer's option/result/stats structs are read
+// through their fields, so an undocumented field is an undocumented API.
+var DocComment = &framework.Analyzer{
+	Name: "doccomment",
+	Doc:  "exported symbols, struct fields and packages of the facade must be documented",
+	Run:  runDocComment,
+}
+
+// docInScope matches exactly (or as a trailing path suffix, so fixtures
+// can opt in) — unlike inScope it does not extend to subpackages, because
+// the scope names whole packages, and "tributarydelta" as a prefix would
+// swallow the entire module.
+func docInScope(pkgPath string) bool {
+	for _, s := range docCommentScope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLineRe matches comment lines that are tool directives rather
+// than prose: //go:/lint:/td: machine annotations and the fixture
+// harness's want trailers.
+var directiveLineRe = regexp.MustCompile(`^//\s*(go:|lint:|td:|want\s)`)
+
+// isDoc reports whether cg documents a symbol: non-nil with at least one
+// line that is not a directive. A //lint:ignore waiver or a fixture want
+// trailer hanging off a declaration is machine-facing and does not count
+// as documentation.
+func isDoc(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if !directiveLineRe.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDocComment(pass *framework.Pass) (any, error) {
+	if !docInScope(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	hasPkgDoc := false
+	for _, f := range pass.Files {
+		if isDoc(f.Doc) {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc && len(pass.Files) > 0 {
+		pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package comment", pass.Pkg.Name())
+	}
+	for _, f := range pass.Files {
+		lintDocFile(pass, f)
+	}
+	return nil, nil
+}
+
+// lintDocFile reports undocumented exported top-level symbols of one file.
+func lintDocFile(pass *framework.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && !isDoc(d.Doc) {
+				pass.Reportf(d.Pos(), "exported %s is missing a doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && !isDoc(d.Doc) && !isDoc(sp.Doc) {
+						pass.Reportf(sp.Pos(), "exported %s is missing a doc comment", sp.Name.Name)
+					}
+					if st, ok := sp.Type.(*ast.StructType); ok && sp.Name.IsExported() {
+						lintDocFields(pass, sp.Name.Name, st)
+					}
+				case *ast.ValueSpec:
+					for _, id := range sp.Names {
+						if id.IsExported() && !isDoc(d.Doc) && !isDoc(sp.Doc) && !isDoc(sp.Comment) {
+							pass.Reportf(id.Pos(), "exported %s is missing a doc comment", id.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// lintDocFields reports undocumented exported fields of one exported
+// struct.
+func lintDocFields(pass *framework.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isDoc(field.Doc) || isDoc(field.Comment) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported field %s.%s is missing a doc comment", typeName, name.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// The analysistest-style harness: fixture files carry `// want "regexp"`
+// comments on the lines where an analyzer must report, and RunFixture
+// fails the test on any mismatch in either direction — a diagnostic with
+// no want, or a want with no diagnostic.
+package framework
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one `// want "re" "re" ...` trailer. The quoted patterns
+// are Go regular expressions matched against diagnostic messages.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantPatternRe extracts the individual quoted patterns of a want trailer.
+var wantPatternRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want pattern at one line.
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads dir as a package named importPath, runs exactly one
+// analyzer over it, and compares the findings (after //lint:ignore
+// filtering, which fixtures may exercise deliberately) against the
+// fixture's want comments.
+func RunFixture(t *testing.T, l *Loader, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	expects := collectWants(t, pkg)
+	for _, f := range findings {
+		ok := false
+		for _, e := range expects[f.Pos.Filename] {
+			if e.line == f.Pos.Line && !e.matched && e.pattern.MatchString(f.Message) {
+				e.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for file, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+// collectWants parses the want comments of every fixture file.
+func collectWants(t *testing.T, pkg *Package) map[string][]*expectation {
+	t.Helper()
+	out := make(map[string][]*expectation)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := wantPatternRe.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", pos)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(strings.ReplaceAll(p[1], `\"`, `"`))
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p[1], err)
+					}
+					out[pos.Filename] = append(out[pos.Filename], &expectation{line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+// Package framework is the offline analysis core under cmd/tdlint: a
+// minimal, dependency-free re-implementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic), a module-aware package
+// loader that type-checks from source via `go list`, and an
+// analysistest-style fixture runner. The repo vendors no third-party code,
+// so the suite is built on the standard library's go/ast, go/parser and
+// go/types alone; the API mirrors go/analysis closely enough that the
+// analyzers in internal/analysis would port to the upstream driver by
+// changing imports.
+//
+// Suppression: a diagnostic is dropped when the line it lands on, or the
+// line directly above it, carries a
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// comment. The justification is mandatory — an ignore without a reason is
+// itself reported — so every waived contract violation documents why it is
+// safe at the site that waives it.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check: a name used in diagnostics and
+// //lint:ignore directives, a doc string, and a Run function applied once
+// per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects one package via the Pass and reports findings; the
+	// returned value is unused (kept for go/analysis shape).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass presents one package to one analyzer, mirroring analysis.Pass:
+// parsed syntax, type information, and a Report sink.
+type Pass struct {
+	// Analyzer is the check this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line.
+	Fset *token.FileSet
+	// Files is the package's parsed, comment-preserving syntax.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression and object facts.
+	TypesInfo *types.Info
+	// Report receives one diagnostic; use Reportf for formatting.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the violated contract.
+	Message string
+}
+
+// A Finding is a resolved diagnostic: analyzer name plus concrete position,
+// ready for printing and for //lint:ignore filtering.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos is the resolved file position.
+	Pos token.Position
+	// Message states the violated contract.
+	Message string
+}
+
+// String formats the finding in the file:line: [analyzer] message form the
+// driver prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	line      int
+	analyzers []string // names, or ["*"]
+	used      bool
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)(.*)$`)
+
+// collectIgnores parses every //lint:ignore directive of a file and reports
+// malformed ones (missing justification) as findings in their own right.
+func collectIgnores(fset *token.FileSet, f *ast.File) ([]*ignoreDirective, []Finding) {
+	var dirs []*ignoreDirective
+	var bad []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if strings.TrimSpace(m[2]) == "" {
+				bad = append(bad, Finding{
+					Analyzer: "lintdirective",
+					Pos:      pos,
+					Message:  "//lint:ignore needs a justification after the analyzer name",
+				})
+				continue
+			}
+			dirs = append(dirs, &ignoreDirective{
+				line:      pos.Line,
+				analyzers: strings.Split(m[1], ","),
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// matches reports whether the directive suppresses analyzer name findings
+// on the given line (the directive's own line or the line below it).
+func (d *ignoreDirective) matches(name string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == "*" || a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves positions,
+// filters //lint:ignore'd findings, and returns the survivors sorted by
+// position. Unused directives are not reported (a fixed violation leaves
+// its waiver behind until the next cleanup pass), but directives missing a
+// justification are.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var all []Finding
+	ignores := make(map[string][]*ignoreDirective) // filename -> directives
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			dirs, bad := collectIgnores(pkg.Fset, f)
+			ignores[name] = append(ignores[name], dirs...)
+			all = append(all, bad...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				all = append(all, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	var kept []Finding
+	for _, f := range all {
+		suppressed := false
+		for _, d := range ignores[f.Pos.Filename] {
+			if d.matches(f.Analyzer, f.Pos.Line) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,274 @@
+// The loader: a self-contained, offline replacement for go/packages built
+// on `go list -deps -json` plus go/parser and go/types. Dependencies —
+// including the standard library — are type-checked from source in the
+// topological order go list emits, so the loader needs no export data, no
+// network and no toolchain cache beyond GOROOT sources.
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package: the unit RunAnalyzers
+// passes to each analyzer.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Name is the package name.
+	Name string
+	// Dir is the directory holding the sources.
+	Dir string
+	// GoFiles are the absolute paths of the non-test sources built on this
+	// platform.
+	GoFiles []string
+	// Fset is the loader-wide file set.
+	Fset *token.FileSet
+	// Syntax is the parsed, comment-preserving syntax of GoFiles.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records the type-checker's facts for Syntax.
+	TypesInfo *types.Info
+}
+
+// A Loader loads and type-checks packages of one module, caching every
+// package (standard library included) across calls — analyzer tests share
+// one Loader so the stdlib is checked once per process.
+type Loader struct {
+	// Dir is the module root `go list` runs in.
+	Dir  string
+	fset *token.FileSet
+	pkgs map[string]*Package // by import path; nil entry = being loaded
+}
+
+// NewLoader returns a loader rooted at the module directory dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, fset: token.NewFileSet(), pkgs: make(map[string]*Package)}
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod —
+// how tests and the driver locate the module without configuration.
+func ModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("framework: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -deps`, type-checks every listed
+// package in dependency order, and returns the packages the patterns
+// matched directly (dependencies are cached but not returned). CGO is
+// disabled for the listing so every package resolves to pure Go sources.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Standard,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("framework: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("framework: parsing go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+	var roots []*Package
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("framework: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		if !p.DepOnly && pkg != nil {
+			roots = append(roots, pkg)
+		}
+	}
+	return roots, nil
+}
+
+// check parses and type-checks one listed package, caching the result.
+// go list -deps emits dependencies before dependents, so every import is
+// already in the cache when its importer is checked.
+func (l *Loader) check(p *listedPackage) (*Package, error) {
+	if cached, ok := l.pkgs[p.ImportPath]; ok {
+		return cached, nil
+	}
+	if p.ImportPath == "unsafe" {
+		pkg := &Package{PkgPath: "unsafe", Name: "unsafe", Types: types.Unsafe, Fset: l.fset}
+		l.pkgs["unsafe"] = pkg
+		return pkg, nil
+	}
+	if len(p.GoFiles) == 0 {
+		l.pkgs[p.ImportPath] = nil
+		return nil, nil
+	}
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	pkg, err := l.typecheck(p.ImportPath, p.Dir, files, p.Standard)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[p.ImportPath] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses every non-test .go file of dir as one package rooted at
+// importPath, resolving its imports through the module — the fixture entry
+// point of the analysistest-style harness, which lets a testdata directory
+// (invisible to `go list ./...`) masquerade as any package path an
+// analyzer's scope rules key on.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, filepath.Join(dir, name))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("framework: no .go files in %s", dir)
+	}
+	// Pre-load the fixture's imports (and transitively, theirs) into the
+	// cache so the importer below can resolve them.
+	imports, err := l.scanImports(files)
+	if err != nil {
+		return nil, err
+	}
+	if len(imports) > 0 {
+		if _, err := l.Load(imports...); err != nil {
+			return nil, err
+		}
+	}
+	return l.typecheck(importPath, dir, files, false)
+}
+
+// scanImports parses import clauses only and returns the union of imported
+// paths.
+func (l *Loader) scanImports(files []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	for _, file := range files {
+		f, err := parser.ParseFile(l.fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	return out, nil
+}
+
+// loaderImporter resolves imports from the loader's cache.
+type loaderImporter struct{ l *Loader }
+
+// Import implements types.Importer against the cache.
+func (i loaderImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := i.l.pkgs[path]; ok && pkg != nil {
+		return pkg.Types, nil
+	}
+	return nil, fmt.Errorf("framework: import %q not loaded", path)
+}
+
+// typecheck parses and type-checks one package's files. Type errors in
+// standard-library dependencies are tolerated (go/types recovers with
+// invalid types; contract analyzers only need the module's own packages to
+// check cleanly); errors in module packages are fatal.
+func (l *Loader) typecheck(importPath, dir string, files []string, standard bool) (*Package, error) {
+	syntax := make([]*ast.File, 0, len(files))
+	for _, file := range files {
+		f, err := parser.ParseFile(l.fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("framework: %v", err)
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer: loaderImporter{l},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := cfg.Check(importPath, l.fset, syntax, info)
+	if firstErr != nil && !standard {
+		return nil, fmt.Errorf("framework: type-checking %s: %v", importPath, firstErr)
+	}
+	return &Package{
+		PkgPath:   importPath,
+		Name:      tpkg.Name(),
+		Dir:       dir,
+		GoFiles:   files,
+		Fset:      l.fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

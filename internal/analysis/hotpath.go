@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tributarydelta/internal/analysis/framework"
+)
+
+// HotPath enforces zero-alloc hygiene on functions annotated //td:hotpath —
+// the steady-state per-epoch loops pinned by TestEpochZeroAlloc* and
+// TestEpochLowAllocTD (DESIGN.md §8.4). Inside an annotated function it
+// forbids the construct classes that put allocations back on the epoch
+// bill:
+//
+//   - fmt calls (every fmt entry point allocates, and its ...any
+//     parameters box their operands);
+//   - closure literals (a closure that captures anything heap-allocates
+//     its environment per call);
+//   - &T{...} address-of-composite-literal and slice/map composite
+//     literals (fresh backing store per execution);
+//   - append to a slice that is neither a parameter (caller-owned,
+//     append-style contract) nor reassigned to the expression it extends
+//     (x = append(x, ...) / x = append(x[:0], ...), the grow-once pattern
+//     whose steady state allocates nothing).
+//
+// The annotation is a contract, not a hint: annotate exactly the functions
+// the alloc tests pin, and waive intentional exceptions with a justified
+// //lint:ignore hotpath comment.
+var HotPath = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "//td:hotpath functions must not contain allocation-prone constructs",
+	Run:  runHotPath,
+}
+
+// HotPathDirective is the doc-comment line that opts a function into the
+// analyzer.
+const HotPathDirective = "//td:hotpath"
+
+func runHotPath(pass *framework.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDocHas(fn, HotPathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// checkHotFunc walks one annotated function's body.
+func checkHotFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	params := paramVars(pass, fn)
+	// First pass: record the assignment target of every append call that
+	// appears as a direct right-hand side (so the self-append pattern can
+	// be recognized when the call is visited), and the source ranges of
+	// panic(...) calls (a fmt.Sprintf feeding a panic is a cold abort
+	// path, not an epoch-loop allocation).
+	appendLHS := make(map[*ast.CallExpr]ast.Expr)
+	var panicRanges [][2]token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					appendLHS[call] = n.Lhs[i]
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					panicRanges = append(panicRanges, [2]token.Pos{n.Pos(), n.End()})
+				}
+			}
+		}
+		return true
+	})
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in //td:hotpath function %s allocates its environment; hoist the state onto the receiver or a worker struct", fn.Name.Name)
+			return false // the literal's own body is not hot-path scope
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, n)
+			if calleePkgPath(callee) == "fmt" && !inPanic(n.Pos()) {
+				pass.Reportf(n.Pos(), "fmt.%s call in //td:hotpath function %s allocates; format outside the epoch loop", callee.Name(), fn.Name.Name)
+			}
+			checkHotAppend(pass, fn, n, params, appendLHS[n])
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(cl.Pos(), "&composite-literal in //td:hotpath function %s escapes to the heap; reuse a pooled or receiver-owned object", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := typeOf(pass, n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s composite literal in //td:hotpath function %s allocates fresh backing store; reuse a receiver-owned buffer", t.String(), fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether call is the builtin append.
+func isAppendCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// checkHotAppend flags append calls that can silently allocate each epoch:
+// the target is allowed to be a parameter (append-style codec contract) or
+// to flow back into itself via lhs = append(lhs[...], ...).
+func checkHotAppend(pass *framework.Pass, fn *ast.FuncDecl, call *ast.CallExpr, params map[*types.Var]bool, lhs ast.Expr) {
+	if !isAppendCall(pass, call) || len(call.Args) == 0 {
+		return
+	}
+	target := ast.Unparen(call.Args[0])
+	// Self-append: lhs = append(lhs, ...) or lhs = append(lhs[:0], ...).
+	cmp := target
+	if s, ok := cmp.(*ast.SliceExpr); ok {
+		cmp = s.X
+	}
+	if lhs != nil && types.ExprString(lhs) == types.ExprString(cmp) {
+		return
+	}
+	if id := rootIdent(target); id != nil {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && params[v] {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "append to non-parameter slice %s in //td:hotpath function %s without self-reassignment; use x = append(x, ...) on a reused buffer or an append-style parameter", types.ExprString(call.Args[0]), fn.Name.Name)
+}
+
+// paramVars collects the parameter and receiver variables of fn.
+func paramVars(pass *framework.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	return out
+}

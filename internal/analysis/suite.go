@@ -1,0 +1,111 @@
+// Package analysis is tdlint's analyzer suite: five static checks that turn
+// the repo's prose contracts (DESIGN.md §8) into machine-checked rules —
+// determinism of the epoch path, wire-safety of the receive path, the
+// single-writer network.Stats discipline, zero-alloc hot-path hygiene, and
+// the exported-symbol documentation contract formerly enforced by the
+// standalone doclint. The suite runs under cmd/tdlint and in the analyzer
+// unit tests; every rule can be waived at a single site with a justified
+// //lint:ignore comment (see the framework package).
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tributarydelta/internal/analysis/framework"
+)
+
+// Suite returns every analyzer cmd/tdlint runs, in reporting order.
+func Suite() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		Determinism,
+		WireSafe,
+		StatsWriter,
+		HotPath,
+		DocComment,
+	}
+}
+
+// inScope reports whether pkgPath is path or a subpackage of one of the
+// scope paths. Scopes are matched as path suffixes of the module-qualified
+// import path, so fixtures loaded under a fake path can opt in.
+func inScope(pkgPath string, scopes []string) bool {
+	for _, s := range scopes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) ||
+			strings.HasPrefix(pkgPath, s+"/") || strings.Contains(pkgPath, "/"+s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the declared function or method
+// it invokes, or nil for indirect calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// calleePkgPath returns the import path of the package declaring the called
+// function, or "".
+func calleePkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isByteSlice reports whether t is []byte (after unaliasing).
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// rootIdent returns the identifier at the base of a selector/index/slice
+// chain (x in x.f[i][:n]), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// funcDocHas reports whether the function's doc comment block contains the
+// given directive line (e.g. "//td:hotpath").
+func funcDocHas(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+// Package detfix exercises the determinism analyzer: wall-clock reads,
+// global math/rand draws and unordered map ranges in the epoch path are
+// reported; seeded sub-stream draws, slice ranges and justified waivers
+// are not. The fixture is loaded under an import path ending in
+// internal/runner so it falls inside the analyzer's scope.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Epoch runs one fixture epoch containing every forbidden construct.
+func Epoch(m map[int]int) int {
+	t := time.Now()        // want "wall-clock read time\.Now"
+	_ = time.Since(t)      // want "wall-clock read time\.Since"
+	total := rand.Intn(10) // want "global math/rand draw rand\.Intn"
+	for k, v := range m {  // want "unordered range over map m"
+		total += k + v
+	}
+	return total
+}
+
+// Seeded draws through an explicitly seeded generator: rand.New* is the
+// construction of a sub-stream, and method calls on it are deterministic
+// given the seed, so neither line is reported.
+func Seeded(seed int64, items []int) int {
+	r := rand.New(rand.NewSource(seed))
+	total := r.Intn(100)
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+// Sorted iterates a map through sorted keys — the sanctioned discipline.
+// The key-collection range still touches the map unordered, so it carries
+// a justified waiver exactly like the real call sites do.
+func Sorted(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//lint:ignore determinism key collection only; the keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Gate shows a justified wall-clock waiver: the directive names the
+// analyzer and a reason, so the read on the next line is suppressed.
+func Gate() int64 {
+	//lint:ignore determinism fixture: phase-gate timing never reaches answer bits
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,29 @@
+package transfix // want "package transfix has no package comment"
+
+// MaxFrame is documented, so only the bare declarations below are
+// reported.
+const MaxFrame = 1024
+
+func Dial(addr string) error { // want "exported Dial is missing a doc comment"
+	_ = addr
+	return nil
+}
+
+// Config collects fixture options.
+type Config struct {
+	Addr string // want "exported field Config\.Addr is missing a doc comment"
+	// Retries is documented by a doc comment.
+	Retries int
+	quiet   bool
+}
+
+type Conn struct{} // want "exported Conn is missing a doc comment"
+
+var Default = Config{} // want "exported Default is missing a doc comment"
+
+// Tunables of the fixture transport: the group doc covers every member,
+// so neither spec is reported.
+var (
+	Window = 8
+	Linger = 2
+)

@@ -1,0 +1,58 @@
+// Package hotfix exercises the hotpath analyzer: inside a //td:hotpath
+// function, fmt calls, closures, escaping composite literals and appends
+// that drop their result are reported; the self-append and
+// parameter-append idioms, receiver-owned buffers, panic formatting and
+// unannotated functions are not.
+package hotfix
+
+import "fmt"
+
+// state is the reused scratch of the fixture hot loop.
+type state struct {
+	buf  []byte
+	vals []int
+}
+
+// Step is annotated and contains one instance of every forbidden
+// construct class.
+//
+//td:hotpath
+func (s *state) Step(in []byte) {
+	msg := fmt.Sprintf("%d", len(in)) // want "fmt\.Sprintf call"
+	_ = msg
+	f := func() int { return len(s.buf) } // want "closure literal"
+	_ = f
+	p := &state{} // want "&composite-literal"
+	_ = p
+	tmp := []int{1, 2, 3} // want "composite literal"
+	_ = tmp
+	var local []byte
+	grown := append(local, in...) // want "append to non-parameter slice local"
+	_ = grown
+}
+
+// Recycle uses only the sanctioned append shapes: self-append on a
+// receiver-owned buffer and append through an append-style parameter.
+//
+//td:hotpath
+func (s *state) Recycle(dst []byte, in []byte) []byte {
+	s.buf = append(s.buf[:0], in...)
+	s.vals = append(s.vals, len(in))
+	return append(dst, s.buf...)
+}
+
+// Guard panics on corrupt input; the fmt call inside the panic argument
+// is the cold abort path and exempt.
+//
+//td:hotpath
+func Guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hotfix: negative %d", n))
+	}
+}
+
+// Cold is unannotated, so its allocations are nobody's business.
+func Cold() *state {
+	_ = fmt.Sprint("cold")
+	return &state{buf: []byte{1}}
+}

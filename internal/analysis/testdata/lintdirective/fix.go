@@ -1,0 +1,14 @@
+// Package lintdir holds a waiver with no justification: the directive is
+// malformed, so it is reported in its own right and suppresses nothing —
+// the wall-clock read below it still surfaces. Exercised by a direct
+// RunAnalyzers test rather than RunFixture, because the finding lands on
+// the directive's own comment line where no want trailer can sit.
+package lintdir
+
+import "time"
+
+// Gate tries to waive the wall-clock read without saying why.
+func Gate() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano()
+}

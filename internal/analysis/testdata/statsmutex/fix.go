@@ -1,0 +1,20 @@
+// Package netfix exercises the statswriter mutex rule from inside a
+// package matching the internal/network scope: re-introducing a lock on
+// the Stats block contradicts the single-writer + atomic-publish scheme.
+package netfix
+
+import "sync"
+
+// Stats is a fixture re-creation of the network stats block.
+type Stats struct {
+	mu sync.Mutex // want "mutex field on network\.Stats"
+	// Transmissions counts per-level radio sends.
+	Transmissions []int64
+}
+
+// Locked is here only so the mutex field is used.
+func (s *Stats) Locked() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Transmissions) > 0
+}

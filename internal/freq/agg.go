@@ -19,6 +19,7 @@ type Result struct {
 func (r Result) Frequent(support, eps float64) []Item {
 	thresh := (support - eps) * r.NEst
 	var out []Item
+	//lint:ignore determinism per-key threshold filter; the report is sorted below before anything reads its order
 	for u, v := range r.Estimates {
 		if v > thresh {
 			out = append(out, u)
@@ -119,6 +120,7 @@ func (a *Agg) PartialEqual(x, y *Summary) bool {
 	if x.N != y.N || len(x.Counts) != len(y.Counts) {
 		return false
 	}
+	//lint:ignore determinism per-key equality test; the conjunction over keys is order-insensitive
 	for u, v := range x.Counts {
 		if w, ok := y.Counts[u]; !ok || w != v {
 			return false
@@ -131,6 +133,7 @@ func (a *Agg) PartialEqual(x, y *Summary) bool {
 // copy of src, drawing class and item storage from dst's freelists.
 func (a *Agg) CopySynopsisInto(dst, src *Synopsis) *Synopsis {
 	dst.Reset()
+	//lint:ignore determinism per-key deep copy; only freelist draw order varies and recycled storage is fully overwritten
 	for c, cs := range src.ByClass {
 		dst.ByClass[c] = dst.cloneClassInto(cs, a.MP)
 	}
@@ -156,6 +159,7 @@ func (a *Agg) EvalBase(treeParts []*Summary, syns []*Synopsis) Result {
 			root.Merge(p)
 		}
 		root.Finalize(a.EpsTree)
+		//lint:ignore determinism per-key add into the result map; each key is visited exactly once
 		for u, v := range root.Counts {
 			res.Estimates[u] += v
 		}
@@ -167,6 +171,7 @@ func (a *Agg) EvalBase(treeParts []*Summary, syns []*Synopsis) Result {
 			all.Fuse(s, a.MP)
 		}
 		est, n := all.Evaluate(a.MP)
+		//lint:ignore determinism per-key add into the result map; each key is visited exactly once
 		for u, v := range est {
 			res.Estimates[u] += v
 		}
@@ -201,6 +206,7 @@ func TrueFrequent(vs [][]Item, support float64) []Item {
 	}
 	thresh := support * float64(n)
 	var out []Item
+	//lint:ignore determinism per-key threshold filter; the report is sorted below before anything reads its order
 	for u, c := range counts {
 		if float64(c) >= thresh {
 			out = append(out, u)

@@ -103,7 +103,9 @@ func NewSynopsis() *Synopsis { return &Synopsis{ByClass: make(map[int]*ClassSyno
 // Reset empties the synopsis for reuse, keeping class synopses and item
 // sketches on freelists.
 func (s *Synopsis) Reset() {
+	//lint:ignore determinism teardown walk; only freelist order varies and recycled storage is fully overwritten
 	for c, cs := range s.ByClass {
+		//lint:ignore determinism teardown walk; only freelist order varies and recycled storage is fully overwritten
 		for u, sk := range cs.ItemSketches {
 			s.spareItems = append(s.spareItems, sk)
 			delete(cs.ItemSketches, u)
@@ -141,6 +143,7 @@ func (s *Synopsis) getItemSketch(p Params) *sketch.Sketch {
 // reclaimClass returns an s-owned class synopsis (and its item sketches) to
 // the freelists. The caller must have copied out anything it still needs.
 func (s *Synopsis) reclaimClass(cs *ClassSynopsis) {
+	//lint:ignore determinism teardown walk; only freelist order varies and recycled storage is fully overwritten
 	for u, sk := range cs.ItemSketches {
 		s.spareItems = append(s.spareItems, sk)
 		delete(cs.ItemSketches, u)
@@ -153,6 +156,7 @@ func (s *Synopsis) reclaimClass(cs *ClassSynopsis) {
 func (s *Synopsis) cloneClassInto(src *ClassSynopsis, p Params) *ClassSynopsis {
 	cs := s.getClass(src.Class, p)
 	cs.NTotal.CopyFrom(src.NTotal)
+	//lint:ignore determinism per-key deep copy; only freelist draw order varies and recycled storage is fully overwritten
 	for u, sk := range src.ItemSketches {
 		cp := s.getItemSketch(p)
 		cp.CopyFrom(sk)
@@ -181,6 +185,7 @@ func Generate(items []Item, epoch, owner int, p Params) *Synopsis {
 	thresh := float64(class) * float64(n) * p.Epsilon / p.LogN
 	cs := newClassSynopsis(class, p)
 	cs.NTotal.AddCount(p.totalSeed(epoch), uint64(owner), n)
+	//lint:ignore determinism per-key sketch generation; each item's sketch is a pure function of (seed, item, owner)
 	for u, c := range counts {
 		if float64(c) <= thresh {
 			continue // pruned at generation (§6.2 SG)
@@ -199,6 +204,7 @@ func Generate(items []Item, epoch, owner int, p Params) *Synopsis {
 // ε·ñ/log N ≥ η·c̃(u). Copies and drops flow through s's freelists.
 func (s *Synopsis) fuseSame(dst, src *ClassSynopsis, p Params) {
 	dst.NTotal.Union(src.NTotal)
+	//lint:ignore determinism per-key ⊕ fold; FM union is commutative and each key is visited once
 	for u, sk := range src.ItemSketches {
 		if own, ok := dst.ItemSketches[u]; ok {
 			own.Union(sk)
@@ -212,6 +218,7 @@ func (s *Synopsis) fuseSame(dst, src *ClassSynopsis, p Params) {
 	if nEst > math.Pow(2, float64(dst.Class+1)) {
 		dst.Class++
 		cut := p.Epsilon * nEst / (p.Eta * p.LogN)
+		//lint:ignore determinism per-key threshold prune; only freelist order varies and recycled storage is fully overwritten
 		for u, sk := range dst.ItemSketches {
 			if sk.Estimate() <= cut {
 				s.spareItems = append(s.spareItems, sk)
@@ -227,6 +234,7 @@ func (s *Synopsis) fuseSame(dst, src *ClassSynopsis, p Params) {
 // class processing is fixed (ascending) so results are deterministic.
 func (s *Synopsis) Fuse(in *Synopsis, p Params) {
 	classes := make([]int, 0, len(in.ByClass))
+	//lint:ignore determinism key collection; sorted immediately below before any order-sensitive processing
 	for c := range in.ByClass {
 		classes = append(classes, c)
 	}
@@ -267,6 +275,7 @@ func (s *Synopsis) Fuse(in *Synopsis, p Params) {
 // capacity hint only, not accounting) to avoid growth reallocations.
 func (s *Synopsis) Words(p Params) int {
 	capHint := 8
+	//lint:ignore determinism commutative integer sum into a capacity hint; never accounted or transmitted
 	for _, cs := range s.ByClass {
 		capHint += 16 + sketch.WireBytes(p.KTotal) +
 			len(cs.ItemSketches)*(10+sketch.WireBytes(p.KItem))
@@ -278,12 +287,15 @@ func (s *Synopsis) Words(p Params) int {
 // Items returns all items present in any class, sorted.
 func (s *Synopsis) Items() []Item {
 	set := make(map[Item]bool)
+	//lint:ignore determinism set union build; membership is order-insensitive
 	for _, cs := range s.ByClass {
+		//lint:ignore determinism set union build; membership is order-insensitive
 		for u := range cs.ItemSketches {
 			set[u] = true
 		}
 	}
 	out := make([]Item, 0, len(set))
+	//lint:ignore determinism key collection; sorted immediately below before any order-sensitive processing
 	for u := range set {
 		out = append(out, u)
 	}
@@ -300,8 +312,10 @@ func (s *Synopsis) Evaluate(p Params) (map[Item]float64, float64) {
 	// merge loop (and its per-item defensive clones).
 	var total sketch.View
 	perItem := make(map[Item]*sketch.View)
+	//lint:ignore determinism per-key view gather; the folded FM union is commutative so estimates are source-order-independent
 	for _, cs := range s.ByClass {
 		total.Add(cs.NTotal)
+		//lint:ignore determinism per-key view gather; the folded FM union is commutative so estimates are source-order-independent
 		for u, sk := range cs.ItemSketches {
 			v, ok := perItem[u]
 			if !ok {
@@ -312,6 +326,7 @@ func (s *Synopsis) Evaluate(p Params) (map[Item]float64, float64) {
 		}
 	}
 	est := make(map[Item]float64, len(perItem))
+	//lint:ignore determinism per-key map-to-map evaluation; each key is written exactly once
 	for u, v := range perItem {
 		est[u] = v.Estimate()
 	}
@@ -340,6 +355,7 @@ func ConvertSummaryInto(sum *Summary, epoch, owner int, p Params, out *Synopsis)
 	thresh := float64(class) * float64(n) * p.Epsilon / p.LogN
 	cs := out.getClass(class, p)
 	cs.NTotal.AddCount(p.totalSeed(epoch), uint64(owner), n)
+	//lint:ignore determinism per-key sketch generation; each item's sketch is a pure function of (seed, item, owner)
 	for u, est := range sum.Counts {
 		if est <= thresh {
 			continue

@@ -37,6 +37,7 @@ func NewLocalSummary(items []Item) *Summary {
 // Clone returns a deep copy.
 func (s *Summary) Clone() *Summary {
 	c := &Summary{N: s.N, Eps: s.Eps, credit: s.credit, Counts: make(map[Item]float64, len(s.Counts))}
+	//lint:ignore determinism per-key map copy; each key is written exactly once
 	for u, v := range s.Counts {
 		c.Counts[u] = v
 	}
@@ -48,6 +49,7 @@ func (s *Summary) Clone() *Summary {
 func (s *Summary) Merge(in *Summary) {
 	s.N += in.N
 	s.credit += in.Eps * float64(in.N)
+	//lint:ignore determinism per-key add; each key of the input is folded exactly once
 	for u, v := range in.Counts {
 		s.Counts[u] += v
 	}
@@ -59,6 +61,7 @@ func (s *Summary) Merge(in *Summary) {
 func (s *Summary) Finalize(epsK float64) {
 	dec := epsK*float64(s.N) - s.credit
 	if dec > 0 {
+		//lint:ignore determinism per-key decrement/delete; each key is updated exactly once
 		for u, v := range s.Counts {
 			if v-dec <= 0 {
 				delete(s.Counts, u)
@@ -89,6 +92,7 @@ func (s *Summary) Counters() int { return len(s.Counts) }
 func (s *Summary) Frequent(support float64) []Item {
 	thresh := (support - s.Eps) * float64(s.N)
 	var out []Item
+	//lint:ignore determinism per-key threshold filter; the report is sorted below before anything reads its order
 	for u, v := range s.Counts {
 		if v > thresh {
 			out = append(out, u)

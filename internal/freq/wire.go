@@ -18,6 +18,7 @@ import (
 // sortedItems returns m's keys ascending.
 func sortedItems[V any](m map[Item]V) []Item {
 	out := make([]Item, 0, len(m))
+	//lint:ignore determinism key collection; sorted immediately below — this helper IS the sorted-iteration discipline
 	for u := range m {
 		out = append(out, u)
 	}
@@ -78,6 +79,7 @@ func DecodeWireSummary(data []byte) (*Summary, error) {
 // message.
 func (s *Synopsis) AppendWire(dst []byte, p Params) []byte {
 	classes := make([]int, 0, len(s.ByClass))
+	//lint:ignore determinism key collection; sorted immediately below so the wire encoding is canonical
 	for c := range s.ByClass {
 		classes = append(classes, c)
 	}

@@ -1002,10 +1002,12 @@ func (r *Runner[V, P, S, R]) runPhase(phase, epoch int, nodes []int, off int) {
 		engage = r.phaseTick[phase]%probeEvery != 0
 	}
 	if !engage {
+		//lint:ignore determinism EWMA phase-gate timing; it only picks inline vs parallel execution, and answers are pinned bit-identical at every worker count
 		start := time.Now()
 		for w := 0; w < stride; w++ {
 			r.phaseShard(phase, epoch, nodes, off, w, stride)
 		}
+		//lint:ignore determinism EWMA phase-gate timing; it only picks inline vs parallel execution, and answers are pinned bit-identical at every worker count
 		r.observePhase(phase, len(nodes), time.Since(start))
 		return
 	}
@@ -1046,6 +1048,8 @@ func (r *Runner[V, P, S, R]) ensureWorkers() {
 
 // phaseShard runs worker w's share (i ≡ w mod stride) of a phase; off is the
 // level's base slot in the epoch-wide arenas.
+//
+//td:hotpath
 func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, off, w, stride int) {
 	ws := r.ws[w]
 	switch phase {
@@ -1078,6 +1082,8 @@ func (r *Runner[V, P, S, R]) phaseShard(phase, epoch int, nodes []int, off, w, s
 // reading and its inbox into *out, drawing every recycled object from the
 // calling worker's private scratch. The contributor bitset lives in the
 // runner's per-epoch arena — node-disjoint, so concurrent shards are safe.
+//
+//td:hotpath
 func (r *Runner[V, P, S, R]) buildEnvelope(ws *workerState[P, S], epoch, v int, in []int32, out *envelope[P, S]) {
 	agg := r.cfg.Agg
 	own := agg.Local(epoch, v, r.cfg.Value(r.valueEpoch(epoch, v), v))
@@ -1260,6 +1266,8 @@ func (r *Runner[V, P, S, R]) convert(ws *workerState[P, S], epoch, owner int, p 
 // encodeFrame serializes v's outgoing envelope into the level's frame slot
 // using the worker's encode scratch. The slot buffer persists until the
 // level's deliveries and decodes are done.
+//
+//td:hotpath
 func (r *Runner[V, P, S, R]) encodeFrame(ws *workerState[P, S], epoch int, env *envelope[P, S], slot *frameSlot[P, S]) {
 	we := wire.Envelope{Epoch: uint32(epoch), From: uint32(env.from)}
 	if env.isTree {
@@ -1286,6 +1294,8 @@ func (r *Runner[V, P, S, R]) encodeFrame(ws *workerState[P, S], epoch int, env *
 // only by the next epoch's build/decode of the same sender). The runner
 // produced the frame itself, so a decode failure is a codec bug, not a
 // network condition — it panics rather than silently dropping data.
+//
+//td:hotpath
 func (r *Runner[V, P, S, R]) decodeFrame(ws *workerState[P, S], frame []byte, dst *envelope[P, S]) {
 	we, err := ws.dec.Decode(frame)
 	if err != nil {
@@ -1340,6 +1350,8 @@ func (r *Runner[V, P, S, R]) decodeFrame(ws *workerState[P, S], frame []byte, ds
 // charges the encoded byte length of every radio transmission; a lost frame
 // is dropped whole. Successful deliveries are recorded as arrivals (decoded
 // once and referenced by receiver inboxes in exactly this order).
+//
+//td:hotpath
 func (r *Runner[V, P, S, R]) deliver(epoch, v, slot int, env *envelope[P, S]) {
 	frame := r.frames[slot].buf
 	level := r.schedLevel[v]

@@ -102,12 +102,16 @@ func (s *Sketch) Clone() *Sketch {
 // Reset clears every bitmap, returning the sketch to its freshly-constructed
 // state without releasing its storage — the recycling primitive behind the
 // epoch engine's per-worker sketch pools.
+//
+//td:hotpath
 func (s *Sketch) Reset() {
 	clear(s.words)
 }
 
 // CopyFrom overwrites s's bitmaps with other's without allocating. It panics
 // if the sketches have different K.
+//
+//td:hotpath
 func (s *Sketch) CopyFrom(other *Sketch) {
 	if s.k != other.k {
 		panic(fmt.Sprintf("sketch: copy of mismatched sketches (%d vs %d bitmaps)",
@@ -129,6 +133,8 @@ func (s *Sketch) Empty() bool {
 // InsertHash inserts the item identified by the 64-bit hash h. The low bits
 // select the bitmap, the remaining bits select the geometric level, so the
 // same h always sets the same bit — the source of duplicate insensitivity.
+//
+//td:hotpath
 func (s *Sketch) InsertHash(h uint64) {
 	k := uint64(s.k)
 	m := h % k
@@ -229,6 +235,8 @@ func Union(a, b *Sketch) *Sketch {
 // through Union). dst may itself appear among srcs (its prior contents are
 // folded in rather than cleared). All sketches must share dst's K;
 // mismatches panic like Union.
+//
+//td:hotpath
 func UnionInto(dst *Sketch, srcs ...*Sketch) {
 	keep := false
 	for _, s := range srcs {
@@ -264,6 +272,8 @@ func UnionInto(dst *Sketch, srcs ...*Sketch) {
 // UnionInto: dst is overwritten with the union of srcs, dst may itself
 // appear among srcs (its prior contents then fold in), and any K mismatch
 // panics like Union.
+//
+//td:hotpath
 func UnionAllInto(dst *Sketch, srcs ...*Sketch) {
 	fold := false
 	for _, s := range srcs {
@@ -435,6 +445,8 @@ func (s *Sketch) EncodeCompact() []byte {
 // extended buffer — the allocation-free form for callers that own the
 // buffer. Fields are packed through a 64-bit accumulator: one 9-bit
 // (run, fringe) push per bitmap, one byte store per 8 stream bits.
+//
+//td:hotpath
 func (s *Sketch) EncodeCompactInto(dst []byte) []byte {
 	var acc uint64
 	nbits := uint(0)
@@ -489,6 +501,7 @@ func (s *Sketch) DecodeCompactInto(data []byte) error {
 		for nbits < runBits+fringeBits {
 			acc <<= 8
 			if pos < len(data) {
+				//lint:ignore wiresafe hand-rolled bit unpacker: length-guarded at entry, pos < len(data) here, and differential+fuzz-pinned against the bit-at-a-time reference decoder
 				acc |= uint64(data[pos])
 				pos++
 			}
