@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"tributarydelta/internal/aggregate"
+	"tributarydelta/internal/network"
+	"tributarydelta/internal/runner"
+	"tributarydelta/internal/sketch"
+	"tributarydelta/internal/topo"
+	"tributarydelta/internal/transport"
+)
+
+// UDP bench mode: the 600-node TD Count epoch driven over the real
+// multi-process data plane (loopback sockets, k=4 shards), measured with the
+// datagram coalescing + sendmmsg fast path on and off, in both barrier
+// modes. The rows quantify what the batch framing buys — datagrams, socket
+// syscalls and wall-clock per epoch — and the committed BENCH_7.json is the
+// dated datapoint the README's multi-process story cites.
+
+const (
+	udpBenchSeed   = 1
+	udpBenchNodes  = 600
+	udpBenchShards = 4
+	udpBenchLoss   = 0.2
+	// udpBenchWarmup epochs spawn the fleet, settle the join handshake and
+	// warm every pool before timing starts.
+	udpBenchWarmup = 30
+	// udpBenchSamples batches of udpBenchBatch epochs are timed; the median
+	// batch yields epochs/sec while the I/O counters aggregate over the whole
+	// measured window (they are deterministic per epoch, timing is not).
+	udpBenchSamples = 9
+	udpBenchBatch   = 20
+)
+
+// UDPBenchResult is one (mode, batched) data-plane measurement.
+type UDPBenchResult struct {
+	// Mode is the barrier mode: "det" (exactly-once, seeded loss verdicts)
+	// or "free" (optimistic sends, losses discovered at the barrier).
+	Mode string `json:"mode"`
+	// Batched reports whether datagram coalescing + batched socket I/O were
+	// enabled (false = the one-frame-per-datagram PR 7 data plane).
+	Batched bool `json:"batched"`
+	// EpochsPerSec is the median-batch epoch throughput.
+	EpochsPerSec float64 `json:"epochsPerSec"`
+	// FramesPerEpoch is the mean count of frames the barrier delivered per
+	// epoch — identical across rows of one mode, anchoring the ratios below.
+	FramesPerEpoch float64 `json:"framesPerEpoch"`
+	// DatagramsPerEpoch is the mean count of datagrams submitted to the
+	// socket per epoch (coalescing shrinks this; retransmits grow it).
+	DatagramsPerEpoch float64 `json:"datagramsPerEpoch"`
+	// BytesPerDatagram is the mean payload size of those datagrams.
+	BytesPerDatagram float64 `json:"bytesPerDatagram"`
+	// SyscallsPerEpoch is the mean count of socket syscalls per epoch across
+	// both ends of the data plane (parent sendmmsg/sendto + shard
+	// recvmmsg/read), from the batchio counters.
+	SyscallsPerEpoch float64 `json:"syscallsPerEpoch"`
+}
+
+// UDPBenchArtifact is the BENCH_7.json document.
+type UDPBenchArtifact struct {
+	// GeneratedBy records the producing command.
+	GeneratedBy string `json:"generatedBy"`
+	// Cores is the host's logical CPU count.
+	Cores int `json:"cores"`
+	// GoMaxProcs is the scheduler bound the run used.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// GoVersion, GOOS and GOARCH identify the toolchain and platform.
+	GoVersion string `json:"goVersion"`
+	// GOOS is the target operating system.
+	GOOS string `json:"goos"`
+	// GOARCH is the target architecture.
+	GOARCH string `json:"goarch"`
+	// Nodes, Shards and Epochs describe the workload shape.
+	Nodes int `json:"nodes"`
+	// Shards is the shard-process count the fleet was partitioned over.
+	Shards int `json:"shards"`
+	// Epochs is the timed batch size behind each throughput sample.
+	Epochs int `json:"epochs"`
+	// Results holds the measurement grid.
+	Results []UDPBenchResult `json:"results"`
+}
+
+// benchUDPOne measures one (mode, batched) cell over a fresh fleet.
+func benchUDPOne(det, batched bool) (UDPBenchResult, error) {
+	g := topo.NewRandomField(udpBenchSeed, udpBenchNodes, 20, 20, topo.Point{X: 10, Y: 10}, 3.0)
+	rings := topo.BuildRings(g)
+	tree := topo.BuildRestrictedTree(g, rings, udpBenchSeed)
+	topo.OpportunisticImprove(g, rings, tree, udpBenchSeed, 8)
+	nw := network.New(g, network.Global{P: udpBenchLoss}, udpBenchSeed)
+	stats := network.NewStats(g.N())
+	u, err := transport.NewUDP(nw, transport.UDPOptions{
+		Shards:        udpBenchShards,
+		Deterministic: det,
+		Stats:         stats,
+		NoBatching:    !batched,
+	})
+	if err != nil {
+		return UDPBenchResult{}, err
+	}
+	defer u.Close()
+
+	r, err := runner.New(runner.Config[struct{}, int64, *sketch.Sketch, float64]{
+		Graph: g, Rings: rings, Tree: tree,
+		Net:       nw,
+		Agg:       aggregate.NewCount(udpBenchSeed),
+		Value:     func(int, int) struct{} { return struct{}{} },
+		Mode:      runner.ModeTD,
+		Seed:      udpBenchSeed,
+		Transport: u,
+	})
+	if err != nil {
+		return UDPBenchResult{}, err
+	}
+
+	epoch := 0
+	for ; epoch < udpBenchWarmup; epoch++ {
+		r.RunEpoch(epoch)
+	}
+
+	frames0 := stats.TotalRxFrames()
+	io0 := u.IOStats()
+	samples := make([]time.Duration, 0, udpBenchSamples)
+	for i := 0; i < udpBenchSamples; i++ {
+		start := time.Now()
+		for j := 0; j < udpBenchBatch; j++ {
+			r.RunEpoch(epoch)
+			epoch++
+		}
+		samples = append(samples, time.Since(start))
+	}
+	io := u.IOStats().Sub(io0)
+	frames := stats.TotalRxFrames() - frames0
+	if err := u.Err(); err != nil {
+		return UDPBenchResult{}, fmt.Errorf("transport error after %d epochs: %w", epoch, err)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	median := samples[len(samples)/2]
+	measured := float64(udpBenchSamples * udpBenchBatch)
+	bytesPerDG := 0.0
+	if io.SentDatagrams > 0 {
+		bytesPerDG = float64(io.SentBytes) / float64(io.SentDatagrams)
+	}
+	mode := "free"
+	if det {
+		mode = "det"
+	}
+	return UDPBenchResult{
+		Mode:              mode,
+		Batched:           batched,
+		EpochsPerSec:      float64(udpBenchBatch) / median.Seconds(),
+		FramesPerEpoch:    float64(frames) / measured,
+		DatagramsPerEpoch: float64(io.SentDatagrams) / measured,
+		BytesPerDatagram:  bytesPerDG,
+		SyscallsPerEpoch:  float64(io.SendCalls+io.RecvCalls) / measured,
+	}, nil
+}
+
+// runUDPBench produces the artifact at path and echoes it to stdout.
+func runUDPBench(path string) error {
+	art := UDPBenchArtifact{
+		GeneratedBy: "cmd/tdbench -benchudp",
+		Cores:       runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Nodes:       udpBenchNodes,
+		Shards:      udpBenchShards,
+		Epochs:      udpBenchBatch,
+	}
+	for _, det := range []bool{true, false} {
+		for _, batched := range []bool{true, false} {
+			res, err := benchUDPOne(det, batched)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("udp %-4s batched=%-5v  %7.1f epochs/s  %7.1f datagrams/epoch  %6.0f bytes/datagram  %7.1f syscalls/epoch\n",
+				res.Mode, res.Batched, res.EpochsPerSec, res.DatagramsPerEpoch,
+				res.BytesPerDatagram, res.SyscallsPerEpoch)
+			art.Results = append(art.Results, res)
+		}
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cores)\n", path, art.Cores)
+	return nil
+}

@@ -7,10 +7,12 @@
 //
 //	tdnode -control 127.0.0.1:43210 -shard 3
 //
-// The control channel (TCP) carries the join handshake, the per-epoch
-// barrier and shutdown; aggregation frames arrive as UDP datagrams on a
-// port the shard picks and advertises at join. See DESIGN.md §5 ("UDP
-// backend") for the protocol.
+// The control channel (TCP) carries the JSON join handshake, the binary
+// per-epoch barrier and shutdown; aggregation frames arrive as UDP
+// datagrams — MTU-bounded batches carrying every frame of a round bound
+// for this shard, drained in recvmmsg bursts — on a port the shard picks
+// and advertises at join. See DESIGN.md §5 ("UDP backend" and "The
+// coalesced data plane") for the protocol.
 package main
 
 import (

@@ -8,6 +8,7 @@
 //	POST   /v1/deployments            {"id":"a","sensors":300,"seed":1,"loss":0.25,"scheme":"TD","aggregates":["count","sum","quantiles"]}
 //	GET    /v1/deployments            list all deployment statuses
 //	GET    /v1/deployments/{id}       one deployment's status
+//	GET    /v1/deployments/{id}/stats communication accounting + transport health
 //	POST   /v1/deployments/{id}/run   {"rounds":10} → per-epoch, per-query results
 //	DELETE /v1/deployments/{id}       stop and release the deployment
 //
@@ -95,14 +96,27 @@ type roundResponse struct {
 	Results []queryResult `json:"results"`
 }
 
-// statusResponse is a deployment status snapshot.
+// statusResponse is a deployment status snapshot. Stats includes the
+// duplicate-frame count the UDP barrier discovered; TransportErr surfaces
+// the delivery backend's sticky error (dead shard, barrier timeout) so a
+// client can tell degraded answers from healthy ones.
 type statusResponse struct {
-	ID      string          `json:"id"`
-	Epochs  int             `json:"epochs"`
-	Sensors int             `json:"sensors"`
-	Queries []string        `json:"queries"`
-	Last    *roundResponse  `json:"last,omitempty"`
-	Stats   td.SessionStats `json:"stats"`
+	ID           string          `json:"id"`
+	Epochs       int             `json:"epochs"`
+	Sensors      int             `json:"sensors"`
+	Queries      []string        `json:"queries"`
+	Last         *roundResponse  `json:"last,omitempty"`
+	Stats        td.SessionStats `json:"stats"`
+	TransportErr string          `json:"transportErr,omitempty"`
+}
+
+// statsResponse is the GET /v1/deployments/{id}/stats body: the cumulative
+// communication accounting alone, without the last round's results.
+type statsResponse struct {
+	ID           string          `json:"id"`
+	Epochs       int             `json:"epochs"`
+	Stats        td.SessionStats `json:"stats"`
+	TransportErr string          `json:"transportErr,omitempty"`
 }
 
 // server routes HTTP traffic onto a deployment pool.
@@ -123,6 +137,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/deployments", s.create)
 	mux.HandleFunc("GET /v1/deployments", s.list)
 	mux.HandleFunc("GET /v1/deployments/{id}", s.get)
+	mux.HandleFunc("GET /v1/deployments/{id}/stats", s.stats)
 	mux.HandleFunc("POST /v1/deployments/{id}/run", s.run)
 	mux.HandleFunc("DELETE /v1/deployments/{id}", s.remove)
 	return mux
@@ -252,17 +267,26 @@ func convertRound(names []string, round td.SetRound) roundResponse {
 // convertStatus flattens a pool status into the wire response shape.
 func convertStatus(st td.DeploymentStatus) statusResponse {
 	out := statusResponse{
-		ID:      st.ID,
-		Epochs:  st.Epochs,
-		Sensors: st.Sensors,
-		Queries: st.Queries,
-		Stats:   st.Stats,
+		ID:           st.ID,
+		Epochs:       st.Epochs,
+		Sensors:      st.Sensors,
+		Queries:      st.Queries,
+		Stats:        st.Stats,
+		TransportErr: errString(st.TransportErr),
 	}
 	if st.Epochs > 0 {
 		last := convertRound(st.Queries, st.Last)
 		out.Last = &last
 	}
 	return out
+}
+
+// errString renders an optional error for the wire.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -324,6 +348,21 @@ func (s *server) get(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, convertStatus(st))
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.pool.Status(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no deployment %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		ID:           st.ID,
+		Epochs:       st.Epochs,
+		Stats:        st.Stats,
+		TransportErr: errString(st.TransportErr),
+	})
 }
 
 func (s *server) run(w http.ResponseWriter, r *http.Request) {

@@ -157,6 +157,67 @@ func TestServeUDPTransport(t *testing.T) {
 	}
 }
 
+// TestServeStatsRoundTrip pins the /stats surface over a UDP deployment:
+// the duplicate-frame accounting and the transport-health field must
+// round-trip through the JSON API — populated receive counters, zero
+// duplicates under the deterministic barrier, and no transport error on a
+// healthy fleet — and the same fields must appear in the full status too.
+func TestServeStatsRoundTrip(t *testing.T) {
+	pool := td.NewPool(2)
+	defer pool.Close()
+	h := newServer(pool).routes()
+
+	w := doJSON(t, h, "POST", "/v1/deployments",
+		`{"id":"u","sensors":120,"seed":5,"loss":0.2,"transport":"udp","udpShards":3,"aggregates":["count","sum"]}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create udp: %d %s", w.Code, w.Body)
+	}
+	if w = doJSON(t, h, "POST", "/v1/deployments/u/run", `{"rounds":4}`); w.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", w.Code, w.Body)
+	}
+
+	w = doJSON(t, h, "GET", "/v1/deployments/u/stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", w.Code, w.Body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "u" || st.Epochs != 4 {
+		t.Fatalf("stats = %+v, want id u at 4 epochs", st)
+	}
+	if st.Stats.RxFrames == 0 || st.Stats.TotalBytes == 0 {
+		t.Fatalf("udp deployment reported empty accounting: %+v", st.Stats)
+	}
+	if st.Stats.Duplicates != 0 {
+		t.Fatalf("deterministic barrier surfaced %d duplicates", st.Stats.Duplicates)
+	}
+	if st.TransportErr != "" {
+		t.Fatalf("healthy fleet reported transport error %q", st.TransportErr)
+	}
+	// The raw JSON must carry the Duplicates field explicitly (SessionStats
+	// marshals untagged) so clients can rely on its presence.
+	if !strings.Contains(w.Body.String(), `"Duplicates"`) {
+		t.Fatalf("stats body lacks Duplicates field: %s", w.Body)
+	}
+
+	// The full status view carries the same accounting and health fields.
+	w = doJSON(t, h, "GET", "/v1/deployments/u", "")
+	var full statusResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.RxFrames != st.Stats.RxFrames || full.TransportErr != "" {
+		t.Fatalf("status stats %+v (err %q) disagree with /stats %+v",
+			full.Stats, full.TransportErr, st.Stats)
+	}
+
+	if w = doJSON(t, h, "GET", "/v1/deployments/nope/stats", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("stats of unknown id: %d", w.Code)
+	}
+}
+
 // TestServeMultiQuery creates one deployment running three aggregates in
 // lock-step and checks every round reports all of them, including the
 // quantile percentile map.

@@ -51,6 +51,49 @@ func DecodeSafe(data []byte) (uint64, error) {
 	return v, r.Err()
 }
 
+// DecodeBatchDispatch mirrors the tempting shortcut on the batch receive
+// path: dispatching on the datagram magic by raw indexing instead of
+// draining the Reader.
+func DecodeBatchDispatch(data []byte) ([]byte, bool) {
+	if data[0] != 0xD8 { // want "raw byte indexing data\[0\]"
+		return nil, false
+	}
+	return data[1:], true // want "raw byte slicing data\[1:\]"
+}
+
+// Batch mirrors the wire.DatagramBatch iterator: the header decode hands
+// back a value holding the sticky-error Reader and Next drains entries
+// through it — the sanctioned batch-decoder shape, nothing reported.
+type Batch struct {
+	r     *wire.Reader
+	base  uint64
+	n     int
+	frame []byte
+}
+
+// DecodeBatch parses a batch header; every read goes through the Reader.
+func DecodeBatch(data []byte) (Batch, error) {
+	r := wire.NewReader(data)
+	if r.Byte() != 0xD8 && r.Err() == nil {
+		return Batch{}, wire.ErrMalformed
+	}
+	b := Batch{r: r, base: r.Uvarint()}
+	return b, r.Err()
+}
+
+// Next advances to the next length-prefixed entry through the reader.
+func (b *Batch) Next() bool {
+	if b.r.Remaining() == 0 {
+		return false
+	}
+	b.frame = b.r.Bytes()
+	if b.r.Err() != nil {
+		return false
+	}
+	b.n++
+	return true
+}
+
 // Reader is a fixture sticky-error reader; its methods are the guarded
 // decode surface, so raw indexing inside them is exempt.
 type Reader struct {

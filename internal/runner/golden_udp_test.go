@@ -11,25 +11,35 @@ import (
 // seeds 1–3) with the multi-process UDP transport in deterministic mode —
 // real loopback datagrams, an in-process shard fleet, the barrier protocol
 // — and compares against the very same golden file, under the sequential
-// engine and the parallel wave engine. The Deliver verdict comes from the
-// same seeded loss hash as the simulator and the chan transport, and the
-// exactly-once barrier guarantees the data plane keeps up, so not a single
-// answer may move.
+// engine and the parallel wave engine, with datagram coalescing both on and
+// off. The Deliver verdict comes from the same seeded loss hash as the
+// simulator and the chan transport, and the exactly-once barrier guarantees
+// the data plane keeps up, so not a single answer may move — batched or not.
 func TestGoldenAnswersUDPTransport(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		got := goldenRuns(t, func(nw *network.Net) Transport {
-			u, err := transport.NewUDP(nw, transport.UDPOptions{Deterministic: true, Shards: 4})
-			if err != nil {
-				t.Fatalf("NewUDP: %v", err)
+	for _, noBatch := range []bool{false, true} {
+		name := "batched"
+		if noBatch {
+			name = "unbatched"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				got := goldenRuns(t, func(nw *network.Net) Transport {
+					u, err := transport.NewUDP(nw, transport.UDPOptions{
+						Deterministic: true, Shards: 4, NoBatching: noBatch,
+					})
+					if err != nil {
+						t.Fatalf("NewUDP: %v", err)
+					}
+					t.Cleanup(func() {
+						u.Close()
+						if err := u.Err(); err != nil {
+							t.Errorf("udp transport error after run: %v", err)
+						}
+					})
+					return u
+				}, workers)
+				compareGolden(t, got)
 			}
-			t.Cleanup(func() {
-				u.Close()
-				if err := u.Err(); err != nil {
-					t.Errorf("udp transport error after run: %v", err)
-				}
-			})
-			return u
-		}, workers)
-		compareGolden(t, got)
+		})
 	}
 }

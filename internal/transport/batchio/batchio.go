@@ -1,0 +1,84 @@
+// Package batchio is the UDP transport's batched socket I/O seam: a Sender
+// that submits many datagrams per syscall and a Receiver that drains many
+// per syscall, with shared atomic counters so cmd/tdbench can report
+// syscalls/epoch. On Linux (amd64/arm64) the implementations ride
+// sendmmsg(2)/recvmmsg(2) through the net poller's RawConn hooks — the
+// socket stays in non-blocking mode and parks on the poller exactly like
+// the portable path, so nothing about blocking semantics changes. Every
+// other platform falls back to plain WriteToUDP/ReadFromUDP loops with
+// identical observable behavior; only the syscall counters differ.
+//
+// The package reads no clocks and draws no randomness: batching affects
+// when bytes hit the wire, never which bytes — the determinism contract of
+// the transport above it.
+package batchio
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Batch sizing: how many datagrams one sendmmsg submits and one recvmmsg
+// can drain. The receiver owns recvBatch fixed 64 KiB buffers (512 KiB per
+// shard socket), so the steady-state receive loop never allocates.
+const (
+	sendBatch = 64
+	recvBatch = 8
+	recvBuf   = 1 << 16
+)
+
+// Message is one datagram to send: its payload and destination.
+type Message struct {
+	// Buf is the datagram payload; the Sender does not retain it past Send.
+	Buf []byte
+	// Addr is the destination address.
+	Addr *net.UDPAddr
+}
+
+// Counters accumulate socket-level accounting across Senders and Receivers
+// sharing them. All fields are updated atomically; Snapshot reads a
+// consistent-enough view for benchmarking (the counters are monotonic).
+type Counters struct {
+	sendCalls     atomic.Int64
+	sentDatagrams atomic.Int64
+	sentBytes     atomic.Int64
+	recvCalls     atomic.Int64
+	recvDatagrams atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of a Counters.
+type Snapshot struct {
+	// SendCalls counts send-side syscalls (each sendmmsg or WriteToUDP).
+	SendCalls int64
+	// SentDatagrams counts datagrams actually submitted to the socket.
+	SentDatagrams int64
+	// SentBytes counts payload bytes across those datagrams.
+	SentBytes int64
+	// RecvCalls counts receive-side syscalls (each recvmmsg or ReadFromUDP).
+	RecvCalls int64
+	// RecvDatagrams counts datagrams drained from the socket.
+	RecvDatagrams int64
+}
+
+// Snapshot returns the counters' current values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		SendCalls:     c.sendCalls.Load(),
+		SentDatagrams: c.sentDatagrams.Load(),
+		SentBytes:     c.sentBytes.Load(),
+		RecvCalls:     c.recvCalls.Load(),
+		RecvDatagrams: c.recvDatagrams.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - o: the delta between two
+// snapshots of the same Counters.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		SendCalls:     s.SendCalls - o.SendCalls,
+		SentDatagrams: s.SentDatagrams - o.SentDatagrams,
+		SentBytes:     s.SentBytes - o.SentBytes,
+		RecvCalls:     s.RecvCalls - o.RecvCalls,
+		RecvDatagrams: s.RecvDatagrams - o.RecvDatagrams,
+	}
+}

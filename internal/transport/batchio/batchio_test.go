@@ -1,0 +1,139 @@
+package batchio
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// newLoopbackPair returns a bound receive socket and an unbound send socket.
+func newLoopbackPair(t *testing.T) (send, recv *net.UDPConn) {
+	t.Helper()
+	var err error
+	recv, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recv.Close() })
+	send, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { send.Close() })
+	return send, recv
+}
+
+// TestSenderReceiverRoundTrip pushes several batches through a loopback
+// pair and checks every payload arrives intact with the counters adding up.
+func TestSenderReceiverRoundTrip(t *testing.T) {
+	sendConn, recvConn := newLoopbackPair(t)
+	addr := recvConn.LocalAddr().(*net.UDPAddr)
+
+	var c Counters
+	s := NewSender(sendConn, &c)
+	r := NewReceiver(recvConn, &c)
+
+	const total = 3*sendBatch + 5
+	var msgs []Message
+	want := make(map[string]int, total)
+	for i := 0; i < total; i++ {
+		buf := []byte(fmt.Sprintf("datagram-%03d", i))
+		msgs = append(msgs, Message{Buf: buf, Addr: addr})
+		want[string(buf)]++
+	}
+	if err := s.Send(msgs); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	got := 0
+	for got < total {
+		_ = recvConn.SetReadDeadline(deadline)
+		n, err := r.Recv()
+		if err != nil {
+			t.Fatalf("Recv after %d datagrams: %v", got, err)
+		}
+		for i := 0; i < n; i++ {
+			d := string(r.Datagram(i))
+			if want[d] == 0 {
+				t.Fatalf("unexpected datagram %q", d)
+			}
+			want[d]--
+			got++
+		}
+	}
+	snap := c.Snapshot()
+	if snap.SentDatagrams != total || snap.RecvDatagrams != int64(total) {
+		t.Fatalf("counters: %+v, want %d datagrams each way", snap, total)
+	}
+	var wantBytes int64
+	for i := range msgs {
+		wantBytes += int64(len(msgs[i].Buf))
+	}
+	if snap.SentBytes != wantBytes {
+		t.Fatalf("SentBytes = %d, want %d", snap.SentBytes, wantBytes)
+	}
+	if snap.SendCalls <= 0 || snap.SendCalls > int64(total) || snap.RecvCalls <= 0 {
+		t.Fatalf("implausible syscall counters: %+v", snap)
+	}
+	t.Logf("sent %d datagrams in %d send calls, received in %d recv calls",
+		total, snap.SendCalls, snap.RecvCalls)
+}
+
+// TestReceiverUnblocksOnClose pins the shutdown contract the shard receive
+// loop depends on: closing the socket makes a blocked Recv return an error.
+func TestReceiverUnblocksOnClose(t *testing.T) {
+	_, recvConn := newLoopbackPair(t)
+	var c Counters
+	r := NewReceiver(recvConn, &c)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.Recv()
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	recvConn.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("Recv returned nil after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+// TestSenderEmptyAndLarge covers the edge payloads: a zero-byte datagram
+// and one at the receive buffer bound.
+func TestSenderEmptyAndLarge(t *testing.T) {
+	sendConn, recvConn := newLoopbackPair(t)
+	addr := recvConn.LocalAddr().(*net.UDPAddr)
+	_ = sendConn.SetWriteBuffer(1 << 20)
+	_ = recvConn.SetReadBuffer(1 << 20)
+
+	var c Counters
+	s := NewSender(sendConn, &c)
+	r := NewReceiver(recvConn, &c)
+
+	large := bytes.Repeat([]byte{0x5a}, 60000)
+	if err := s.Send([]Message{{Buf: nil, Addr: addr}, {Buf: large, Addr: addr}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var sizes []int
+	for len(sizes) < 2 {
+		_ = recvConn.SetReadDeadline(deadline)
+		n, err := r.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			sizes = append(sizes, len(r.Datagram(i)))
+		}
+	}
+	if sizes[0]+sizes[1] != len(large) {
+		t.Fatalf("got sizes %v, want one empty and one of %d", sizes, len(large))
+	}
+}

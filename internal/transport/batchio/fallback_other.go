@@ -1,0 +1,79 @@
+//go:build !(linux && (amd64 || arm64))
+
+package batchio
+
+// Portable fallback: one WriteToUDP/ReadFromUDP per datagram. Observable
+// behavior matches the Linux mmsg path exactly — only the syscall counters
+// record one call per datagram instead of per batch.
+
+import (
+	"net"
+	"sync"
+)
+
+// Sender batches datagram sends over one UDP socket. Safe for concurrent
+// use; construct with NewSender. On this platform each datagram is one
+// WriteToUDP.
+type Sender struct {
+	conn *net.UDPConn
+	c    *Counters
+	mu   sync.Mutex
+}
+
+// NewSender wraps conn; counters must be non-nil.
+func NewSender(conn *net.UDPConn, c *Counters) *Sender {
+	return &Sender{conn: conn, c: c}
+}
+
+// Send submits every message, returning the first socket error.
+func (s *Sender) Send(msgs []Message) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range msgs {
+		m := &msgs[i]
+		if _, err := s.conn.WriteToUDP(m.Buf, m.Addr); err != nil {
+			return err
+		}
+		s.c.sendCalls.Add(1)
+		s.c.sentDatagrams.Add(1)
+		s.c.sentBytes.Add(int64(len(m.Buf)))
+	}
+	return nil
+}
+
+// Receiver drains datagrams from one UDP socket into a pooled buffer. Not
+// safe for concurrent use — it belongs to one receive goroutine. Construct
+// with NewReceiver.
+type Receiver struct {
+	conn *net.UDPConn
+	c    *Counters
+	buf  []byte
+	n    int
+}
+
+// NewReceiver wraps conn, allocating the receive buffer once; counters
+// must be non-nil.
+func NewReceiver(conn *net.UDPConn, c *Counters) *Receiver {
+	return &Receiver{conn: conn, c: c, buf: make([]byte, recvBuf)}
+}
+
+// Recv blocks until a datagram arrives and returns how many are readable
+// via Datagram (always 1 on this platform). It returns the socket's error
+// once it closes.
+func (r *Receiver) Recv() (int, error) {
+	n, _, err := r.conn.ReadFromUDP(r.buf)
+	if err != nil {
+		return 0, err
+	}
+	r.c.recvCalls.Add(1)
+	r.c.recvDatagrams.Add(1)
+	r.n = n
+	return 1, nil
+}
+
+// Datagram returns the i-th datagram of the last Recv; the slice aliases a
+// pooled buffer valid until the next Recv.
+func (r *Receiver) Datagram(i int) []byte {
+	_ = i
+	return r.buf[:r.n]
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package batchio
+
+// sysSENDMMSG is sendmmsg(2)'s syscall number on linux/amd64; the frozen
+// syscall package predates it (it has SYS_RECVMMSG but not SYS_SENDMMSG).
+const sysSENDMMSG = 307

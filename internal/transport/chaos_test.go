@@ -17,7 +17,26 @@ import (
 	"tributarydelta/internal/network"
 	"tributarydelta/internal/runner"
 	"tributarydelta/internal/transport"
+	"tributarydelta/internal/wire"
 )
+
+// frameCount decodes how many envelope frames one data-plane datagram
+// carries: a 0xD8 batch holds its entry count, a single-frame datagram one.
+// The proxy's ground truth is frame-denominated because the transport's
+// Lost/Duplicates accounting is — dropping one batch datagram loses every
+// frame inside it.
+func frameCount(pkt []byte) int64 {
+	if !wire.DatagramIsBatch(pkt) {
+		return 1
+	}
+	b, err := wire.DecodeDatagramBatch(pkt)
+	if err != nil {
+		return 0
+	}
+	for b.Next() {
+	}
+	return int64(b.Len())
+}
 
 // chaosProxy sits between the parent's send socket and one shard's UDP
 // socket. Every forwarded packet rolls one seeded RNG draw: ~10% are
@@ -66,9 +85,9 @@ func (p *chaosProxy) run() {
 		p.mu.Lock()
 		switch r := p.rng.Float64(); {
 		case r < 0.10:
-			p.dropped++
+			p.dropped += frameCount(pkt)
 		case r < 0.20:
-			p.dupped++
+			p.dupped += frameCount(pkt)
 			p.forwardLocked(pkt)
 			p.forwardLocked(pkt)
 			p.flushHeldLocked()
@@ -111,12 +130,24 @@ func (p *chaosProxy) counts() (dropped, dupped, reordered int64) {
 }
 
 // TestUDPChaosAccounting interposes a chaos proxy on every shard and runs a
-// free-running session through it. The session must converge — free-running
-// Deliver is optimistic, so the runner's answers equal the lossless
-// simulator's — and the barrier's loss/duplicate discovery must agree with
-// the proxy's ground truth exactly: every drop becomes one AddLoss, every
-// duplicate one AddDuplicates, reordering costs nothing.
+// free-running session through it, with datagram batching both on and off.
+// The session must converge — free-running Deliver is optimistic, so the
+// runner's answers equal the lossless simulator's — and the barrier's
+// loss/duplicate discovery must agree with the proxy's frame-denominated
+// ground truth exactly: every dropped frame (a dropped batch datagram loses
+// all of its frames at once) becomes one AddLoss, every duplicated frame
+// one AddDuplicates, reordering costs nothing.
 func TestUDPChaosAccounting(t *testing.T) {
+	for _, noBatch := range []bool{false, true} {
+		name := "batched"
+		if noBatch {
+			name = "unbatched"
+		}
+		t.Run(name, func(t *testing.T) { testUDPChaosAccounting(t, noBatch) })
+	}
+}
+
+func testUDPChaosAccounting(t *testing.T, noBatch bool) {
 	seed := uint64(7)
 	f := newFixture(seed, 80)
 	simNet := network.New(f.g, network.Global{P: 0}, seed)
@@ -127,6 +158,7 @@ func TestUDPChaosAccounting(t *testing.T) {
 	u, err := transport.NewUDP(udpNet, transport.UDPOptions{
 		Shards:     4,
 		Stats:      stats,
+		NoBatching: noBatch,
 		DrainQuiet: 25 * time.Millisecond,
 		AddrRewrite: func(shard int, addr string) string {
 			p := newChaosProxy(t, 1000+int64(shard), addr)

@@ -3,17 +3,21 @@ package transport
 // The UDP backend's shard runtime: one process (or goroutine) hosting the
 // receive side of a contiguous residue class of nodes (node v lives on
 // shard v mod shards). The shard listens on its own UDP socket, decodes and
-// deduplicates every arriving datagram, and answers the parent's barrier
-// flushes over the control channel with receipts, missing sequence numbers
-// and per-node receive deltas.
+// deduplicates every arriving frame — datagrams carry either a single frame
+// (0xD7) or a coalesced batch of them (0xD8) — and answers the parent's
+// barrier flushes over the control channel with receipts, missing sequence
+// ranges and per-node receive deltas.
 //
-// Everything read from the UDP socket is untrusted: the datagram header and
-// the enclosed envelope are decoded with the bounds-checked wire readers,
-// and any failure — bad magic, truncated varint, out-of-range node, corrupt
-// envelope — increments a malformed counter and drops the datagram. The
-// receive path must never panic on arbitrary bytes (FuzzShardReceive pins
-// this), unlike the in-process Chan transport, which only ever carries
-// frames the runner itself encoded and treats corruption as a bug.
+// Everything read from the UDP socket is untrusted: the datagram header,
+// the batch entries and the enclosed envelopes are decoded with the
+// bounds-checked wire readers, and any failure — bad magic, truncated
+// varint, out-of-range node, corrupt envelope — increments a malformed
+// counter and drops the frame (a hostile entry inside a batch drops only
+// itself; the rest of the batch is still honored). The receive path must
+// never panic on arbitrary bytes (FuzzShardReceive and
+// FuzzShardReceiveBatch pin this), unlike the in-process Chan transport,
+// which only ever carries frames the runner itself encoded and treats
+// corruption as a bug.
 
 import (
 	"fmt"
@@ -21,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"tributarydelta/internal/transport/batchio"
 	"tributarydelta/internal/wire"
 )
 
@@ -56,6 +61,9 @@ type shardState struct {
 	det                  bool
 	quiet                time.Duration
 	udp                  *net.UDPConn
+	// io accumulates the socket-level receive counters, reported to the
+	// parent in every done reply.
+	io batchio.Counters
 
 	mu      sync.Mutex
 	arrival chan struct{}
@@ -160,68 +168,142 @@ func newShardState(nodes, shards, shard int, det bool, quiet time.Duration) *sha
 	}
 }
 
-// receive drains the UDP socket until it closes. One decoder serves the
-// whole loop, reset per datagram.
+// receive drains the UDP socket until it closes, a batch of datagrams per
+// syscall, into pooled buffers. One decoder serves the whole loop, reset
+// per frame.
 func (s *shardState) receive() {
-	buf := make([]byte, 1<<16)
+	rcv := batchio.NewReceiver(s.udp, &s.io)
 	var dec wire.Decoder
 	for {
-		n, _, err := s.udp.ReadFromUDP(buf)
+		n, err := rcv.Recv()
 		if err != nil {
 			return
 		}
-		s.handleDatagram(&dec, buf[:n])
-		dec.Reset()
+		for i := 0; i < n; i++ {
+			s.handleDatagram(&dec, rcv.Datagram(i))
+		}
 	}
 }
 
-// handleDatagram validates, deduplicates and accounts one datagram of
-// arbitrary (untrusted) bytes. Malformed input of any shape is counted and
-// dropped; nothing here may panic or allocate proportionally to a hostile
-// header field.
+// handleDatagram dispatches one datagram of arbitrary (untrusted) bytes on
+// its magic: a coalesced batch or the single-frame format. Malformed input
+// of any shape is counted and dropped; nothing here may panic or allocate
+// proportionally to a hostile header field.
+//
+//td:hotpath
 func (s *shardState) handleDatagram(dec *wire.Decoder, data []byte) {
+	if wire.DatagramIsBatch(data) {
+		s.handleBatch(dec, data)
+		return
+	}
 	d, err := wire.DecodeDatagram(data)
-	if err != nil {
-		s.addMalformed()
-		return
-	}
-	if d.To >= s.nodes || d.To%s.shards != s.shard {
-		s.addMalformed()
-		return
-	}
-	env, err := dec.Decode(d.Frame)
-	if err != nil || int(env.From) >= s.nodes {
+	if err != nil || !s.frameOK(dec, d.To, d.Frame) {
 		s.addMalformed()
 		return
 	}
 	s.mu.Lock()
-	switch {
-	case d.Round < s.round:
-		// A straggler from a superseded round: its barrier already closed,
-		// so it can only be counted as stale, never folded in.
-		s.stale++
+	if !s.enterRoundLocked(d.Round) {
 		s.mu.Unlock()
 		return
-	case d.Round > s.round:
-		s.resetRoundLocked(d.Round)
 	}
+	s.acceptLocked(d.Seq, d.To, len(d.Frame))
+	s.mu.Unlock()
+	s.wake()
+}
+
+// handleBatch validates, deduplicates and accounts every frame of one batch
+// datagram. A hostile entry drops only itself (counted malformed); a
+// malformed tail after the last decodable entry counts once. The whole
+// batch shares one round check — the parent never mixes rounds within a
+// datagram, and a straggler batch from a superseded round is counted stale
+// once, like a straggler single.
+//
+//td:hotpath
+func (s *shardState) handleBatch(dec *wire.Decoder, data []byte) {
+	b, err := wire.DecodeDatagramBatch(data)
+	if err != nil {
+		s.addMalformed()
+		return
+	}
+	s.mu.Lock()
+	if !s.enterRoundLocked(b.Round) {
+		s.mu.Unlock()
+		return
+	}
+	accepted := 0
+	for b.Next() {
+		if !s.frameOK(dec, b.To(), b.Frame()) {
+			s.malformed++
+			continue
+		}
+		s.acceptLocked(b.Seq(), b.To(), len(b.Frame()))
+		accepted++
+	}
+	if b.Err() != nil {
+		s.malformed++
+	}
+	s.mu.Unlock()
+	if accepted > 0 {
+		s.wake()
+	}
+}
+
+// frameOK validates one frame's addressing and envelope: the receiver must
+// be a node of this shard and the envelope must decode with an in-range
+// sender. The decoder is reset after each use, so its arena never outlives
+// the frame.
+//
+//td:hotpath
+func (s *shardState) frameOK(dec *wire.Decoder, to int, frame []byte) bool {
+	if to >= s.nodes || to%s.shards != s.shard {
+		return false
+	}
+	env, err := dec.Decode(frame)
+	ok := err == nil && int(env.From) < s.nodes
+	dec.Reset()
+	return ok
+}
+
+// enterRoundLocked folds a datagram's round into the shard's: a straggler
+// from a superseded round is counted stale and rejected (its barrier
+// already closed), a newer round resets the state. Callers hold mu.
+func (s *shardState) enterRoundLocked(round uint64) bool {
+	switch {
+	case round < s.round:
+		s.stale++
+		return false
+	case round > s.round:
+		s.resetRoundLocked(round)
+	}
+	return true
+}
+
+// acceptLocked deduplicates and accounts one validated frame. Callers hold
+// mu; the caller guarantees seq < wire.MaxDatagramSeq (the decoders bound
+// it), so the bitset stays bounded.
+//
+//td:hotpath
+func (s *shardState) acceptLocked(seq, to, frameLen int) {
 	s.received++
 	//lint:ignore determinism free-running arrival clock for the quiet-period drain; deterministic mode synchronizes on seq receipt, not time
 	s.lastArrival = time.Now()
-	w, bit := d.Seq>>6, uint64(1)<<(uint(d.Seq)&63)
+	w, bit := seq>>6, uint64(1)<<(uint(seq)&63)
 	for w >= len(s.seen) {
 		s.seen = append(s.seen, 0)
 	}
-	li := d.To / s.shards
+	li := to / s.shards
 	if s.seen[w]&bit != 0 {
 		s.dups[li]++
 	} else {
 		s.seen[w] |= bit
 		s.unique++
 		s.rxFrames[li]++
-		s.rxBytes[li] += int64(len(d.Frame))
+		s.rxBytes[li] += int64(frameLen)
 	}
-	s.mu.Unlock()
+}
+
+// wake nudges a waiting flush without blocking the receive loop.
+func (s *shardState) wake() {
 	select {
 	case s.arrival <- struct{}{}:
 	default:
@@ -254,7 +336,7 @@ func (s *shardState) resetRoundLocked(round uint64) {
 
 // flush answers one barrier flush: wait for the round's traffic to settle,
 // then report what arrived. In deterministic mode the wait is short and the
-// reply lists missing sequence numbers for the parent to retransmit — the
+// reply lists missing sequence ranges for the parent to retransmit — the
 // barrier converges to exactly-once. In free-running mode the wait is a
 // quiet period since the last arrival (so trailing duplicates and
 // reordered stragglers are counted), and whatever is missing then is
@@ -302,17 +384,34 @@ func (s *shardState) flush(m *ctrlMsg) *ctrlMsg {
 			s.waitArrivalLocked(time.Now().Add(s.quiet - idle))
 		}
 	}
-	reply := &ctrlMsg{Type: ctrlDone, Round: m.Round, Received: s.received, Malformed: s.malformed}
+	io := s.io.Snapshot()
+	reply := &ctrlMsg{
+		Type: ctrlDone, Round: m.Round,
+		Received: s.received, Malformed: s.malformed,
+		RecvCalls: io.RecvCalls, RecvDatagrams: io.RecvDatagrams,
+	}
 	if s.unique < m.Sent {
+		// Collapse the missing sequence numbers into maximal runs: a lost
+		// batch datagram takes a contiguous range with it, so the list stays
+		// short even when whole datagrams vanish.
+		run := 0
 		for seq := 0; seq < m.Sent; seq++ {
 			if w := seq >> 6; w >= len(s.seen) || s.seen[w]&(uint64(1)<<(uint(seq)&63)) == 0 {
-				reply.Missing = append(reply.Missing, seq)
+				run++
+				continue
 			}
+			if run > 0 {
+				reply.Missing = append(reply.Missing, seqRange{First: seq - run, Count: run})
+				run = 0
+			}
+		}
+		if run > 0 {
+			reply.Missing = append(reply.Missing, seqRange{First: m.Sent - run, Count: run})
 		}
 	}
 	if !s.det || len(reply.Missing) == 0 {
 		// Terminal reply: attach the round's per-node receive deltas. (A
-		// deterministic reply with missing seqs triggers a resend and a
+		// deterministic reply with missing ranges triggers a resend and a
 		// re-flush; the parent applies deltas only from the terminal one.)
 		for li := range s.rxFrames {
 			if s.rxFrames[li] == 0 && s.dups[li] == 0 {

@@ -4,7 +4,7 @@ package transport
 // Nodes are partitioned into shards (node v lives on shard v mod Shards),
 // each shard is a separate OS process (or, with the default in-process
 // spawner, a goroutine that still speaks real loopback sockets), and every
-// delivery is a real UDP datagram — the first configuration where packet
+// delivery is a real UDP frame — the first configuration where packet
 // loss, reordering and duplication are physical events rather than hash
 // draws.
 //
@@ -13,6 +13,17 @@ package transport
 // never talk to each other. The reliable control channel (one TCP loopback
 // connection per shard) carries the join handshake, the epoch barrier and
 // shutdown; the lossy data plane carries only datagrams.
+//
+// The data plane coalesces: all frames a round sends to one shard are
+// packed into MTU-bounded batch datagrams (wire's 0xD8 framing), sealed the
+// moment the next frame would not fit, and submitted to the socket in
+// sendmmsg batches at the epoch barrier — a 600-node epoch costs a handful
+// of syscalls instead of hundreds. Because a batch's frames carry
+// consecutive sequence numbers, a lost datagram surfaces at the barrier as
+// a contiguous missing *range*, and retransmission resends whole datagram
+// images. NoBatching restores the PR 7 one-frame-per-datagram path — the
+// A/B lever golden tests and tdbench compare against; answers are
+// bit-identical either way.
 //
 // Two modes, exactly like Chan:
 //
@@ -23,24 +34,27 @@ package transport
 //     datagram the loopback medium itself dropped, and the shard's
 //     per-round dedup absorbs the replays, keeping the receive-side
 //     accounting exact.
-//   - Free-running: Deliver sends and optimistically reports true; the
-//     loss model is not consulted. What actually got lost is discovered at
-//     the epoch barrier — each shard drains a quiet period, reports the
-//     missing sequence numbers, and the parent attributes one loss to each
-//     missing datagram's sender (and one duplicate to each replayed one),
-//     feeding the same network.Stats that the in-process backends feed.
+//   - Free-running: Deliver queues the frame and optimistically reports
+//     true; the loss model is not consulted. What actually got lost is
+//     discovered at the epoch barrier — each shard drains a quiet period,
+//     reports the missing sequence ranges, and the parent attributes one
+//     loss to each missing frame's sender (and one duplicate to each
+//     replayed one), feeding the same network.Stats that the in-process
+//     backends feed.
 
 import (
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tributarydelta/internal/network"
+	"tributarydelta/internal/transport/batchio"
 	"tributarydelta/internal/wire"
 )
 
@@ -74,7 +88,7 @@ type UDPOptions struct {
 	Deterministic bool
 	// Stats, if non-nil, receives the backend-side accounting: per-node
 	// receive deltas (AddRx), duplicates (AddDuplicates) and — in
-	// free-running mode — real datagram losses (AddLoss, applied at the
+	// free-running mode — real frame losses (AddLoss, applied at the
 	// barrier on the dispatch goroutine). Swappable via SetStats at the
 	// epoch barrier, like Chan.
 	Stats *network.Stats
@@ -84,9 +98,15 @@ type UDPOptions struct {
 	// MaxDatagram caps the datagram size this side is willing to send;
 	// <= 0 (or anything above wire.MaxUDPPayload) means wire.MaxUDPPayload.
 	// The effective per-shard limit is the min of this and the shard's
-	// advertised limit; a frame that cannot fit fails its delivery and
-	// sets the transport's sticky error.
+	// advertised limit — the bound batch datagrams are sealed against. A
+	// frame that cannot fit even alone fails its delivery and sets the
+	// transport's sticky error.
 	MaxDatagram int
+	// NoBatching disables datagram coalescing: every frame travels as its
+	// own single-frame (0xD7) datagram, the PR 7 data plane. The A/B lever
+	// for golden parity tests and benchmarks; answers and accounting are
+	// identical either way, only datagram and syscall counts differ.
+	NoBatching bool
 	// DrainQuiet is the free-running barrier's quiet window: a shard
 	// reports its round once no datagram has arrived for this long. <= 0
 	// means 5ms. Chaos tests raise it to out-wait their proxy's reordering.
@@ -120,12 +140,26 @@ type udpShard struct {
 	addr        *net.UDPAddr
 	maxDatagram int
 	dead        bool
-	sent        int
-	// frames keeps the round's full datagram images for deterministic-mode
-	// retransmission, seq-indexed; buffers are recycled across rounds.
-	frames [][]byte
+	// sent counts the frames (sequence numbers) assigned this round.
+	sent int
+	// batch is the building batch datagram, sealed into dgrams when the
+	// next frame would not fit; batchBase/batchN are its first sequence
+	// number and frame count.
+	batch     []byte
+	batchBase int
+	batchN    int
+	// dgrams keeps the round's sealed datagram images — the send queue, and
+	// in deterministic mode the retransmission store; buffers are recycled
+	// across rounds. dgramBase records each datagram's first sequence
+	// number (ascending), so a missing range maps back to whole datagrams
+	// by binary search.
+	dgrams    [][]byte
+	dgramBase []int
 	// from records each seq's sender for loss attribution.
 	from []int32
+	// recvCalls/recvDatagrams mirror the shard's cumulative socket-level
+	// receive counters from its last barrier reply (for IOStats).
+	recvCalls, recvDatagrams int64
 }
 
 // UDP is the multi-process UDP transport. Construct with NewUDP; it
@@ -141,9 +175,13 @@ type UDP struct {
 	viewEpoch int
 	viewSet   bool
 	conn      *net.UDPConn
+	io        *batchio.Sender
+	ioc       batchio.Counters
+	// pending queues the round's sealed datagrams for one batched submit at
+	// the epoch barrier.
+	pending   []batchio.Message
 	shards    []*udpShard
 	round     uint64
-	scratch   []byte
 	lost      atomic.Int64
 	dupes     atomic.Int64
 	errMu     sync.Mutex
@@ -187,6 +225,7 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 		return nil, fmt.Errorf("transport: udp send socket: %w", err)
 	}
 	_ = u.conn.SetWriteBuffer(1 << 22)
+	u.io = batchio.NewSender(u.conn, &u.ioc)
 
 	fail := func(err error) (*UDP, error) {
 		u.teardown()
@@ -262,12 +301,46 @@ func (u *UDP) shardForJoin(join *ctrlMsg) *udpShard {
 	return sh
 }
 
+// nextBuf returns a recycled datagram buffer for the shard's next sealed
+// datagram: the hidden capacity slot of dgrams, if one survives from a
+// previous round, truncated to zero length. seal must be the next dgrams
+// mutation (Deliver's batch building guarantees it: one open batch per
+// shard, sealed in order).
+func (sh *udpShard) nextBuf() []byte {
+	if n := len(sh.dgrams); cap(sh.dgrams) > n {
+		sh.dgrams = sh.dgrams[:n+1]
+		buf := sh.dgrams[n][:0]
+		sh.dgrams = sh.dgrams[:n]
+		return buf
+	}
+	return nil
+}
+
+// seal records one finished datagram image — retransmission store and send
+// queue entry — with base as its first sequence number.
+func (u *UDP) seal(sh *udpShard, buf []byte, base int) {
+	sh.dgrams = append(sh.dgrams, buf)
+	sh.dgramBase = append(sh.dgramBase, base)
+	u.pending = append(u.pending, batchio.Message{Buf: buf, Addr: sh.addr})
+}
+
+// sealBatch closes the shard's building batch, if any.
+func (u *UDP) sealBatch(sh *udpShard) {
+	if sh.batchN == 0 {
+		return
+	}
+	u.seal(sh, sh.batch, sh.batchBase)
+	sh.batch = nil
+	sh.batchN = 0
+}
+
 // Deliver implements runner.Transport. In deterministic mode the verdict
-// comes from the seeded loss model (surviving frames are sent, and the
+// comes from the seeded loss model (surviving frames are queued, and the
 // barrier guarantees exactly-once arrival); in free-running mode every
-// frame is sent and optimistically reported delivered — the barrier settles
-// what was really lost. A false return on a dead shard or oversized frame
-// lets the runner account the loss as usual.
+// frame is queued and optimistically reported delivered — the barrier
+// settles what was really lost. Frames accumulate into batch datagrams
+// (unless NoBatching) and hit the socket at EndEpoch; a false return on a
+// dead shard or oversized frame lets the runner account the loss as usual.
 func (u *UDP) Deliver(epoch, attempt, from, to int, frame []byte) bool {
 	if u.opts.Deterministic {
 		if !u.viewSet || u.viewEpoch != epoch {
@@ -286,29 +359,35 @@ func (u *UDP) Deliver(epoch, attempt, from, to int, frame []byte) bool {
 	}
 	seq := sh.sent
 	if seq >= wire.MaxDatagramSeq {
-		u.setErr(fmt.Errorf("transport: round %d exceeded %d datagrams to shard %d", u.round, wire.MaxDatagramSeq, sh.id))
+		u.setErr(fmt.Errorf("transport: round %d exceeded %d frames to shard %d", u.round, wire.MaxDatagramSeq, sh.id))
 		return false
 	}
-	u.scratch = wire.AppendDatagram(u.scratch[:0], u.round, seq, to, frame)
-	if len(u.scratch) > sh.maxDatagram {
-		u.setErr(fmt.Errorf("transport: frame of %d bytes exceeds shard %d's negotiated datagram size %d",
-			len(frame), sh.id, sh.maxDatagram))
-		return false
-	}
-	if _, err := u.conn.WriteToUDP(u.scratch, sh.addr); err != nil {
-		u.setErr(fmt.Errorf("transport: send to shard %d: %w", sh.id, err))
-		return false
+	if u.opts.NoBatching {
+		buf := wire.AppendDatagram(sh.nextBuf(), u.round, seq, to, frame)
+		if len(buf) > sh.maxDatagram {
+			u.setErr(fmt.Errorf("transport: frame of %d bytes exceeds shard %d's negotiated datagram size %d",
+				len(frame), sh.id, sh.maxDatagram))
+			return false
+		}
+		u.seal(sh, buf, seq)
+	} else {
+		need := wire.BatchFrameLen(to, len(frame))
+		if wire.DatagramBatchOverhead(u.round, seq)+need > sh.maxDatagram {
+			u.setErr(fmt.Errorf("transport: frame of %d bytes exceeds shard %d's negotiated datagram size %d",
+				len(frame), sh.id, sh.maxDatagram))
+			return false
+		}
+		if sh.batchN > 0 && len(sh.batch)+need > sh.maxDatagram {
+			u.sealBatch(sh)
+		}
+		if sh.batchN == 0 {
+			sh.batch = wire.AppendDatagramBatch(sh.nextBuf(), u.round, seq)
+			sh.batchBase = seq
+		}
+		sh.batch = wire.AppendBatchFrame(sh.batch, to, frame)
+		sh.batchN++
 	}
 	sh.from = append(sh.from, int32(from))
-	if u.opts.Deterministic {
-		var buf []byte
-		if n := len(sh.frames); cap(sh.frames) > n {
-			sh.frames = sh.frames[:n+1]
-			buf = sh.frames[n][:0]
-			sh.frames = sh.frames[:n]
-		}
-		sh.frames = append(sh.frames, append(buf, u.scratch...))
-	}
 	sh.sent++
 	return true
 }
@@ -321,19 +400,33 @@ func (u *UDP) BeginEpoch(int) {
 	for _, sh := range u.shards {
 		sh.sent = 0
 		sh.from = sh.from[:0]
-		sh.frames = sh.frames[:0]
+		sh.batch = nil
+		sh.batchN = 0
+		sh.dgrams = sh.dgrams[:0]
+		sh.dgramBase = sh.dgramBase[:0]
 	}
+	u.pending = u.pending[:0]
 }
 
-// EndEpoch implements runner.EpochMarker: flush every shard that received
-// traffic this round (concurrently — each shard has its own control
-// connection), then apply the collected receive deltas, duplicates and
-// free-running losses to the current Stats target on the calling (dispatch)
-// goroutine, preserving the transmit-side single-writer contract. A shard
-// that cannot be flushed within BarrierTimeout is declared dead: its
-// round's frames are attributed as losses, the sticky error is set, and
-// the run continues without it — no hang.
+// EndEpoch implements runner.EpochMarker: seal the open batches, submit the
+// whole round's datagrams in one batched send, then flush every shard that
+// received traffic this round (concurrently — each shard has its own
+// control connection) and apply the collected receive deltas, duplicates
+// and free-running losses to the current Stats target on the calling
+// (dispatch) goroutine, preserving the transmit-side single-writer
+// contract. A shard that cannot be flushed within BarrierTimeout is
+// declared dead: its round's frames are attributed as losses, the sticky
+// error is set, and the run continues without it — no hang.
 func (u *UDP) EndEpoch(int) {
+	for _, sh := range u.shards {
+		u.sealBatch(sh)
+	}
+	if len(u.pending) > 0 {
+		if err := u.io.Send(u.pending); err != nil {
+			u.setErr(fmt.Errorf("transport: batched send: %w", err))
+		}
+		u.pending = u.pending[:0]
+	}
 	var wg sync.WaitGroup
 	type flushResult struct {
 		done ctrlMsg
@@ -371,6 +464,8 @@ func (u *UDP) EndEpoch(int) {
 			}
 			continue
 		}
+		sh.recvCalls = res.done.RecvCalls
+		sh.recvDatagrams = res.done.RecvDatagrams
 		for _, d := range res.done.Rx {
 			if d.Node < 0 || d.Node >= u.nw.Graph.N() {
 				continue
@@ -383,13 +478,19 @@ func (u *UDP) EndEpoch(int) {
 			}
 			u.dupes.Add(d.Dups)
 		}
-		for _, seq := range res.done.Missing {
-			if seq < 0 || seq >= len(sh.from) {
+		for _, rng := range res.done.Missing {
+			first, count := rng.First, rng.Count
+			if first < 0 || count <= 0 || first >= sh.sent {
 				continue
 			}
-			u.lost.Add(1)
+			if count > sh.sent-first {
+				count = sh.sent - first
+			}
+			u.lost.Add(int64(count))
 			if st != nil {
-				st.AddLoss(int(sh.from[seq]))
+				for seq := first; seq < first+count; seq++ {
+					st.AddLoss(int(sh.from[seq]))
+				}
 			}
 		}
 	}
@@ -397,10 +498,14 @@ func (u *UDP) EndEpoch(int) {
 
 // flushShard runs one shard's barrier: flush, read done, and — in
 // deterministic mode — retransmit whatever the shard reports missing until
-// nothing is, the timeout expires, or the control channel fails.
+// nothing is, the timeout expires, or the control channel fails. Missing
+// sequence ranges map back to whole sealed datagram images (by binary
+// search over their base sequence numbers); the shard's dedup absorbs any
+// frames of a resent datagram that had in fact arrived.
 func (u *UDP) flushShard(sh *udpShard) (ctrlMsg, error) {
 	//lint:ignore determinism barrier liveness deadline; deterministic mode retransmits to exactly-once receipt, so timing bounds waiting, never answer bits
 	deadline := time.Now().Add(u.opts.BarrierTimeout)
+	var resend []batchio.Message
 	for attempt := 0; ; attempt++ {
 		if err := writeCtrl(sh.ctrl, deadline, &ctrlMsg{Type: ctrlFlush, Round: u.round, Sent: sh.sent}); err != nil {
 			return ctrlMsg{}, fmt.Errorf("barrier flush: %w", err)
@@ -417,15 +522,32 @@ func (u *UDP) flushShard(sh *udpShard) (ctrlMsg, error) {
 		}
 		//lint:ignore determinism barrier liveness check; expiry surfaces as a sticky transport error, not a divergent answer
 		if attempt >= maxDetResends || !time.Now().Before(deadline) {
-			return ctrlMsg{}, fmt.Errorf("%d datagrams still missing after %d resends", len(done.Missing), attempt)
+			missing := 0
+			for _, rng := range done.Missing {
+				missing += rng.Count
+			}
+			return ctrlMsg{}, fmt.Errorf("%d frames still missing after %d resends", missing, attempt)
 		}
-		for _, seq := range done.Missing {
-			if seq < 0 || seq >= len(sh.frames) {
-				return ctrlMsg{}, fmt.Errorf("shard reported unknown seq %d", seq)
+		resend = resend[:0]
+		last := -1
+		for _, rng := range done.Missing {
+			if rng.First < 0 || rng.Count <= 0 || rng.First+rng.Count > sh.sent {
+				return ctrlMsg{}, fmt.Errorf("shard reported unknown seq range [%d,%d)", rng.First, rng.First+rng.Count)
 			}
-			if _, err := u.conn.WriteToUDP(sh.frames[seq], sh.addr); err != nil {
-				return ctrlMsg{}, fmt.Errorf("retransmit seq %d: %w", seq, err)
+			di := sort.SearchInts(sh.dgramBase, rng.First+1) - 1
+			if di < 0 {
+				return ctrlMsg{}, fmt.Errorf("no datagram covers seq %d", rng.First)
 			}
+			for ; di < len(sh.dgrams) && sh.dgramBase[di] < rng.First+rng.Count; di++ {
+				if di <= last {
+					continue // already queued by an earlier range
+				}
+				resend = append(resend, batchio.Message{Buf: sh.dgrams[di], Addr: sh.addr})
+				last = di
+			}
+		}
+		if err := u.io.Send(resend); err != nil {
+			return ctrlMsg{}, fmt.Errorf("retransmit: %w", err)
 		}
 	}
 }
@@ -456,17 +578,32 @@ func (u *UDP) setErr(err error) {
 	u.errMu.Unlock()
 }
 
-// Lost returns the datagrams the backend itself counted as lost: real
-// losses discovered at free-running barriers, plus whole rounds attributed
-// to dead shards. Deterministic-mode medium losses are not included (they
-// never become datagrams).
+// Lost returns the frames the backend itself counted as lost: real losses
+// discovered at free-running barriers, plus whole rounds attributed to dead
+// shards. Deterministic-mode medium losses are not included (they never
+// become datagrams). Frame-denominated: a lost batch datagram counts once
+// per frame it carried.
 func (u *UDP) Lost() int64 { return u.lost.Load() }
 
-// Duplicates returns the duplicated datagrams shards have discarded.
+// Duplicates returns the duplicated frames shards have discarded
+// (frame-denominated, like Lost).
 func (u *UDP) Duplicates() int64 { return u.dupes.Load() }
 
 // Shards returns the shard count nodes are partitioned over.
 func (u *UDP) Shards() int { return len(u.shards) }
+
+// IOStats returns the transport's socket-level counters: the parent's send
+// side (live) plus the shard fleet's receive side (as of each shard's last
+// barrier reply). cmd/tdbench derives datagrams/epoch and syscalls/epoch
+// from deltas of this snapshot.
+func (u *UDP) IOStats() batchio.Snapshot {
+	s := u.ioc.Snapshot()
+	for _, sh := range u.shards {
+		s.RecvCalls += sh.recvCalls
+		s.RecvDatagrams += sh.recvDatagrams
+	}
+	return s
+}
 
 // Close stops the fleet: each live shard gets a stop message (answered by
 // bye), the sockets close, and every shard process is waited out — or

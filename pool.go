@@ -25,6 +25,7 @@ type hosted interface {
 	sensors() int
 	queries() []string
 	poolStats() SessionStats
+	transportErr() error
 	setWorkers(n int)
 	close()
 }
@@ -38,6 +39,7 @@ func (h hostedSession) runEpoch(epoch int) SetRound {
 func (h hostedSession) sensors() int            { return h.s.Sensors() }
 func (h hostedSession) queries() []string       { return []string{h.s.QueryName()} }
 func (h hostedSession) poolStats() SessionStats { return h.s.Stats() }
+func (h hostedSession) transportErr() error     { return h.s.TransportErr() }
 func (h hostedSession) setWorkers(n int)        { h.s.SetWorkers(n) }
 func (h hostedSession) close()                  { h.s.Close() }
 
@@ -55,11 +57,13 @@ func (h hostedSet) poolStats() SessionStats {
 		total.Losses += st.Losses
 		total.InboxDrops += st.InboxDrops
 		total.RxFrames += st.RxFrames
+		total.Duplicates += st.Duplicates
 	}
 	return total
 }
-func (h hostedSet) setWorkers(n int) { h.qs.SetWorkers(n) }
-func (h hostedSet) close()           { h.qs.Close() }
+func (h hostedSet) transportErr() error { return h.qs.TransportErr() }
+func (h hostedSet) setWorkers(n int)    { h.qs.SetWorkers(n) }
+func (h hostedSet) close()              { h.qs.Close() }
 
 // Pool hosts many independent deployments — scalar sessions or query sets —
 // and advances them concurrently under a shared worker budget. All methods
@@ -125,6 +129,10 @@ type DeploymentStatus struct {
 	// Stats is the deployment's cumulative communication accounting, summed
 	// over its queries.
 	Stats SessionStats
+	// TransportErr is the deployment's delivery-backend sticky error, if any
+	// — a dead UDP shard, a barrier timeout, a socket failure. Nil for the
+	// in-process backends and for a healthy fleet.
+	TransportErr error
 }
 
 // NewPool returns a pool that runs at most workers deployments at once;
@@ -239,12 +247,13 @@ func (p *Pool) Status(id string) (DeploymentStatus, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return DeploymentStatus{
-		ID:      id,
-		Epochs:  e.next,
-		Sensors: e.h.sensors(),
-		Queries: e.h.queries(),
-		Last:    e.last,
-		Stats:   e.h.poolStats(),
+		ID:           id,
+		Epochs:       e.next,
+		Sensors:      e.h.sensors(),
+		Queries:      e.h.queries(),
+		Last:         e.last,
+		Stats:        e.h.poolStats(),
+		TransportErr: e.h.transportErr(),
 	}, true
 }
 

@@ -52,6 +52,8 @@ type openConfig struct {
 	concurrentSet bool
 	udpShards     int
 	udpSet        bool
+	udpNoBatch    bool
+	udpBatchSet   bool
 	epsilon       float64
 	sampleK       int
 	threshold     float64
@@ -97,6 +99,16 @@ func WithConcurrentRuntime(on bool) Option {
 // WithConcurrentRuntime or InSet; Open rejects both combinations.
 func WithUDPTransport(shards int) Option {
 	return func(c *openConfig) { c.udpShards = shards; c.udpSet = true }
+}
+
+// WithDatagramBatching toggles the UDP runtime's datagram coalescing for
+// this session (default: the deployment's SetDatagramBatching choice, itself
+// defaulting to on): frames pack into MTU-bounded batch datagrams submitted
+// in batched syscalls at the epoch barrier. Answers are bit-identical either
+// way — disabling it is an A/B lever for benchmarking and parity tests, not
+// a behavioral switch. It only affects sessions that run the UDP transport.
+func WithDatagramBatching(on bool) Option {
+	return func(c *openConfig) { c.udpNoBatch = !on; c.udpBatchSet = true }
 }
 
 // WithEpsilon sets the approximation budget of queries that take one: the
@@ -218,9 +230,13 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 			concurrent = cfg.concurrent
 		}
 		if udpShards > 0 {
+			noBatch := d.udpNoBatch
+			if cfg.udpBatchSet {
+				noBatch = cfg.udpNoBatch
+			}
 			u, err := transport.NewUDP(net, transport.UDPOptions{
 				Shards: udpShards, Deterministic: true, Stats: stats,
-				Spawn: d.udpSpawner(),
+				Spawn: d.udpSpawner(), NoBatching: noBatch,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("tributarydelta: udp runtime: %w", err)

@@ -89,6 +89,7 @@ func (d *Deployment) NewQuerySet(seed uint64) *QuerySet {
 	case d.udpShards > 0:
 		u, err := transport.NewUDP(qs.net, transport.UDPOptions{
 			Shards: d.udpShards, Deterministic: true, Spawn: d.udpSpawner(),
+			NoBatching: d.udpNoBatch,
 		})
 		if err != nil {
 			qs.initErr = fmt.Errorf("tributarydelta: udp runtime: %w", err)

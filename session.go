@@ -41,9 +41,10 @@ type SessionStats struct {
 	// the concurrent runtime; the synchronous simulator hands frames over
 	// without a receive loop).
 	RxFrames int64
-	// Duplicates counts duplicated datagrams discarded by receiver runtimes
+	// Duplicates counts duplicated frames discarded by receiver runtimes
 	// before processing (UDP runtime only — the in-process backends cannot
-	// duplicate; never part of RxFrames).
+	// duplicate; never part of RxFrames). Frame-denominated: a replayed
+	// batch datagram counts one duplicate per frame it carried.
 	Duplicates int64
 }
 

@@ -92,6 +92,7 @@ type Deployment struct {
 	concurrent bool
 	udpShards  int
 	udpBinary  string
+	udpNoBatch bool
 }
 
 // NewSyntheticDeployment places n sensors uniformly in the paper's 20×20
@@ -158,6 +159,15 @@ func (d *Deployment) UseConcurrentRuntime(on bool) { d.concurrent = on }
 // UseUDPRuntime takes precedence over UseConcurrentRuntime when both are
 // enabled.
 func (d *Deployment) UseUDPRuntime(shards int) { d.udpShards = shards }
+
+// SetDatagramBatching toggles the UDP runtime's datagram coalescing for
+// sessions and query sets subsequently built from this deployment (default
+// on): all frames a round sends to a shard pack into MTU-bounded batch
+// datagrams, submitted in batched syscalls at the epoch barrier. Answers are
+// bit-identical either way — turning it off restores the one-frame-per-
+// datagram data plane as an A/B lever for benchmarking and parity tests, not
+// a behavioral switch. WithDatagramBatching overrides the choice per session.
+func (d *Deployment) SetDatagramBatching(on bool) { d.udpNoBatch = !on }
 
 // SetUDPNodeBinary points the UDP runtime at a tdnode executable: each shard
 // becomes `path -control <addr> -shard <i>`, a separate OS process. An empty

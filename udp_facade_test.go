@@ -31,10 +31,18 @@ func TestUDPSessionMatchesSimulator(t *testing.T) {
 	}
 	sim := mk()
 	udp := mk(td.WithUDPTransport(4))
+	unbatched := mk(td.WithUDPTransport(4), td.WithDatagramBatching(false))
 	for e := 0; e < 15; e++ {
-		if want, got := sim.RunEpoch(e), udp.RunEpoch(e); want != got {
+		want := sim.RunEpoch(e)
+		if got := udp.RunEpoch(e); want != got {
 			t.Fatalf("epoch %d: simulator %+v, udp runtime %+v", e, want, got)
 		}
+		if got := unbatched.RunEpoch(e); want != got {
+			t.Fatalf("epoch %d: simulator %+v, unbatched udp runtime %+v", e, want, got)
+		}
+	}
+	if err := unbatched.TransportErr(); err != nil {
+		t.Fatalf("unbatched udp session transport error: %v", err)
 	}
 	if err := udp.TransportErr(); err != nil {
 		t.Fatalf("udp session transport error: %v", err)
