@@ -8,6 +8,7 @@
 //	tdbench -list                 # list experiment ids
 //	tdbench -bench                # epoch-engine timings -> BENCH_6.json
 //	tdbench -benchudp             # UDP data-plane timings -> BENCH_7.json
+//	tdbench -chaos                # scripted fault schedule vs the UDP fleet
 //
 // Each experiment prints a table whose rows mirror the series of the
 // corresponding paper artifact; DESIGN.md §4 records the calibration notes.
@@ -39,6 +40,8 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_6.json", "bench mode: output artifact path")
 	benchUDP := flag.Bool("benchudp", false, "run the UDP data-plane benchmark and write -benchudpout")
 	benchUDPOut := flag.String("benchudpout", "BENCH_7.json", "benchudp mode: output artifact path")
+	chaosMode := flag.Bool("chaos", false, "drive the supervised UDP fleet through a scripted fault schedule")
+	chaosNode := flag.String("chaosnode", "", "chaos mode: tdnode binary for exec shards (enables the kill -9 fault; empty = in-process shards)")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +64,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *chaosMode {
+		if err := runChaos(*chaosNode); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos: fleet recovered; answers bit-identical to the simulator")
 		return
 	}
 

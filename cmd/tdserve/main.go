@@ -111,12 +111,15 @@ type statusResponse struct {
 }
 
 // statsResponse is the GET /v1/deployments/{id}/stats body: the cumulative
-// communication accounting alone, without the last round's results.
+// communication accounting plus the UDP runtime's supervision snapshot
+// (Health.shards is empty for in-process deployments), without the last
+// round's results.
 type statsResponse struct {
 	ID           string          `json:"id"`
 	Epochs       int             `json:"epochs"`
 	Stats        td.SessionStats `json:"stats"`
 	TransportErr string          `json:"transportErr,omitempty"`
+	Health       td.FleetHealth  `json:"health"`
 }
 
 // server routes HTTP traffic onto a deployment pool.
@@ -362,6 +365,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		Epochs:       st.Epochs,
 		Stats:        st.Stats,
 		TransportErr: errString(st.TransportErr),
+		Health:       st.Health,
 	})
 }
 

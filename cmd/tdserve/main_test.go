@@ -196,10 +196,25 @@ func TestServeStatsRoundTrip(t *testing.T) {
 	if st.TransportErr != "" {
 		t.Fatalf("healthy fleet reported transport error %q", st.TransportErr)
 	}
+	if len(st.Health.Shards) != 3 {
+		t.Fatalf("health snapshot covers %d shards, want 3: %+v", len(st.Health.Shards), st.Health)
+	}
+	if !st.Health.Healthy() || st.Health.Restarts != 0 || st.Health.Failed != 0 {
+		t.Fatalf("undisturbed fleet reported supervision activity: %+v", st.Health)
+	}
+	for i, sh := range st.Health.Shards {
+		if sh.Shard != i || sh.State != "healthy" {
+			t.Fatalf("shard %d health = %+v, want healthy", i, sh)
+		}
+	}
 	// The raw JSON must carry the Duplicates field explicitly (SessionStats
-	// marshals untagged) so clients can rely on its presence.
+	// marshals untagged) so clients can rely on its presence, and the
+	// supervision snapshot rides under "health".
 	if !strings.Contains(w.Body.String(), `"Duplicates"`) {
 		t.Fatalf("stats body lacks Duplicates field: %s", w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"health"`) {
+		t.Fatalf("stats body lacks health field: %s", w.Body)
 	}
 
 	// The full status view carries the same accounting and health fields.

@@ -24,6 +24,10 @@ var determinismScope = []string{
 	// //lint:ignore'd so any NEW one that could leak into deterministic
 	// mode must justify itself.
 	"internal/transport",
+	// The chaos driver's noise model must draw from per-shard seeded
+	// generators and its fault schedule from data; only its proxy plumbing
+	// (reorder release, stall gates) may touch real timers.
+	"internal/chaos",
 }
 
 // Determinism enforces the bit-reproducibility contract of the epoch path

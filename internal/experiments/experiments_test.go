@@ -9,7 +9,8 @@ import (
 // TestRegistryComplete verifies every paper artifact has a runner.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig2", "fig4", "fig5a", "fig5b",
-		"fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "labdata", "queryset"}
+		"fig6", "fig7a", "fig7b", "fig8", "fig9a", "fig9b", "labdata", "queryset",
+		"churn"}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("experiment %q missing from registry", id)

@@ -25,6 +25,7 @@ var Registry = map[string]Runner{
 	"fig9b":    Fig9b,
 	"labdata":  LabData,
 	"queryset": QuerySetExp,
+	"churn":    Churn,
 }
 
 // IDs returns the registered experiment ids in order.

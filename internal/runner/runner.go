@@ -37,6 +37,7 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"sort"
 	"time"
 
 	"tributarydelta/internal/aggregate"
@@ -153,6 +154,43 @@ type Config[V, P, S, R any] struct {
 	// behind the fused-union bench guard. Every batched operation is a
 	// pure bitwise OR, so answers are bit-identical either way.
 	NoBatchFuse bool
+	// Churn is an optional scripted node-churn schedule: nodes dying,
+	// rejoining and re-parenting at fixed epochs, applied before the
+	// epoch's first transmission. The schedule is validated up front (New
+	// fails on an infeasible event) and is part of the run's identity:
+	// answers under a fixed schedule are bit-identical across worker
+	// counts and transports. A down node stays in the contributing-%
+	// denominator — exactly the non-contributing pressure the §4.2
+	// adaptation strategies are built to absorb. When a schedule is
+	// present the runner clones Tree, so churn never mutates the caller's
+	// topology.
+	Churn []ChurnEvent
+}
+
+// ChurnKind selects a scripted churn event's effect.
+type ChurnKind uint8
+
+const (
+	// ChurnDown silences a node: it stops transmitting and everything sent
+	// to it is lost. Its sensors stay in the contributing-% denominator.
+	ChurnDown ChurnKind = iota
+	// ChurnUp revives a previously downed node in place.
+	ChurnUp
+	// ChurnReparent moves a node's tree link to a new parent (a radio
+	// neighbour; in the TD modes also one ring closer to the base, the
+	// §4.1 closure requirement).
+	ChurnReparent
+)
+
+// ChurnEvent is one scripted topology change, applied at the start of
+// epoch Epoch (before any transmission of that epoch).
+type ChurnEvent struct {
+	Epoch int
+	Kind  ChurnKind
+	// Node is the affected sensor. The base station cannot churn.
+	Node int
+	// NewParent is the target of a ChurnReparent; ignored otherwise.
+	NewParent int
 }
 
 // EpochResult is one collection round's outcome.
@@ -238,14 +276,20 @@ type Runner[V, P, S, R any] struct {
 	// are disjoint, so the parallel build phase writes them race-free, and
 	// the arena is cleared (not reallocated) between epochs.
 	contribArena []uint64
-	// byLevel is the static transmission schedule: the participating nodes
-	// of each level (participation and scheduling levels never change
-	// within a run).
+	// byLevel is the transmission schedule: the participating nodes of
+	// each level. Static within a run unless a ChurnReparent fires in tree
+	// mode (depths change), which rebuilds it via rebuildSchedule.
 	byLevel [][]int
 	// levelOff maps a level to the offset of its first slot in the
 	// epoch-wide envs/frames arenas; level l's senders occupy slots
-	// [levelOff[l], levelOff[l]+len(byLevel[l])). Static, like byLevel.
+	// [levelOff[l], levelOff[l]+len(byLevel[l])). Rebuilt with byLevel.
 	levelOff []int
+	// churn is the validated, epoch-sorted churn schedule; churnNext the
+	// next unapplied event; down the current liveness mask (down nodes
+	// neither transmit nor receive but stay in the sensors denominator).
+	churn     []ChurnEvent
+	churnNext int
+	down      []bool
 	// inbox holds each receiver's arrivals as slot indices into the
 	// epoch-wide arenas — an inbox entry is a 4-byte reference, not an
 	// envelope copy, so a broadcast delivered to many parents shares one
@@ -520,9 +564,20 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		cfg.InitialDeltaLevels = 1
 	}
 
+	if len(cfg.Churn) > 0 {
+		// Reparent events mutate the tree, and callers (the facade shares
+		// one scenario tree across sessions) expect theirs untouched.
+		cfg.Tree = cfg.Tree.Clone()
+	}
+
 	adaptive := cfg.Mode == ModeTD || cfg.Mode == ModeTDCoarse
 	if adaptive && !cfg.Tree.LinksSubsetOfRings(cfg.Graph, cfg.Rings) {
 		return nil, errors.New("runner: TD modes require tree links to be rings links (§4.1)")
+	}
+	churn := append([]ChurnEvent(nil), cfg.Churn...)
+	sort.SliceStable(churn, func(i, j int) bool { return churn[i].Epoch < churn[j].Epoch })
+	if err := validateChurn(churn, cfg.Graph, cfg.Rings, cfg.Tree, cfg.Mode); err != nil {
+		return nil, err
 	}
 
 	var deltaLevels int
@@ -563,6 +618,8 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		schedLevel: make([]int, n),
 		words:      (n + 63) / 64,
 		transport:  cfg.Transport,
+		churn:      churn,
+		down:       make([]bool, n),
 	}
 	if r.transport == nil {
 		r.transport = &simTransport{net: cfg.Net}
@@ -587,7 +644,30 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 	for i := range r.lastNC {
 		r.lastNC[i] = -2 // never reported
 	}
+	r.rebuildSchedule()
+	for v := 1; v < n; v++ {
+		if r.participates(v) {
+			r.sensors++
+		}
+	}
+	if r.sensors == 0 {
+		return nil, errors.New("runner: no sensor can reach the base station")
+	}
+	r.SetWorkers(cfg.Workers)
+	return r, nil
+}
+
+// rebuildSchedule recomputes the level-by-level transmission order
+// (schedLevel/byLevel/levelOff) and resizes the epoch-wide envelope and
+// frame arenas to one slot per participating sender. Participation and
+// levels are fixed for a run except under tree-mode reparenting, whose
+// depth changes re-enter here between epochs; the sensors denominator is
+// deliberately NOT recomputed (see Config.Churn).
+func (r *Runner[V, P, S, R]) rebuildSchedule() {
+	cfg := &r.cfg
+	n := cfg.Graph.N()
 	depths := cfg.Tree.Depths()
+	r.maxLevel = 0
 	for v := 0; v < n; v++ {
 		if cfg.Mode == ModeTree {
 			r.schedLevel[v] = depths[v]
@@ -598,16 +678,6 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 			r.maxLevel = r.schedLevel[v]
 		}
 	}
-	for v := 1; v < n; v++ {
-		if r.participates(v) {
-			r.sensors++
-		}
-	}
-	if r.sensors == 0 {
-		return nil, errors.New("runner: no sensor can reach the base station")
-	}
-	// Participation and schedule levels are fixed for a run, so the
-	// level-by-level transmission order is precomputed once.
 	r.byLevel = make([][]int, r.maxLevel+1)
 	for v := 1; v < n; v++ {
 		if r.participates(v) {
@@ -626,10 +696,100 @@ func New[V, P, S, R any](cfg Config[V, P, S, R]) (*Runner[V, P, S, R], error) {
 		r.levelOff[l] = total
 		total += len(r.byLevel[l])
 	}
-	r.envs = make([]envelope[P, S], total)
-	r.frames = make([]frameSlot[P, S], total)
-	r.SetWorkers(cfg.Workers)
-	return r, nil
+	if total != len(r.envs) {
+		r.envs = make([]envelope[P, S], total)
+		r.frames = make([]frameSlot[P, S], total)
+	}
+}
+
+// validateChurn simulates the schedule's tree evolution up front: RunEpoch
+// has no error return, so an infeasible event must fail construction, not
+// the run. Events are checked in schedule order against the evolving
+// parent vector and liveness set.
+func validateChurn(events []ChurnEvent, g *topo.Graph, rings *topo.Rings, tree *topo.Tree, mode Mode) error {
+	if len(events) == 0 {
+		return nil
+	}
+	n := g.N()
+	parent := append([]int(nil), tree.Parent...)
+	down := make([]bool, n)
+	adjacent := func(a, b int) bool {
+		for _, w := range g.Adj[a] {
+			if w == b {
+				return true
+			}
+		}
+		return false
+	}
+	for i, ev := range events {
+		if ev.Epoch < 0 {
+			return fmt.Errorf("runner: churn event %d: negative epoch %d", i, ev.Epoch)
+		}
+		if ev.Node <= 0 || ev.Node >= n {
+			return fmt.Errorf("runner: churn event %d: node %d out of range (the base station cannot churn)", i, ev.Node)
+		}
+		switch ev.Kind {
+		case ChurnDown:
+			if down[ev.Node] {
+				return fmt.Errorf("runner: churn event %d: node %d is already down", i, ev.Node)
+			}
+			down[ev.Node] = true
+		case ChurnUp:
+			if !down[ev.Node] {
+				return fmt.Errorf("runner: churn event %d: node %d is not down", i, ev.Node)
+			}
+			down[ev.Node] = false
+		case ChurnReparent:
+			p := ev.NewParent
+			if p < 0 || p >= n || p == ev.Node {
+				return fmt.Errorf("runner: churn event %d: invalid new parent %d for node %d", i, p, ev.Node)
+			}
+			if p != topo.Base && parent[p] == -1 {
+				return fmt.Errorf("runner: churn event %d: new parent %d is outside the tree", i, p)
+			}
+			for u := p; u != -1; u = parent[u] {
+				if u == ev.Node {
+					return fmt.Errorf("runner: churn event %d: reparenting %d under its own subtree would cycle", i, ev.Node)
+				}
+			}
+			if !adjacent(ev.Node, p) {
+				return fmt.Errorf("runner: churn event %d: nodes %d and %d are not radio neighbours", i, ev.Node, p)
+			}
+			if (mode == ModeTD || mode == ModeTDCoarse) && rings.Level[p] != rings.Level[ev.Node]-1 {
+				return fmt.Errorf("runner: churn event %d: TD modes require tree links to be rings links — parent %d is at ring %d, node %d at ring %d (§4.1)", i, p, rings.Level[p], ev.Node, rings.Level[ev.Node])
+			}
+			parent[ev.Node] = p
+		default:
+			return fmt.Errorf("runner: churn event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// applyChurn fires every schedule event due at or before epoch. The events
+// were validated at New against the same evolution, so application cannot
+// fail. Any event invalidates the synopsis memo (topology is part of the
+// memo key's implicit context), and a tree-mode reparent rebuilds the
+// depth-ordered transmission schedule.
+func (r *Runner[V, P, S, R]) applyChurn(epoch int) {
+	for r.churnNext < len(r.churn) && r.churn[r.churnNext].Epoch <= epoch {
+		ev := r.churn[r.churnNext]
+		r.churnNext++
+		switch ev.Kind {
+		case ChurnDown:
+			r.down[ev.Node] = true
+		case ChurnUp:
+			r.down[ev.Node] = false
+		case ChurnReparent:
+			if err := r.state.Reparent(ev.Node, ev.NewParent); err != nil {
+				panic(fmt.Sprintf("runner: validated churn event failed: %v", err))
+			}
+			if r.cfg.Mode == ModeTree {
+				r.rebuildSchedule()
+			}
+		}
+		r.bustMemo()
+	}
 }
 
 // SetWorkers re-bounds the wave engine's worker pool: n <= 0 selects
@@ -721,11 +881,12 @@ func (r *Runner[V, P, S, R]) Sensors() int { return r.sensors }
 func (r *Runner[V, P, S, R]) State() *tdgraph.State { return r.state }
 
 // ExactAnswer computes the ground-truth answer for an epoch over all
-// participating sensors.
+// participating sensors that are currently up (churned-down nodes cannot
+// contribute a reading, so ground truth excludes them too).
 func (r *Runner[V, P, S, R]) ExactAnswer(epoch int) R {
 	var vs []V
 	for v := 1; v < r.cfg.Graph.N(); v++ {
-		if r.participates(v) {
+		if r.participates(v) && !r.down[v] {
 			vs = append(vs, r.cfg.Value(epoch, v))
 		}
 	}
@@ -802,6 +963,7 @@ func insertTopK(dst []int, v, cap int) []int {
 // RunEpoch executes one collection round and, on adaptation periods, one
 // adaptation decision.
 func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
+	r.applyChurn(epoch)
 	if r.marker != nil {
 		r.marker.BeginEpoch(epoch)
 		defer r.marker.EndEpoch(epoch)
@@ -845,6 +1007,9 @@ func (r *Runner[V, P, S, R]) RunEpoch(epoch int) EpochResult[R] {
 
 		r.arrivals = r.arrivals[:0]
 		for i, v := range nodes {
+			if r.down[v] {
+				continue // churned-down nodes are silent
+			}
 			r.deliver(epoch, v, off+i, &r.envs[off+i])
 		}
 
@@ -1360,6 +1525,17 @@ func (r *Runner[V, P, S, R]) deliver(epoch, v, slot int, env *envelope[P, S]) {
 		if parent == -1 {
 			return
 		}
+		if r.down[parent] {
+			// A dead parent never acknowledges: the sender (which cannot
+			// know) spends the energy of every attempt and loses them all.
+			// The transport is not consulted — a dead node must not see
+			// (or account) receive traffic.
+			for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
+				r.Stats.AddTxBytes(v, level, len(frame))
+				r.Stats.AddLoss(v)
+			}
+			return
+		}
 		for attempt := 0; attempt <= r.cfg.TreeRetransmits; attempt++ {
 			r.Stats.AddTxBytes(v, level, len(frame))
 			if r.transport.Deliver(epoch, attempt, v, parent, frame) {
@@ -1375,6 +1551,10 @@ func (r *Runner[V, P, S, R]) deliver(epoch, v, slot int, env *envelope[P, S]) {
 	for _, u := range r.cfg.Rings.Up[v] {
 		if !r.state.IsM(u) {
 			continue // T vertices ignore synopses (Edge Correctness)
+		}
+		if r.down[u] {
+			r.Stats.AddLoss(v) // dead receiver: the broadcast leg is lost
+			continue
 		}
 		if r.transport.Deliver(epoch, 0, v, u, frame) {
 			r.frames[slot].needed = true

@@ -352,6 +352,45 @@ func (s *State) Validate() error {
 	return nil
 }
 
+// Reparent moves v's aggregation-tree parent to newParent — the churn
+// primitive behind scripted re-parent events (a node picking a new parent
+// after its old one dies or degrades). It preserves the standing
+// invariants: the base keeps no parent, the tree stays acyclic (newParent
+// must not sit in v's own subtree), subtree sizes are recomputed, and
+// upward closure is restored by force-promoting any T vertex on
+// newParent's path to the base to M when v itself is M. Feasibility
+// against the rings (the TD modes demand every tree link also be a rings
+// link) is the caller's concern — the runner validates a churn schedule
+// per mode before applying it.
+func (s *State) Reparent(v, newParent int) error {
+	n := s.G.N()
+	if v < 0 || v >= n || newParent < 0 || newParent >= n {
+		return fmt.Errorf("tdgraph: reparent %d -> %d outside [0,%d)", v, newParent, n)
+	}
+	if v == topo.Base {
+		return fmt.Errorf("tdgraph: the base station cannot be reparented")
+	}
+	if newParent == v {
+		return fmt.Errorf("tdgraph: vertex %d cannot parent itself", v)
+	}
+	if !s.Tree.InTree(newParent) {
+		return fmt.Errorf("tdgraph: new parent %d is outside the tree", newParent)
+	}
+	for u := newParent; u != -1; u = s.Tree.Parent[u] {
+		if u == v {
+			return fmt.Errorf("tdgraph: reparenting %d under its own subtree (via %d) would cycle", v, newParent)
+		}
+	}
+	s.Tree.SetParent(v, newParent)
+	s.subtree = s.Tree.SubtreeSizes()
+	if s.IsM(v) {
+		for u := newParent; u != topo.Base && !s.IsM(u); u = s.Tree.Parent[u] {
+			s.setLabel(u, M)
+		}
+	}
+	return nil
+}
+
 // Edges returns the potential aggregation edges of the labeled graph G of
 // §3 under the current labels: one unicast edge per T vertex to its tree
 // parent, and one broadcast edge from each M vertex to every up-ring M

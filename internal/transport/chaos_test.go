@@ -1,142 +1,32 @@
 package transport_test
 
-// Chaos battery for the UDP backend: a loopback proxy that drops, duplicates
-// and reorders datagrams with a seeded RNG (interposed via AddrRewrite), and
-// a fleet-survives-kill test that SIGKILLs one shard process mid-run. The
-// process tests re-exec this test binary as the tdnode stand-in (see
-// TestMain in fuzz_test.go).
+// Chaos battery for the UDP backend, driven by the internal/chaos package:
+// seeded link noise (drop/duplicate/reorder) interposed via AddrRewrite,
+// scheduled faults (kill, control stall, blackhole) applied at epoch
+// boundaries, and supervision tests that SIGKILL shard processes mid-run
+// and require the fleet to heal. The process tests re-exec this test
+// binary as the tdnode stand-in (see TestMain in fuzz_test.go).
 
 import (
-	"math/rand"
-	"net"
 	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"tributarydelta/internal/chaos"
 	"tributarydelta/internal/network"
 	"tributarydelta/internal/runner"
 	"tributarydelta/internal/transport"
-	"tributarydelta/internal/wire"
 )
 
-// frameCount decodes how many envelope frames one data-plane datagram
-// carries: a 0xD8 batch holds its entry count, a single-frame datagram one.
-// The proxy's ground truth is frame-denominated because the transport's
-// Lost/Duplicates accounting is — dropping one batch datagram loses every
-// frame inside it.
-func frameCount(pkt []byte) int64 {
-	if !wire.DatagramIsBatch(pkt) {
-		return 1
-	}
-	b, err := wire.DecodeDatagramBatch(pkt)
-	if err != nil {
-		return 0
-	}
-	for b.Next() {
-	}
-	return int64(b.Len())
-}
-
-// chaosProxy sits between the parent's send socket and one shard's UDP
-// socket. Every forwarded packet rolls one seeded RNG draw: ~10% are
-// dropped, ~10% duplicated, ~10% reordered (held until the next packet, or
-// a 2ms timer — far inside the barrier's quiet window, so held packets are
-// never stranded past a flush).
-type chaosProxy struct {
-	ln  *net.UDPConn
-	dst *net.UDPAddr
-
-	mu        sync.Mutex
-	rng       *rand.Rand
-	held      []byte
-	heldTimer *time.Timer
-	dropped   int64
-	dupped    int64
-	reordered int64
-}
-
-func newChaosProxy(t *testing.T, seed int64, dst string) *chaosProxy {
-	t.Helper()
-	addr, err := net.ResolveUDPAddr("udp", dst)
-	if err != nil {
-		t.Fatalf("proxy resolve %q: %v", dst, err)
-	}
-	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
-	if err != nil {
-		t.Fatalf("proxy listen: %v", err)
-	}
-	p := &chaosProxy{ln: ln, dst: addr, rng: rand.New(rand.NewSource(seed))}
-	t.Cleanup(func() { ln.Close() })
-	go p.run()
-	return p
-}
-
-func (p *chaosProxy) addr() string { return p.ln.LocalAddr().String() }
-
-func (p *chaosProxy) run() {
-	buf := make([]byte, 1<<16)
-	for {
-		n, _, err := p.ln.ReadFromUDP(buf)
-		if err != nil {
-			return
-		}
-		pkt := append([]byte(nil), buf[:n]...)
-		p.mu.Lock()
-		switch r := p.rng.Float64(); {
-		case r < 0.10:
-			p.dropped += frameCount(pkt)
-		case r < 0.20:
-			p.dupped += frameCount(pkt)
-			p.forwardLocked(pkt)
-			p.forwardLocked(pkt)
-			p.flushHeldLocked()
-		case r < 0.30 && p.held == nil:
-			p.reordered++
-			p.held = pkt
-			p.heldTimer = time.AfterFunc(2*time.Millisecond, p.flushHeld)
-		default:
-			p.forwardLocked(pkt)
-			p.flushHeldLocked()
-		}
-		p.mu.Unlock()
-	}
-}
-
-func (p *chaosProxy) forwardLocked(pkt []byte) { _, _ = p.ln.WriteToUDP(pkt, p.dst) }
-
-func (p *chaosProxy) flushHeld() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.flushHeldLocked()
-}
-
-// flushHeldLocked releases a held (reordered) packet after its successor.
-func (p *chaosProxy) flushHeldLocked() {
-	if p.held == nil {
-		return
-	}
-	p.forwardLocked(p.held)
-	p.held = nil
-	if p.heldTimer != nil {
-		p.heldTimer.Stop()
-	}
-}
-
-func (p *chaosProxy) counts() (dropped, dupped, reordered int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dropped, p.dupped, p.reordered
-}
-
-// TestUDPChaosAccounting interposes a chaos proxy on every shard and runs a
-// free-running session through it, with datagram batching both on and off.
-// The session must converge — free-running Deliver is optimistic, so the
+// TestUDPChaosAccounting routes every shard's data plane through the chaos
+// driver's noise proxies and runs a free-running session through them. The
+// session must converge — free-running Deliver is optimistic, so the
 // runner's answers equal the lossless simulator's — and the barrier's
-// loss/duplicate discovery must agree with the proxy's frame-denominated
-// ground truth exactly: every dropped frame (a dropped batch datagram loses
-// all of its frames at once) becomes one AddLoss, every duplicated frame
-// one AddDuplicates, reordering costs nothing.
+// loss/duplicate discovery must agree with the driver's frame-denominated
+// ground truth exactly: every dropped frame (a dropped batch datagram
+// loses all of its frames at once) becomes one AddLoss, every duplicated
+// frame one AddDuplicates, reordering costs nothing.
 func TestUDPChaosAccounting(t *testing.T) {
 	for _, noBatch := range []bool{false, true} {
 		name := "batched"
@@ -153,32 +43,29 @@ func testUDPChaosAccounting(t *testing.T, noBatch bool) {
 	simNet := network.New(f.g, network.Global{P: 0}, seed)
 	udpNet := network.New(f.g, network.Global{P: 0}, seed)
 	stats := network.NewStats(f.g.N())
-	var mu sync.Mutex
-	proxies := make(map[int]*chaosProxy)
+	drv, err := chaos.New(chaos.Schedule{
+		Seed: 1000, Drop: 0.10, Dup: 0.10, Reorder: 0.10,
+	}, 4)
+	if err != nil {
+		t.Fatalf("chaos.New: %v", err)
+	}
+	defer drv.Close()
 	u, err := transport.NewUDP(udpNet, transport.UDPOptions{
-		Shards:     4,
-		Stats:      stats,
-		NoBatching: noBatch,
-		DrainQuiet: 25 * time.Millisecond,
-		AddrRewrite: func(shard int, addr string) string {
-			p := newChaosProxy(t, 1000+int64(shard), addr)
-			mu.Lock()
-			proxies[shard] = p
-			mu.Unlock()
-			return p.addr()
-		},
+		Shards:      4,
+		Stats:       stats,
+		NoBatching:  noBatch,
+		DrainQuiet:  25 * time.Millisecond,
+		AddrRewrite: drv.AddrRewrite,
 	})
 	if err != nil {
 		t.Fatalf("NewUDP: %v", err)
 	}
 	defer u.Close()
-	if len(proxies) != u.Shards() {
-		t.Fatalf("AddrRewrite ran for %d shards, want %d", len(proxies), u.Shards())
-	}
 
 	simR := countRunner(t, f, runner.ModeTree, simNet, seed, nil)
 	udpR := countRunner(t, f, runner.ModeTree, udpNet, seed, u)
 	for e := 0; e < 12; e++ {
+		drv.Advance(e)
 		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
 		if sim != up {
 			t.Fatalf("epoch %d: lossless simulator %+v, chaos session %+v", e, sim, up)
@@ -188,50 +75,57 @@ func testUDPChaosAccounting(t *testing.T, noBatch bool) {
 		t.Fatalf("transport error under chaos: %v", err)
 	}
 
-	var dropped, dupped, reordered int64
-	for _, p := range proxies {
-		d, du, re := p.counts()
-		dropped, dupped, reordered = dropped+d, dupped+du, reordered+re
+	c := drv.Counters()
+	if c.Dropped == 0 || c.Dupped == 0 || c.Reordered == 0 {
+		t.Fatalf("chaos driver idle: %+v", c)
 	}
-	if dropped == 0 || dupped == 0 || reordered == 0 {
-		t.Fatalf("chaos proxy idle: dropped=%d dupped=%d reordered=%d", dropped, dupped, reordered)
+	if c.Blackholed != 0 {
+		t.Fatalf("no blackhole scheduled, yet %d frames swallowed", c.Blackholed)
 	}
-	if got := u.Lost(); got != dropped {
-		t.Fatalf("transport counted %d losses, proxy dropped %d", got, dropped)
+	if got := u.Lost(); got != c.Dropped {
+		t.Fatalf("transport counted %d losses, driver dropped %d", got, c.Dropped)
 	}
-	if got := stats.TotalLosses(); got != dropped {
-		t.Fatalf("stats recorded %d losses, proxy dropped %d", got, dropped)
+	if got := stats.TotalLosses(); got != c.Dropped {
+		t.Fatalf("stats recorded %d losses, driver dropped %d", got, c.Dropped)
 	}
-	if got := u.Duplicates(); got != dupped {
-		t.Fatalf("transport counted %d duplicates, proxy duplicated %d", got, dupped)
+	if got := u.Duplicates(); got != c.Dupped {
+		t.Fatalf("transport counted %d duplicates, driver duplicated %d", got, c.Dupped)
 	}
-	if got := stats.TotalDuplicates(); got != dupped {
-		t.Fatalf("stats recorded %d duplicates, proxy duplicated %d", got, dupped)
+	if got := stats.TotalDuplicates(); got != c.Dupped {
+		t.Fatalf("stats recorded %d duplicates, driver duplicated %d", got, c.Dupped)
 	}
 }
 
-// TestUDPFleetSurvivesKill runs a 16-process fleet (each shard a SpawnExec'd
-// re-exec of this test binary) and SIGKILLs one tdnode mid-run. The contract:
-// the next barrier detects the death within BarrierTimeout (no hang), the
-// sticky error names the shard, the dead shard's traffic is accounted as
-// losses, and the remaining fleet keeps completing epochs.
-func TestUDPFleetSurvivesKill(t *testing.T) {
+// TestUDPFleetRecoversFromKill runs a 16-process fleet (each shard a
+// SpawnExec'd re-exec of this test binary), SIGKILLs one tdnode mid-run,
+// and lets the supervisor heal it. The contract: the next barrier detects
+// the death within BarrierTimeout (no hang) and attributes the degraded
+// epochs' traffic as losses; the supervisor respawns the shard and re-runs
+// the join handshake without operator action; once the replacement is
+// adopted, answers are again bit-identical to the lossless-transport
+// simulator at the same epochs; Err stays nil throughout; and Health
+// records the restart and the degraded epochs.
+func TestUDPFleetRecoversFromKill(t *testing.T) {
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatalf("os.Executable: %v", err)
 	}
 	seed := uint64(9)
 	f := newFixture(seed, 64)
-	nw := network.New(f.g, network.Global{P: 0.25}, seed)
+	simNet := network.New(f.g, network.Global{P: 0.25}, seed)
+	udpNet := network.New(f.g, network.Global{P: 0.25}, seed)
 	stats := network.NewStats(f.g.N())
 	var mu sync.Mutex
 	procs := make(map[int]transport.ShardProc)
 	spawn := transport.SpawnExec(exe)
-	u, err := transport.NewUDP(nw, transport.UDPOptions{
+	u, err := transport.NewUDP(udpNet, transport.UDPOptions{
 		Shards:         16,
 		Deterministic:  true,
 		Stats:          stats,
 		BarrierTimeout: 2 * time.Second,
+		// The supervisor respawns through this same wrapper (on its own
+		// goroutine — hence the mutex), so the replacement's proc handle
+		// lands in the map too.
 		Spawn: func(controlAddr string, shard int) (transport.ShardProc, error) {
 			p, err := spawn(controlAddr, shard)
 			if err == nil {
@@ -247,9 +141,16 @@ func TestUDPFleetSurvivesKill(t *testing.T) {
 	}
 	defer u.Close()
 
-	r := countRunner(t, f, runner.ModeTree, nw, seed, u)
+	// The deterministic loss model draws identically for both networks
+	// (same seed), so the UDP session's answers match the simulator's
+	// bit-for-bit at every epoch — as long as the fleet is whole.
+	simR := countRunner(t, f, runner.ModeTree, simNet, seed, nil)
+	udpR := countRunner(t, f, runner.ModeTree, udpNet, seed, u)
 	for e := 0; e < 3; e++ {
-		r.RunEpoch(e)
+		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
+		if sim != up {
+			t.Fatalf("healthy epoch %d: simulator %+v, udp %+v", e, sim, up)
+		}
 	}
 	if err := u.Err(); err != nil {
 		t.Fatalf("healthy fleet errored: %v", err)
@@ -268,29 +169,137 @@ func TestUDPFleetSurvivesKill(t *testing.T) {
 	if victim < 0 {
 		t.Fatal("no shard received any traffic in the healthy epochs")
 	}
-	if err := procs[victim].Kill(); err != nil {
+	mu.Lock()
+	vp := procs[victim]
+	mu.Unlock()
+	if err := vp.Kill(); err != nil {
 		t.Fatalf("kill shard %d: %v", victim, err)
 	}
-	_ = procs[victim].Wait()
+	_ = vp.Wait()
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for e := 3; e < 8; e++ {
-			r.RunEpoch(e)
+	// Keep running epochs while the supervisor recovers the shard. An
+	// epoch whose answers match the simulator again with the fleet healthy
+	// is the recovery point; the deadline only bounds a hung fleet.
+	deadline := time.Now().Add(60 * time.Second)
+	recovered := -1
+	for e := 3; time.Now().Before(deadline); e++ {
+		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
+		if h := u.Health(); sim == up && h.Healthy() && h.Restarts > 0 {
+			recovered = e
+			break
 		}
-	}()
-	select {
-	case <-done:
-	case <-time.After(60 * time.Second):
-		t.Fatal("fleet hung after kill -9 of one tdnode")
+		time.Sleep(10 * time.Millisecond) // give the supervisor its backoff
 	}
-	if err := u.Err(); err == nil {
-		t.Fatal("killed shard went unnoticed: sticky error is nil")
-	} else {
-		t.Logf("sticky error after kill: %v", err)
+	if recovered < 0 {
+		t.Fatalf("fleet did not recover from kill -9 of shard %d: health %+v", victim, u.Health())
+	}
+	t.Logf("recovered at epoch %d: health %+v", recovered, u.Health())
+
+	// Recovery must hold: further epochs stay bit-identical.
+	for e := recovered + 1; e < recovered+4; e++ {
+		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
+		if sim != up {
+			t.Fatalf("post-recovery epoch %d: simulator %+v, udp %+v", e, sim, up)
+		}
+	}
+
+	if err := u.Err(); err != nil {
+		t.Fatalf("recovered fault must not be a sticky error, got: %v", err)
 	}
 	if u.Lost() == 0 {
 		t.Fatal("dead shard's traffic was not attributed as losses")
 	}
+	h := u.Health()
+	vh := h.Shards[victim]
+	if vh.State != transport.ShardHealthy || vh.Restarts < 1 || vh.DegradedEpochs < 1 {
+		t.Fatalf("victim shard health %+v, want healthy with >=1 restart and >=1 degraded epoch", vh)
+	}
+	if vh.LastErr == "" {
+		t.Fatal("victim shard health lost the failure cause")
+	}
+}
+
+// TestUDPChaosScheduleRecovery drives a scheduled fault sequence — kill a
+// shard, blackhole another's data plane for a window, stall a third's
+// control channel past the barrier budget — through the chaos driver
+// against a supervised exec fleet. The fleet must heal from every fault:
+// by the end all shards are healthy again, answers match the simulator
+// bit-for-bit, the sticky error never fires, and Health shows a restart
+// for the killed shard.
+func TestUDPChaosScheduleRecovery(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	const shards = 4
+	seed := uint64(11)
+	f := newFixture(seed, 48)
+	simNet := network.New(f.g, network.Global{P: 0}, seed)
+	udpNet := network.New(f.g, network.Global{P: 0}, seed)
+	drv, err := chaos.New(chaos.Schedule{
+		Faults: []chaos.Fault{
+			{Epoch: 2, Kind: chaos.KillShard, Shard: 1},
+			{Epoch: 6, Kind: chaos.BlackholeShard, Shard: 2, Epochs: 2},
+			{Epoch: 12, Kind: chaos.StallControl, Shard: 0, Epochs: 2},
+		},
+	}, shards)
+	if err != nil {
+		t.Fatalf("chaos.New: %v", err)
+	}
+	// Close the driver before the transport (LIFO defers): healing the
+	// stall gates lets any still-blocked shard runtime exit under the
+	// transport's teardown.
+	defer drv.Close()
+	u, err := transport.NewUDP(udpNet, transport.UDPOptions{
+		Shards:         shards,
+		Deterministic:  true,
+		BarrierTimeout: 500 * time.Millisecond,
+		JoinTimeout:    500 * time.Millisecond,
+		Spawn:          drv.WrapSpawner(transport.SpawnExec(exe)),
+		AddrRewrite:    drv.AddrRewrite,
+	})
+	if err != nil {
+		t.Fatalf("NewUDP: %v", err)
+	}
+	defer u.Close()
+
+	simR := countRunner(t, f, runner.ModeTree, simNet, seed, nil)
+	udpR := countRunner(t, f, runner.ModeTree, udpNet, seed, u)
+	deadline := time.Now().Add(120 * time.Second)
+	epoch := 0
+	for ; epoch < 16; epoch++ {
+		drv.Advance(epoch)
+		simR.RunEpoch(epoch)
+		udpR.RunEpoch(epoch)
+	}
+	// The schedule is exhausted; run until the fleet is whole and answers
+	// line up again (the deadline only bounds a fleet that cannot heal).
+	healed := false
+	for ; time.Now().Before(deadline); epoch++ {
+		drv.Advance(epoch)
+		sim, up := simR.RunEpoch(epoch), udpR.RunEpoch(epoch)
+		if sim == up && u.Health().Healthy() {
+			healed = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healed {
+		t.Fatalf("fleet did not heal from the fault schedule: health %+v", u.Health())
+	}
+	for e := epoch + 1; e < epoch+4; e++ {
+		drv.Advance(e)
+		sim, up := simR.RunEpoch(e), udpR.RunEpoch(e)
+		if sim != up {
+			t.Fatalf("post-heal epoch %d: simulator %+v, udp %+v", e, sim, up)
+		}
+	}
+	if err := u.Err(); err != nil {
+		t.Fatalf("healed fleet must not carry a sticky error, got: %v", err)
+	}
+	h := u.Health()
+	if h.Shards[1].Restarts < 1 {
+		t.Fatalf("killed shard was never restarted: health %+v", h)
+	}
+	t.Logf("healed at epoch %d: health %+v", epoch, h)
 }

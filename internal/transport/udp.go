@@ -41,8 +41,17 @@ package transport
 //     loss to each missing frame's sender (and one duplicate to each
 //     replayed one), feeding the same network.Stats that the in-process
 //     backends feed.
+//
+// The fleet is self-healing: a shard that fails its barrier is declared
+// dead — that round's frames are attributed as losses — and handed to a
+// supervisor goroutine, which reaps the old runtime, respawns a
+// replacement with capped exponential backoff, re-runs the join/assign
+// handshake mid-run, and rejoins the shard to the fleet at the next epoch
+// boundary. Err stays nil across recovered faults; the Health snapshot
+// records per-shard state, restart counts and epochs spent degraded.
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -73,7 +82,8 @@ type ShardProc interface {
 // Spawner launches the shard runtime for one shard index, telling it the
 // parent's control address. The default spawner runs RunNode on a goroutine
 // in this process — real sockets, no exec; SpawnExec launches a tdnode
-// binary per shard.
+// binary per shard. A Spawner must be safe for concurrent use: the
+// supervisor goroutines respawn failed shards with it mid-run.
 type Spawner func(controlAddr string, shard int) (ShardProc, error)
 
 // UDPOptions configure a UDP transport.
@@ -93,7 +103,8 @@ type UDPOptions struct {
 	// epoch barrier, like Chan.
 	Stats *network.Stats
 	// Spawn launches each shard runtime; nil selects the in-process
-	// default.
+	// default. The supervisor reuses it to respawn failed shards, so it
+	// must be safe for concurrent use.
 	Spawn Spawner
 	// MaxDatagram caps the datagram size this side is willing to send;
 	// <= 0 (or anything above wire.MaxUDPPayload) means wire.MaxUDPPayload.
@@ -113,26 +124,141 @@ type UDPOptions struct {
 	DrainQuiet time.Duration
 	// BarrierTimeout caps one epoch barrier's control-channel round trips
 	// per shard; a shard that cannot be flushed within it is declared dead
-	// (sticky error, losses attributed, no hang). <= 0 means 5s.
+	// (its round's frames attributed as losses) and handed to the
+	// supervisor for respawn — no hang either way. Within the budget,
+	// individual control reads run under shorter per-attempt deadlines
+	// (BarrierTimeout/4, floored at 50ms) so a transiently slow shard is
+	// re-flushed rather than written off. <= 0 means 5s.
 	BarrierTimeout time.Duration
+	// JoinTimeout bounds each join/assign handshake: the initial fleet
+	// joins at construction and every mid-run rejoin of a respawned shard.
+	// <= 0 means 10s.
+	JoinTimeout time.Duration
+	// RespawnBackoff is the supervisor's delay before the first respawn
+	// attempt of a failed shard; subsequent attempts double it up to
+	// RespawnBackoffMax. <= 0 means 50ms.
+	RespawnBackoff time.Duration
+	// RespawnBackoffMax caps the exponential respawn backoff. <= 0 means
+	// 2s (raised to RespawnBackoff when that is larger); NewUDP rejects an
+	// explicit cap below RespawnBackoff.
+	RespawnBackoffMax time.Duration
+	// MaxRespawns bounds the consecutive failed respawn attempts per
+	// failure episode before the shard is declared permanently failed
+	// (which does set the sticky error). 0 means 8; negative disables
+	// supervision entirely — the first shard death sets the sticky error
+	// and the shard stays down, the pre-supervision behavior.
+	MaxRespawns int
 	// AddrRewrite, if set, maps each shard's advertised UDP address to the
 	// address the parent actually sends to — the seam a chaos-proxy test
-	// interposes on. It runs once per shard during the join handshake.
+	// interposes on. It runs once per join handshake — including mid-run
+	// rejoins of respawned shards, which advertise a fresh port — and must
+	// be safe for concurrent use (rejoins run on supervisor goroutines).
 	AddrRewrite func(shard int, addr string) string
 }
 
-// Barrier tuning shared by parent and tests.
+// Barrier and supervision tuning shared by parent and tests.
 const (
-	defaultBarrierTimeout = 5 * time.Second
-	joinTimeout           = 10 * time.Second
-	minNegotiatedDatagram = 512
-	maxDetResends         = 64
+	defaultBarrierTimeout    = 5 * time.Second
+	defaultJoinTimeout       = 10 * time.Second
+	defaultRespawnBackoff    = 50 * time.Millisecond
+	defaultRespawnBackoffMax = 2 * time.Second
+	defaultMaxRespawns       = 8
+	minCtrlAttemptTimeout    = 50 * time.Millisecond
+	reapTimeout              = 3 * time.Second
+	minNegotiatedDatagram    = 512
+	maxDetResends            = 64
 )
+
+// ShardState is a shard's supervision state in a Health snapshot.
+type ShardState string
+
+const (
+	// ShardHealthy: joined and answering the barrier.
+	ShardHealthy ShardState = "healthy"
+	// ShardRespawning: declared dead at a barrier; the supervisor is
+	// reaping the old runtime and respawning a replacement. Frames bound
+	// for the shard are attributed as losses until it rejoins.
+	ShardRespawning ShardState = "respawning"
+	// ShardFailed: permanently failed — the respawn budget is exhausted or
+	// supervision is disabled. The transport's sticky error is set.
+	ShardFailed ShardState = "failed"
+)
+
+// ShardHealth is one shard's entry in a Health snapshot.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// State is the shard's current supervision state.
+	State ShardState `json:"state"`
+	// Restarts counts completed respawn/rejoin cycles over the fleet's
+	// lifetime.
+	Restarts int `json:"restarts,omitempty"`
+	// DegradedEpochs counts epoch barriers the shard missed while dead —
+	// epochs whose frames for this shard were attributed as losses.
+	DegradedEpochs int `json:"degradedEpochs,omitempty"`
+	// LastErr is the most recent failure cause (barrier error, spawn
+	// failure or exit status), empty while none has occurred.
+	LastErr string `json:"lastErr,omitempty"`
+}
+
+// HealthSnapshot is a point-in-time view of the fleet's supervision state,
+// safe to take from any goroutine (tdserve exposes it per deployment).
+type HealthSnapshot struct {
+	// Shards holds one entry per shard, by index.
+	Shards []ShardHealth `json:"shards,omitempty"`
+	// Restarts is the fleet-wide sum of completed respawn/rejoin cycles.
+	Restarts int `json:"restarts"`
+	// DegradedEpochs is the fleet-wide sum of shard-epochs spent dead.
+	DegradedEpochs int `json:"degradedEpochs"`
+	// Failed counts shards currently in the failed state.
+	Failed int `json:"failed"`
+}
+
+// Healthy reports whether every shard is currently in the healthy state.
+func (h HealthSnapshot) Healthy() bool {
+	for _, sh := range h.Shards {
+		if sh.State != ShardHealthy {
+			return false
+		}
+	}
+	return true
+}
+
+// shardHealth is the internal, mutex-guarded form of one shard's health.
+type shardHealth struct {
+	state    ShardState
+	restarts int
+	degraded int
+	lastErr  string
+}
+
+// rejoin is a completed mid-run join handshake: the replacement runtime's
+// process handle, control connection, resolved data-plane address and
+// negotiated datagram limit. A supervisor publishes it through the shard's
+// pending slot; the dispatch goroutine adopts it at the next BeginEpoch, so
+// every shard field stays dispatch-owned.
+type rejoin struct {
+	proc        ShardProc
+	ctrl        net.Conn
+	addr        *net.UDPAddr
+	maxDatagram int
+}
+
+// acceptedJoin is one join connection the acceptor has read and routed.
+type acceptedJoin struct {
+	conn net.Conn
+	join ctrlMsg
+}
+
+// errSupervisionStopped marks a respawn attempt abandoned because the
+// transport is closing — not a failure to count against the budget.
+var errSupervisionStopped = errors.New("transport: supervision stopped")
 
 // udpShard is the parent's view of one shard: its process handle, control
 // connection, resolved data-plane address, and the current round's send
 // state (dispatch-goroutine-owned; the flush goroutines only touch it
-// between EndEpoch's spawn and join, which the WaitGroup orders).
+// between EndEpoch's spawn and join, which the WaitGroup orders; the
+// supervisor touches only the atomic pending slot).
 type udpShard struct {
 	id          int
 	proc        ShardProc
@@ -140,6 +266,9 @@ type udpShard struct {
 	addr        *net.UDPAddr
 	maxDatagram int
 	dead        bool
+	// pending carries a supervisor's completed rejoin to the dispatch
+	// goroutine, adopted at the next BeginEpoch.
+	pending atomic.Pointer[rejoin]
 	// sent counts the frames (sequence numbers) assigned this round.
 	sent int
 	// batch is the building batch datagram, sealed into dgrams when the
@@ -166,7 +295,7 @@ type udpShard struct {
 // implements runner.Transport, runner.EpochMarker and runner.StatsSetter.
 // Like every backend, Deliver/BeginEpoch/EndEpoch are dispatch-goroutine-
 // only; Close may be called from any goroutine once the run has quiesced
-// and is idempotent.
+// and is idempotent. Health and Err are safe from any goroutine.
 type UDP struct {
 	nw   *network.Net
 	opts UDPOptions
@@ -177,6 +306,23 @@ type UDP struct {
 	conn      *net.UDPConn
 	io        *batchio.Sender
 	ioc       batchio.Counters
+	// ln is the control listener, kept open for the transport's lifetime so
+	// respawned shards can rejoin mid-run; ctrlAddr is its address, what
+	// the Spawner is told.
+	ln       net.Listener
+	ctrlAddr string
+	// stopc stops the supervisor goroutines; acceptWG/superWG join the
+	// acceptor and supervisors at teardown.
+	stopc    chan struct{}
+	acceptWG sync.WaitGroup
+	superWG  sync.WaitGroup
+	// rejoinWaiters routes accepted mid-run joins to the supervisor
+	// awaiting that shard index.
+	rejoinMu      sync.Mutex
+	rejoinWaiters map[int]chan acceptedJoin
+	// health is the per-shard supervision state behind Health().
+	healthMu sync.Mutex
+	health   []shardHealth
 	// pending queues the round's sealed datagrams for one batched submit at
 	// the epoch barrier.
 	pending   []batchio.Message
@@ -210,18 +356,47 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 	if opts.BarrierTimeout <= 0 {
 		opts.BarrierTimeout = defaultBarrierTimeout
 	}
+	if opts.JoinTimeout <= 0 {
+		opts.JoinTimeout = defaultJoinTimeout
+	}
+	if opts.RespawnBackoff <= 0 {
+		opts.RespawnBackoff = defaultRespawnBackoff
+	}
+	if opts.RespawnBackoffMax <= 0 {
+		opts.RespawnBackoffMax = defaultRespawnBackoffMax
+		if opts.RespawnBackoffMax < opts.RespawnBackoff {
+			opts.RespawnBackoffMax = opts.RespawnBackoff
+		}
+	}
+	if opts.RespawnBackoffMax < opts.RespawnBackoff {
+		return nil, fmt.Errorf("transport: RespawnBackoffMax %v below RespawnBackoff %v", opts.RespawnBackoffMax, opts.RespawnBackoff)
+	}
+	if opts.MaxRespawns == 0 {
+		opts.MaxRespawns = defaultMaxRespawns
+	}
 	if opts.Spawn == nil {
 		opts.Spawn = spawnInProcess
 	}
-	u := &UDP{nw: nw, opts: opts, shards: make([]*udpShard, opts.Shards)}
+	u := &UDP{
+		nw: nw, opts: opts,
+		shards:        make([]*udpShard, opts.Shards),
+		stopc:         make(chan struct{}),
+		rejoinWaiters: make(map[int]chan acceptedJoin),
+		health:        make([]shardHealth, opts.Shards),
+	}
+	for i := range u.health {
+		u.health[i].state = ShardHealthy
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("transport: udp control listener: %w", err)
 	}
-	defer ln.Close()
+	u.ln = ln
+	u.ctrlAddr = ln.Addr().String()
 	u.conn, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
+		ln.Close()
 		return nil, fmt.Errorf("transport: udp send socket: %w", err)
 	}
 	_ = u.conn.SetWriteBuffer(1 << 22)
@@ -232,7 +407,7 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 		return nil, err
 	}
 	for i := 0; i < opts.Shards; i++ {
-		proc, err := opts.Spawn(ln.Addr().String(), i)
+		proc, err := opts.Spawn(u.ctrlAddr, i)
 		if err != nil {
 			return fail(fmt.Errorf("transport: spawn shard %d: %w", i, err))
 		}
@@ -242,7 +417,7 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 	for joined := 0; joined < opts.Shards; joined++ {
 		if tl != nil {
 			//lint:ignore determinism control-plane accept deadline; join timing never reaches the epoch path
-			_ = tl.SetDeadline(time.Now().Add(joinTimeout))
+			_ = tl.SetDeadline(time.Now().Add(opts.JoinTimeout))
 		}
 		c, err := ln.Accept()
 		if err != nil {
@@ -250,7 +425,7 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 		}
 		var join ctrlMsg
 		//lint:ignore determinism control-plane I/O deadline; join timing never reaches the epoch path
-		if err := readCtrl(c, time.Now().Add(joinTimeout), &join); err != nil {
+		if err := readCtrl(c, time.Now().Add(opts.JoinTimeout), &join); err != nil {
 			c.Close()
 			return fail(fmt.Errorf("transport: shard join handshake: %w", err))
 		}
@@ -259,32 +434,18 @@ func NewUDP(nw *network.Net, opts UDPOptions) (*UDP, error) {
 			c.Close()
 			return fail(fmt.Errorf("transport: invalid or duplicate shard join %+v", join))
 		}
-		addr := join.UDPAddr
-		if opts.AddrRewrite != nil {
-			addr = opts.AddrRewrite(sh.id, addr)
-		}
-		sh.addr, err = net.ResolveUDPAddr("udp", addr)
+		rj, err := u.completeJoin(c, &join)
 		if err != nil {
 			c.Close()
-			return fail(fmt.Errorf("transport: shard %d udp address %q: %w", sh.id, addr, err))
+			return fail(fmt.Errorf("transport: %w", err))
 		}
-		sh.maxDatagram = min(opts.MaxDatagram, join.MaxDatagram)
-		if sh.maxDatagram < minNegotiatedDatagram {
-			sh.maxDatagram = minNegotiatedDatagram
-		}
-		assign := ctrlMsg{
-			Type: ctrlAssign, Nodes: n, Shards: opts.Shards,
-			Deterministic: opts.Deterministic,
-			MaxDatagram:   sh.maxDatagram,
-			QuietUS:       int(opts.DrainQuiet / time.Microsecond),
-		}
-		//lint:ignore determinism control-plane I/O deadline; join timing never reaches the epoch path
-		if err := writeCtrl(c, time.Now().Add(joinTimeout), &assign); err != nil {
-			c.Close()
-			return fail(fmt.Errorf("transport: shard %d assignment: %w", sh.id, err))
-		}
-		sh.ctrl = c
+		sh.ctrl, sh.addr, sh.maxDatagram = rj.ctrl, rj.addr, rj.maxDatagram
 	}
+	if tl != nil {
+		_ = tl.SetDeadline(time.Time{})
+	}
+	u.acceptWG.Add(1)
+	go u.acceptJoins()
 	return u, nil
 }
 
@@ -299,6 +460,71 @@ func (u *UDP) shardForJoin(join *ctrlMsg) *udpShard {
 		return nil
 	}
 	return sh
+}
+
+// completeJoin finishes one join handshake on an accepted control
+// connection: resolve the advertised data-plane address (through
+// AddrRewrite), negotiate the datagram limit and send the assignment. It
+// serves both the initial fleet joins and mid-run rejoins; the caller owns
+// the connection on error.
+func (u *UDP) completeJoin(c net.Conn, join *ctrlMsg) (*rejoin, error) {
+	addr := join.UDPAddr
+	if u.opts.AddrRewrite != nil {
+		addr = u.opts.AddrRewrite(join.Shard, addr)
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d udp address %q: %w", join.Shard, addr, err)
+	}
+	maxDgram := min(u.opts.MaxDatagram, join.MaxDatagram)
+	if maxDgram < minNegotiatedDatagram {
+		maxDgram = minNegotiatedDatagram
+	}
+	assign := ctrlMsg{
+		Type: ctrlAssign, Nodes: u.nw.Graph.N(), Shards: len(u.shards),
+		Deterministic: u.opts.Deterministic,
+		MaxDatagram:   maxDgram,
+		QuietUS:       int(u.opts.DrainQuiet / time.Microsecond),
+	}
+	//lint:ignore determinism control-plane I/O deadline; join timing never reaches the epoch path
+	if err := writeCtrl(c, time.Now().Add(u.opts.JoinTimeout), &assign); err != nil {
+		return nil, fmt.Errorf("shard %d assignment: %w", join.Shard, err)
+	}
+	return &rejoin{ctrl: c, addr: ua, maxDatagram: maxDgram}, nil
+}
+
+// acceptJoins routes mid-run join connections — respawned shards dialing
+// back in — to the supervisor awaiting that shard index. It owns the
+// control listener after construction and exits when teardown closes it;
+// joins nobody is waiting for are dropped.
+func (u *UDP) acceptJoins() {
+	defer u.acceptWG.Done()
+	for {
+		c, err := u.ln.Accept()
+		if err != nil {
+			return
+		}
+		var join ctrlMsg
+		//lint:ignore determinism control-plane I/O deadline; rejoin timing never reaches the epoch path
+		if err := readCtrl(c, time.Now().Add(u.opts.JoinTimeout), &join); err != nil {
+			c.Close()
+			continue
+		}
+		if join.Type != ctrlJoin || join.Shard < 0 || join.Shard >= len(u.shards) ||
+			join.MaxDatagram < minNegotiatedDatagram {
+			c.Close()
+			continue
+		}
+		u.rejoinMu.Lock()
+		ch := u.rejoinWaiters[join.Shard]
+		delete(u.rejoinWaiters, join.Shard)
+		u.rejoinMu.Unlock()
+		if ch == nil {
+			c.Close()
+			continue
+		}
+		ch <- acceptedJoin{conn: c, join: join}
+	}
 }
 
 // nextBuf returns a recycled datagram buffer for the shard's next sealed
@@ -392,12 +618,20 @@ func (u *UDP) Deliver(epoch, attempt, from, to int, frame []byte) bool {
 	return true
 }
 
-// BeginEpoch implements runner.EpochMarker: advance the barrier round. The
-// round counter — not the epoch number — scopes datagram sequence spaces,
-// because query-set members reuse epoch numbers across their sub-rounds.
+// BeginEpoch implements runner.EpochMarker: adopt any completed rejoins,
+// then advance the barrier round. The round counter — not the epoch number
+// — scopes datagram sequence spaces, because query-set members reuse epoch
+// numbers across their sub-rounds. Adoption happens here, on the dispatch
+// goroutine, so the shard's connection, address and datagram limit are
+// stable for the whole round.
 func (u *UDP) BeginEpoch(int) {
 	u.round++
 	for _, sh := range u.shards {
+		if rj := sh.pending.Swap(nil); rj != nil {
+			sh.proc, sh.ctrl, sh.addr, sh.maxDatagram = rj.proc, rj.ctrl, rj.addr, rj.maxDatagram
+			sh.recvCalls, sh.recvDatagrams = 0, 0
+			sh.dead = false
+		}
 		sh.sent = 0
 		sh.from = sh.from[:0]
 		sh.batch = nil
@@ -415,8 +649,9 @@ func (u *UDP) BeginEpoch(int) {
 // and free-running losses to the current Stats target on the calling
 // (dispatch) goroutine, preserving the transmit-side single-writer
 // contract. A shard that cannot be flushed within BarrierTimeout is
-// declared dead: its round's frames are attributed as losses, the sticky
-// error is set, and the run continues without it — no hang.
+// declared dead: its round's frames are attributed as losses and the
+// supervisor takes over respawning it — no hang, and no sticky error
+// unless recovery itself is exhausted.
 func (u *UDP) EndEpoch(int) {
 	for _, sh := range u.shards {
 		u.sealBatch(sh)
@@ -446,22 +681,29 @@ func (u *UDP) EndEpoch(int) {
 	wg.Wait()
 	st := u.opts.Stats
 	for i, sh := range u.shards {
-		if sh.dead || sh.sent == 0 {
+		if sh.dead {
+			// A shard that stayed dead through the round missed its epoch;
+			// Deliver already counted its frames as losses.
+			u.noteDegraded(sh.id)
+			continue
+		}
+		if sh.sent == 0 {
 			continue
 		}
 		res := results[i]
 		if res.err != nil {
-			sh.dead = true
-			u.setErr(fmt.Errorf("transport: shard %d: %w", sh.id, res.err))
 			// The shard is gone mid-round: how much of the round it
 			// processed is unknowable, so attribute the whole round as
-			// lost — the conservative reading of a crashed receiver.
+			// lost — the conservative reading of a crashed receiver — and
+			// hand the shard to the supervisor.
 			u.lost.Add(int64(sh.sent))
 			if st != nil {
 				for _, from := range sh.from {
 					st.AddLoss(int(from))
 				}
 			}
+			u.declareDead(sh, res.err)
+			u.noteDegraded(sh.id)
 			continue
 		}
 		sh.recvCalls = res.done.RecvCalls
@@ -496,38 +738,293 @@ func (u *UDP) EndEpoch(int) {
 	}
 }
 
+// declareDead transitions a shard that failed its barrier into recovery:
+// its control connection closes (so a stalled-but-alive runtime
+// self-terminates through its control-read error path), the health state
+// flips to respawning, and a supervisor goroutine takes over reaping and
+// respawning. With supervision disabled (MaxRespawns < 0) the shard
+// instead fails permanently with the sticky error — the pre-supervision
+// contract. Dispatch-goroutine-only.
+func (u *UDP) declareDead(sh *udpShard, cause error) {
+	sh.dead = true
+	if u.opts.MaxRespawns < 0 {
+		u.setShardState(sh.id, ShardFailed, cause)
+		u.setErr(fmt.Errorf("transport: shard %d: %w", sh.id, cause))
+		return
+	}
+	ctrl, proc := sh.ctrl, sh.proc
+	sh.ctrl, sh.proc = nil, nil
+	if ctrl != nil {
+		ctrl.Close()
+	}
+	u.setShardState(sh.id, ShardRespawning, cause)
+	u.superWG.Add(1)
+	go u.supervise(sh.id, proc)
+}
+
+// supervise reaps a dead shard's old runtime, then respawns it with capped
+// exponential backoff until a replacement rejoins, the attempt budget is
+// exhausted, or the transport closes. It runs on its own goroutine; a
+// completed rejoin is handed to the dispatch goroutine through the shard's
+// pending slot and adopted at the next BeginEpoch.
+func (u *UDP) supervise(id int, proc ShardProc) {
+	defer u.superWG.Done()
+	if proc != nil {
+		// Reap first: join the old runtime's exit and record its cause, so
+		// a crash is distinguishable from a clean stop in the health
+		// snapshot.
+		_ = proc.Kill()
+		if err := waitProc(proc, reapTimeout); err != nil {
+			u.noteShardErr(id, fmt.Errorf("shard runtime exit: %w", err))
+		}
+	}
+	backoff := u.opts.RespawnBackoff
+	for attempt := 1; ; attempt++ {
+		//lint:ignore determinism respawn backoff timer; supervision runs beside the epoch path — a recovering shard's frames are already attributed as losses, and answers never depend on when it rejoins
+		t := time.NewTimer(backoff)
+		select {
+		case <-u.stopc:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		rj, err := u.respawn(id)
+		if err == nil {
+			u.shards[id].pending.Store(rj)
+			u.noteRejoined(id)
+			return
+		}
+		if errors.Is(err, errSupervisionStopped) {
+			return
+		}
+		u.noteShardErr(id, err)
+		if attempt >= u.opts.MaxRespawns {
+			u.setShardState(id, ShardFailed, err)
+			u.setErr(fmt.Errorf("transport: shard %d: respawn budget exhausted after %d attempts: %w", id, attempt, err))
+			return
+		}
+		backoff *= 2
+		if backoff > u.opts.RespawnBackoffMax {
+			backoff = u.opts.RespawnBackoffMax
+		}
+	}
+}
+
+// respawn launches one replacement runtime for a shard and runs the
+// mid-run join/assign handshake, returning the ready rejoin record. On any
+// failure the replacement is killed and reaped before the error returns.
+func (u *UDP) respawn(id int) (*rejoin, error) {
+	ch := make(chan acceptedJoin, 1)
+	u.rejoinMu.Lock()
+	u.rejoinWaiters[id] = ch
+	u.rejoinMu.Unlock()
+	cancel := func() {
+		u.rejoinMu.Lock()
+		if u.rejoinWaiters[id] == ch {
+			delete(u.rejoinWaiters, id)
+		}
+		u.rejoinMu.Unlock()
+		select {
+		case aj := <-ch:
+			aj.conn.Close()
+		default:
+		}
+	}
+	proc, err := u.opts.Spawn(u.ctrlAddr, id)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("respawn shard %d: %w", id, err)
+	}
+	reap := func() {
+		_ = proc.Kill()
+		_ = waitProc(proc, reapTimeout)
+	}
+	//lint:ignore determinism rejoin handshake timer; supervision runs beside the epoch path and never reaches answer bits
+	t := time.NewTimer(u.opts.JoinTimeout)
+	defer t.Stop()
+	select {
+	case aj := <-ch:
+		rj, err := u.completeJoin(aj.conn, &aj.join)
+		if err != nil {
+			aj.conn.Close()
+			reap()
+			return nil, fmt.Errorf("respawn shard %d: %w", id, err)
+		}
+		rj.proc = proc
+		return rj, nil
+	case <-t.C:
+		cancel()
+		reap()
+		return nil, fmt.Errorf("respawn shard %d: no rejoin within %v", id, u.opts.JoinTimeout)
+	case <-u.stopc:
+		cancel()
+		reap()
+		return nil, errSupervisionStopped
+	}
+}
+
+// setShardState records a supervision state transition and its cause.
+func (u *UDP) setShardState(id int, st ShardState, cause error) {
+	u.healthMu.Lock()
+	u.health[id].state = st
+	if cause != nil {
+		u.health[id].lastErr = cause.Error()
+	}
+	u.healthMu.Unlock()
+}
+
+// noteShardErr records a failure cause without changing the state.
+func (u *UDP) noteShardErr(id int, cause error) {
+	u.healthMu.Lock()
+	u.health[id].lastErr = cause.Error()
+	u.healthMu.Unlock()
+}
+
+// noteRejoined records a completed respawn/rejoin cycle.
+func (u *UDP) noteRejoined(id int) {
+	u.healthMu.Lock()
+	u.health[id].state = ShardHealthy
+	u.health[id].restarts++
+	u.healthMu.Unlock()
+}
+
+// noteDegraded counts one epoch barrier a dead shard missed.
+func (u *UDP) noteDegraded(id int) {
+	u.healthMu.Lock()
+	u.health[id].degraded++
+	u.healthMu.Unlock()
+}
+
+// Health returns a snapshot of the fleet's supervision state: per-shard
+// state, restart counts and epochs spent degraded. Safe from any
+// goroutine; recovered faults appear here, not in Err.
+func (u *UDP) Health() HealthSnapshot {
+	u.healthMu.Lock()
+	defer u.healthMu.Unlock()
+	snap := HealthSnapshot{Shards: make([]ShardHealth, len(u.health))}
+	for i, h := range u.health {
+		snap.Shards[i] = ShardHealth{
+			Shard: i, State: h.state,
+			Restarts: h.restarts, DegradedEpochs: h.degraded,
+			LastErr: h.lastErr,
+		}
+		snap.Restarts += h.restarts
+		snap.DegradedEpochs += h.degraded
+		if h.state == ShardFailed {
+			snap.Failed++
+		}
+	}
+	return snap
+}
+
+// ctrlAttemptDeadline bounds one control-plane I/O attempt: the earlier of
+// now+attemptIO and the barrier's overall deadline.
+func ctrlAttemptDeadline(deadline time.Time, attemptIO time.Duration) time.Time {
+	//lint:ignore determinism per-attempt control-plane I/O deadline; bounds waiting at the barrier, never answer bits
+	d := time.Now().Add(attemptIO)
+	if d.After(deadline) {
+		return deadline
+	}
+	return d
+}
+
+// budgetLeft reports whether the barrier's overall deadline has not passed.
+func budgetLeft(deadline time.Time) bool {
+	//lint:ignore determinism barrier liveness check; expiry surfaces as a shard failure handed to the supervisor, not a divergent answer
+	return time.Now().Before(deadline)
+}
+
+// isTimeout classifies a control-plane I/O error: deadline expiries are
+// transient (the shard may be slow or its link stalled — retry within the
+// barrier budget); anything else (EOF, connection reset) means the peer is
+// gone and is fatal.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// attemptTimeout derives the per-attempt control I/O deadline from the
+// barrier budget: BarrierTimeout/4, floored at 50ms — several read
+// attempts fit in one budget, so a transiently slow shard gets re-flushed
+// instead of being written off at the first silence.
+func (u *UDP) attemptTimeout() time.Duration {
+	at := u.opts.BarrierTimeout / 4
+	if at < minCtrlAttemptTimeout {
+		at = minCtrlAttemptTimeout
+	}
+	if at > u.opts.BarrierTimeout {
+		at = u.opts.BarrierTimeout
+	}
+	return at
+}
+
+// readDone reads one barrier reply, skipping stale done messages a
+// timed-out earlier attempt left queued on the stream. A read timeout with
+// budget remaining asks the caller to re-send the flush (second return
+// true); any other failure is fatal.
+func (u *UDP) readDone(sh *udpShard, deadline time.Time, attemptIO time.Duration) (ctrlMsg, bool, error) {
+	for {
+		var done ctrlMsg
+		if err := readCtrl(sh.ctrl, ctrlAttemptDeadline(deadline, attemptIO), &done); err != nil {
+			if isTimeout(err) && budgetLeft(deadline) {
+				return ctrlMsg{}, true, nil
+			}
+			return ctrlMsg{}, false, fmt.Errorf("barrier reply: %w", err)
+		}
+		if done.Type != ctrlDone {
+			return ctrlMsg{}, false, fmt.Errorf("unexpected barrier reply %q (round %d)", done.Type, u.round)
+		}
+		if done.Round < u.round {
+			continue // stale reply from a superseded barrier attempt
+		}
+		if done.Round > u.round {
+			return ctrlMsg{}, false, fmt.Errorf("barrier reply for future round %d (want %d)", done.Round, u.round)
+		}
+		return done, false, nil
+	}
+}
+
 // flushShard runs one shard's barrier: flush, read done, and — in
 // deterministic mode — retransmit whatever the shard reports missing until
 // nothing is, the timeout expires, or the control channel fails. Missing
 // sequence ranges map back to whole sealed datagram images (by binary
 // search over their base sequence numbers); the shard's dedup absorbs any
 // frames of a resent datagram that had in fact arrived.
+//
+// Control I/O runs under bounded per-attempt deadlines within the overall
+// BarrierTimeout budget: a read timeout re-sends the flush (the shard
+// answers a duplicate flush idempotently, and readDone skips the stale
+// replies), while a failed write or a non-timeout read error is fatal
+// immediately — a reset connection means the peer is gone, and a timed-out
+// write may have left a partial frame on the stream.
 func (u *UDP) flushShard(sh *udpShard) (ctrlMsg, error) {
 	//lint:ignore determinism barrier liveness deadline; deterministic mode retransmits to exactly-once receipt, so timing bounds waiting, never answer bits
 	deadline := time.Now().Add(u.opts.BarrierTimeout)
+	attemptIO := u.attemptTimeout()
 	var resend []batchio.Message
-	for attempt := 0; ; attempt++ {
-		if err := writeCtrl(sh.ctrl, deadline, &ctrlMsg{Type: ctrlFlush, Round: u.round, Sent: sh.sent}); err != nil {
+	resends := 0
+	for {
+		if err := writeCtrl(sh.ctrl, ctrlAttemptDeadline(deadline, attemptIO), &ctrlMsg{Type: ctrlFlush, Round: u.round, Sent: sh.sent}); err != nil {
 			return ctrlMsg{}, fmt.Errorf("barrier flush: %w", err)
 		}
-		var done ctrlMsg
-		if err := readCtrl(sh.ctrl, deadline, &done); err != nil {
-			return ctrlMsg{}, fmt.Errorf("barrier reply: %w", err)
+		done, retry, err := u.readDone(sh, deadline, attemptIO)
+		if err != nil {
+			return ctrlMsg{}, err
 		}
-		if done.Type != ctrlDone || done.Round != u.round {
-			return ctrlMsg{}, fmt.Errorf("unexpected barrier reply %q (round %d, want %d)", done.Type, done.Round, u.round)
+		if retry {
+			continue
 		}
 		if !u.opts.Deterministic || len(done.Missing) == 0 {
 			return done, nil
 		}
-		//lint:ignore determinism barrier liveness check; expiry surfaces as a sticky transport error, not a divergent answer
-		if attempt >= maxDetResends || !time.Now().Before(deadline) {
+		if resends >= maxDetResends || !budgetLeft(deadline) {
 			missing := 0
 			for _, rng := range done.Missing {
 				missing += rng.Count
 			}
-			return ctrlMsg{}, fmt.Errorf("%d frames still missing after %d resends", missing, attempt)
+			return ctrlMsg{}, fmt.Errorf("%d frames still missing after %d resends", missing, resends)
 		}
+		resends++
 		resend = resend[:0]
 		last := -1
 		for _, rng := range done.Missing {
@@ -559,10 +1056,12 @@ func (u *UDP) flushShard(sh *udpShard) (ctrlMsg, error) {
 // goroutine (at the barrier), so the swap needs no synchronization at all.
 func (u *UDP) SetStats(s *network.Stats) { u.opts.Stats = s }
 
-// Err returns the transport's sticky error: the first shard death, barrier
-// timeout, oversized frame or socket failure. A non-nil Err means some
-// deliveries were force-counted as losses; answers remain whatever the
-// runner computed.
+// Err returns the transport's sticky error: an oversized frame, a socket
+// failure, or a shard that failed permanently (respawn budget exhausted,
+// or supervision disabled). A shard death the supervisor recovers from is
+// NOT an error — its epochs-as-losses and the restart appear in Health
+// instead. A non-nil Err means some deliveries were force-counted as
+// losses; answers remain whatever the runner computed.
 func (u *UDP) Err() error {
 	u.errMu.Lock()
 	defer u.errMu.Unlock()
@@ -595,7 +1094,8 @@ func (u *UDP) Shards() int { return len(u.shards) }
 // IOStats returns the transport's socket-level counters: the parent's send
 // side (live) plus the shard fleet's receive side (as of each shard's last
 // barrier reply). cmd/tdbench derives datagrams/epoch and syscalls/epoch
-// from deltas of this snapshot.
+// from deltas of this snapshot. A respawned shard's receive counters
+// restart from zero.
 func (u *UDP) IOStats() batchio.Snapshot {
 	s := u.ioc.Snapshot()
 	for _, sh := range u.shards {
@@ -605,18 +1105,31 @@ func (u *UDP) IOStats() batchio.Snapshot {
 	return s
 }
 
-// Close stops the fleet: each live shard gets a stop message (answered by
-// bye), the sockets close, and every shard process is waited out — or
-// killed if it will not exit. Idempotent; Deliver must not be called
-// afterwards.
+// Close stops the fleet: the supervisors and the join acceptor wind down,
+// each live shard gets a stop message (answered by bye), the sockets
+// close, and every shard process is waited out — or killed if it will not
+// exit. Idempotent; Deliver must not be called afterwards.
 func (u *UDP) Close() {
 	u.closeOnce.Do(u.teardown)
 }
 
 // teardown is Close's body, shared with NewUDP's failure path.
 func (u *UDP) teardown() {
+	close(u.stopc)
+	if u.ln != nil {
+		u.ln.Close()
+	}
+	u.acceptWG.Wait()
+	u.superWG.Wait()
 	for _, sh := range u.shards {
-		if sh == nil || sh.ctrl == nil {
+		if sh == nil {
+			continue
+		}
+		// A rejoin completed but never adopted winds down like a live shard.
+		if rj := sh.pending.Swap(nil); rj != nil {
+			sh.proc, sh.ctrl, sh.dead = rj.proc, rj.ctrl, false
+		}
+		if sh.ctrl == nil {
 			continue
 		}
 		if !sh.dead {
@@ -636,32 +1149,40 @@ func (u *UDP) teardown() {
 		if sh == nil || sh.proc == nil {
 			continue
 		}
-		waitProc(sh.proc, 3*time.Second)
+		_ = waitProc(sh.proc, reapTimeout)
 	}
 }
 
-// waitProc waits a shard process out, escalating to Kill at the timeout.
-func waitProc(p ShardProc, timeout time.Duration) {
-	done := make(chan struct{})
-	go func() {
-		_ = p.Wait()
-		close(done)
-	}()
+// waitProc waits a shard runtime out, escalating to Kill at the timeout,
+// and returns the exit cause — nil for a clean stop, the runtime's error
+// for a crash or kill. The wait goroutine is always joined: after Kill the
+// runtime's exit is assured (SIGKILL for exec shards, closed sockets for
+// in-process ones), so the post-kill wait blocks for the cause instead of
+// leaking the goroutine and discarding it.
+func waitProc(p ShardProc, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	//lint:ignore determinism teardown escalation timer; process reaping never reaches the epoch path
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
-	case <-done:
-	case <-time.After(timeout):
+	case err := <-done:
+		return err
+	case <-t.C:
 		_ = p.Kill()
-		select {
-		case <-done:
-		case <-time.After(time.Second):
-		}
+		return <-done
 	}
 }
 
-// spawnInProcess is the default Spawner: the shard runtime runs on a
-// goroutine in this process — the topology, sockets and protocol are
-// identical to a separate tdnode process; only the process boundary is
-// elided.
+// SpawnInProcess is the default Spawner (what a nil UDPOptions.Spawn
+// selects): the shard runtime runs on a goroutine in this process — the
+// topology, sockets and protocol are identical to a separate tdnode
+// process; only the process boundary is elided. Exported so wrappers (the
+// chaos driver's fault-injecting spawner) can interpose on the default.
+func SpawnInProcess(controlAddr string, shard int) (ShardProc, error) {
+	return spawnInProcess(controlAddr, shard)
+}
+
 func spawnInProcess(controlAddr string, shard int) (ShardProc, error) {
 	p := &inprocShard{done: make(chan error, 1)}
 	go func() { p.done <- RunNode(controlAddr, shard) }()

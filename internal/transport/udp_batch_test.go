@@ -212,8 +212,10 @@ func (p *firstCopyDropProxy) addrStr() string { return p.ln.LocalAddr().String()
 // TestUDPShardDeathMidBatch kills one tdnode process after frames were
 // delivered into still-open batches but before the barrier — the deferred
 // sends hit a dead socket, the control channel is gone, and EndEpoch must
-// come back anyway: sticky error naming the shard, the round's frames
-// attributed as losses, no hang.
+// come back anyway: the round's frames attributed as losses, no hang. Run
+// with supervision disabled (MaxRespawns < 0) to pin the legacy contract:
+// the first death is a sticky error naming the shard and the shard stays
+// down. TestUDPFleetRecoversFromKill covers the supervised path.
 func TestUDPShardDeathMidBatch(t *testing.T) {
 	exe, err := os.Executable()
 	if err != nil {
@@ -230,6 +232,7 @@ func TestUDPShardDeathMidBatch(t *testing.T) {
 		Deterministic:  true,
 		Stats:          stats,
 		BarrierTimeout: 2 * time.Second,
+		MaxRespawns:    -1, // legacy contract: first death is a sticky error
 		Spawn: func(controlAddr string, shard int) (transport.ShardProc, error) {
 			p, err := spawn(controlAddr, shard)
 			if err == nil {

@@ -26,6 +26,7 @@ type hosted interface {
 	queries() []string
 	poolStats() SessionStats
 	transportErr() error
+	transportHealth() FleetHealth
 	setWorkers(n int)
 	close()
 }
@@ -40,8 +41,11 @@ func (h hostedSession) sensors() int            { return h.s.Sensors() }
 func (h hostedSession) queries() []string       { return []string{h.s.QueryName()} }
 func (h hostedSession) poolStats() SessionStats { return h.s.Stats() }
 func (h hostedSession) transportErr() error     { return h.s.TransportErr() }
-func (h hostedSession) setWorkers(n int)        { h.s.SetWorkers(n) }
-func (h hostedSession) close()                  { h.s.Close() }
+func (h hostedSession) transportHealth() FleetHealth {
+	return h.s.TransportHealth()
+}
+func (h hostedSession) setWorkers(n int) { h.s.SetWorkers(n) }
+func (h hostedSession) close()           { h.s.Close() }
 
 // hostedSet adapts a query set to the hosted contract.
 type hostedSet struct{ qs *QuerySet }
@@ -61,9 +65,10 @@ func (h hostedSet) poolStats() SessionStats {
 	}
 	return total
 }
-func (h hostedSet) transportErr() error { return h.qs.TransportErr() }
-func (h hostedSet) setWorkers(n int)    { h.qs.SetWorkers(n) }
-func (h hostedSet) close()              { h.qs.Close() }
+func (h hostedSet) transportErr() error          { return h.qs.TransportErr() }
+func (h hostedSet) transportHealth() FleetHealth { return h.qs.TransportHealth() }
+func (h hostedSet) setWorkers(n int)             { h.qs.SetWorkers(n) }
+func (h hostedSet) close()                       { h.qs.Close() }
 
 // Pool hosts many independent deployments — scalar sessions or query sets —
 // and advances them concurrently under a shared worker budget. All methods
@@ -130,9 +135,14 @@ type DeploymentStatus struct {
 	// over its queries.
 	Stats SessionStats
 	// TransportErr is the deployment's delivery-backend sticky error, if any
-	// — a dead UDP shard, a barrier timeout, a socket failure. Nil for the
-	// in-process backends and for a healthy fleet.
+	// — an exhausted respawn budget, an oversized frame, a socket failure.
+	// Nil for the in-process backends and for a healthy (or recovering)
+	// fleet; see Health for transient shard trouble.
 	TransportErr error
+	// Health is the UDP runtime's supervision snapshot — per-shard state,
+	// restart counts, degraded epochs. Zero (Healthy() true) for the
+	// in-process backends.
+	Health FleetHealth
 }
 
 // NewPool returns a pool that runs at most workers deployments at once;
@@ -254,6 +264,7 @@ func (p *Pool) Status(id string) (DeploymentStatus, bool) {
 		Last:         e.last,
 		Stats:        e.h.poolStats(),
 		TransportErr: e.h.transportErr(),
+		Health:       e.h.transportHealth(),
 	}, true
 }
 

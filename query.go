@@ -64,6 +64,7 @@ type openConfig struct {
 	workers       int
 	noMemo        bool
 	noBatchFuse   bool
+	churn         []ChurnEvent
 	set           *QuerySet
 }
 
@@ -165,6 +166,19 @@ func WithSynopsisMemo(on bool) Option { return func(c *openConfig) { c.noMemo = 
 // behavioral switch.
 func WithFusedUnions(on bool) Option { return func(c *openConfig) { c.noBatchFuse = !on } }
 
+// WithChurn installs a scripted node-churn schedule: nodes dying (ChurnDown),
+// rejoining (ChurnUp) and re-parenting (ChurnReparent) at fixed epochs,
+// applied before the epoch's first transmission. Open validates the whole
+// schedule up front and rejects infeasible events (unknown nodes, downing a
+// down node, reparent cycles, non-neighbour or ring-violating parents). The
+// schedule is part of the run's identity: under a fixed schedule answers
+// stay bit-identical across worker counts and transports. Downed nodes stay
+// in the contributing-% denominator, so a schedule that silences subtrees
+// is exactly the stress the §4.2 adaptation strategies respond to.
+func WithChurn(events ...ChurnEvent) Option {
+	return func(c *openConfig) { c.churn = append(c.churn[:len(c.churn):len(c.churn)], events...) }
+}
+
 // InSet opens the session as a member of set: it shares the set's
 // network — one loss realization per epoch across every member — and the
 // runtime selection (simulator or shared concurrent node runtime) the set
@@ -201,6 +215,7 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 	var tr runner.Transport
 	var stop func()
 	var trErr func() error
+	var health func() FleetHealth
 	if set := cfg.set; set != nil {
 		if set.d != d {
 			return nil, fmt.Errorf("tributarydelta: InSet with a query set of a different deployment")
@@ -214,6 +229,7 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 		net = set.net
 		tr = set.port(stats)
 		trErr = set.transportErr
+		health = set.transportHealth
 	} else {
 		net = network.New(d.scenario.Graph, d.model, cfg.seed)
 		// Explicit per-session options override the deployment's runtime;
@@ -241,7 +257,7 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 			if err != nil {
 				return nil, fmt.Errorf("tributarydelta: udp runtime: %w", err)
 			}
-			tr, stop, trErr = u, u.Close, u.Err
+			tr, stop, trErr, health = u, u.Close, u.Err, u.Health
 		} else if concurrent {
 			ch := transport.New(net, transport.Options{Deterministic: true, Stats: stats})
 			tr, stop = ch, ch.Close
@@ -252,7 +268,7 @@ func Open[R any](d *Deployment, q Query[R], opts ...Option) (*Session[R], error)
 	if err != nil {
 		return nil, closeOnErr(stop, err)
 	}
-	s := &Session[R]{eng: eng, name: q.name, deps: d, stop: stop, trErr: trErr, done: make(chan struct{})}
+	s := &Session[R]{eng: eng, name: q.name, deps: d, stop: stop, trErr: trErr, health: health, done: make(chan struct{})}
 	if cfg.set != nil {
 		if err := cfg.set.register(s); err != nil {
 			return nil, closeOnErr(stop, err)
@@ -324,6 +340,7 @@ func buildEngine[V, P, S, A, R any](env *openEnv, agg aggregate.Aggregate[V, P, 
 		Workers:         env.cfg.workers,
 		NoMemo:          env.cfg.noMemo,
 		NoBatchFuse:     env.cfg.noBatchFuse,
+		Churn:           env.cfg.churn,
 	})
 	if err != nil {
 		return nil, err

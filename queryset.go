@@ -60,8 +60,10 @@ type QuerySet struct {
 	// coming up); it is surfaced by every subsequent Open(InSet(...)).
 	initErr error
 	// trErr reports the shared backend's sticky runtime error, when the
-	// backend has one (the UDP runtime); nil otherwise.
-	trErr func() error
+	// backend has one (the UDP runtime); nil otherwise. trHealth is the
+	// matching supervision snapshot hook.
+	trErr    func() error
+	trHealth func() FleetHealth
 
 	mu      sync.Mutex
 	members []setMember
@@ -98,6 +100,7 @@ func (d *Deployment) NewQuerySet(seed uint64) *QuerySet {
 		qs.mux = runner.NewMux(u)
 		qs.stop = u.Close
 		qs.trErr = u.Err
+		qs.trHealth = u.Health
 	case d.concurrent:
 		ch := transport.New(qs.net, transport.Options{Deterministic: true})
 		qs.mux = runner.NewMux(ch)
@@ -140,11 +143,27 @@ func (qs *QuerySet) transportErr() error {
 	return qs.trErr()
 }
 
+// transportHealth reports the shared backend's supervision snapshot (member
+// sessions delegate their TransportHealth here).
+func (qs *QuerySet) transportHealth() FleetHealth {
+	if qs.trHealth == nil {
+		return FleetHealth{}
+	}
+	return qs.trHealth()
+}
+
 // TransportErr reports the shared delivery backend's sticky error — non-nil
-// after a UDP shard death, barrier timeout or socket failure, in which case
-// some deliveries were force-counted as losses while rounds kept completing.
-// Always nil for the in-process runtimes.
+// only for permanent failures (oversized frame, socket failure, a shard
+// whose respawn budget is exhausted), in which case some deliveries were
+// force-counted as losses while rounds kept completing. Recovered shard
+// deaths surface in TransportHealth instead. Always nil for the in-process
+// runtimes.
 func (qs *QuerySet) TransportErr() error { return qs.transportErr() }
+
+// TransportHealth reports the shared UDP runtime's supervision snapshot:
+// per-shard state, restart counts and degraded epochs. A zero snapshot
+// (Healthy() true) for the in-process runtimes.
+func (qs *QuerySet) TransportHealth() FleetHealth { return qs.transportHealth() }
 
 // errClosedSet is returned by Open(InSet(...)) on a closed set.
 var errClosedSet = errString("query set is closed")

@@ -82,8 +82,10 @@ type Session[R any] struct {
 	deps *Deployment
 	stop func()
 	// trErr reports the delivery backend's sticky error, when the backend
-	// has one (the UDP runtime); nil otherwise.
-	trErr func() error
+	// has one (the UDP runtime); nil otherwise. health is the matching
+	// supervision snapshot hook.
+	trErr  func() error
+	health func() FleetHealth
 
 	closed atomic.Bool
 	mu     sync.Mutex // guards the Close / run-registration handshake
@@ -220,16 +222,29 @@ func (s *Session[R]) SetWorkers(n int) { s.eng.setWorkers(n) }
 // accounting.
 func (s *Session[R]) Stats() SessionStats { return s.eng.stats() }
 
-// TransportErr reports the session's delivery-backend sticky error: the
-// first shard death, barrier timeout or socket failure of the UDP runtime.
-// A non-nil error means some deliveries were force-counted as losses while
-// answers kept being produced. In-process backends never fail; for them (and
-// for the simulator) TransportErr is always nil.
+// TransportErr reports the session's delivery-backend sticky error. Under
+// the supervised UDP runtime only permanent failures stick: an oversized
+// frame, a socket failure, or a shard whose respawn budget is exhausted. A
+// non-nil error means some deliveries were force-counted as losses while
+// answers kept being produced. Recovered shard deaths do NOT surface here —
+// see TransportHealth. In-process backends never fail; for them (and for
+// the simulator) TransportErr is always nil.
 func (s *Session[R]) TransportErr() error {
 	if s.trErr == nil {
 		return nil
 	}
 	return s.trErr()
+}
+
+// TransportHealth reports the UDP runtime's supervision snapshot: per-shard
+// state (healthy/respawning/failed), restart counts and the epochs each
+// shard spent degraded. For the in-process backends and the simulator it
+// returns a zero snapshot, whose Healthy() is true.
+func (s *Session[R]) TransportHealth() FleetHealth {
+	if s.health == nil {
+		return FleetHealth{}
+	}
+	return s.health()
 }
 
 // TotalWords returns the total 32-bit payload words transmitted so far. It

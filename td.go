@@ -83,6 +83,36 @@ const (
 	SchemeTD = runner.ModeTD
 )
 
+// FleetHealth is a point-in-time supervision snapshot of a session's UDP
+// shard fleet: per-shard state, restart counts and degraded epochs. It
+// aliases the transport type so the two never drift; see
+// Session.TransportHealth.
+type FleetHealth = transport.HealthSnapshot
+
+// ShardHealth describes one shard in a FleetHealth snapshot.
+type ShardHealth = transport.ShardHealth
+
+// ChurnEvent is one scripted topology change of a WithChurn schedule: a
+// node dying, rejoining or re-parenting at a fixed epoch. It aliases the
+// runner type so the two never drift.
+type ChurnEvent = runner.ChurnEvent
+
+// ChurnKind selects a ChurnEvent's effect.
+type ChurnKind = runner.ChurnKind
+
+// Churn event kinds.
+const (
+	// ChurnDown silences a node: it stops transmitting and everything sent
+	// to it is lost, while it stays in the contributing-% denominator —
+	// the non-contributing pressure the §4.2 adaptation absorbs.
+	ChurnDown = runner.ChurnDown
+	// ChurnUp revives a previously downed node in place.
+	ChurnUp = runner.ChurnUp
+	// ChurnReparent moves a node's tree link to a new parent (a radio
+	// neighbour; under the TD schemes also one ring closer to the base).
+	ChurnReparent = runner.ChurnReparent
+)
+
 // Deployment is an assembled sensor field: positions, radio connectivity,
 // the rings decomposition, the restricted aggregation tree (links ⊆ rings,
 // §4.1) and a TAG tree for the pure-tree baseline.
